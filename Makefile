@@ -1,0 +1,36 @@
+GO ?= go
+
+.PHONY: all build test test-short vet bench sweep examples clean
+
+all: vet test build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+vet:
+	$(GO) vet ./...
+
+# One testing.B benchmark per paper figure/table plus simulator
+# micro-benchmarks; writes the record the repository ships with.
+bench:
+	$(GO) test -bench=. -benchmem . | tee bench_output.txt
+
+# Regenerate every experiment at full scale (~20 min on one core).
+sweep:
+	$(GO) run ./cmd/sweep -exp all -insns 300000 | tee sweep_output.txt
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/alusweep
+	$(GO) run ./examples/faultinjection
+	$(GO) run ./examples/customworkload
+	$(GO) run ./examples/pipetrace
+
+clean:
+	$(GO) clean ./...

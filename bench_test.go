@@ -1,0 +1,287 @@
+// Benchmark harness: one testing.B benchmark per figure/table of the
+// paper's evaluation (see DESIGN.md's experiment index). Each benchmark
+// regenerates its experiment on a reduced workload set and reports the
+// figure's key quantities as custom metrics, so `go test -bench=.` gives a
+// quick-look reproduction; `go run ./cmd/sweep -exp all` runs the full
+// 12-benchmark versions that EXPERIMENTS.md records.
+package repro_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/fsim"
+	"repro/internal/irb"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// benchOpts keeps per-iteration work around a second: three benchmarks
+// spanning the key regimes (ALU-bound integer, reuse-rich FP,
+// memory-bound FP).
+func benchOpts() experiments.Options {
+	return experiments.Options{
+		Insns:      50_000,
+		Benchmarks: []string{"bzip2", "mesa", "ammp"},
+	}
+}
+
+// BenchmarkFig2 regenerates Figure 2 (the motivation: % IPC loss of DIE
+// and its capacity-doubled variants vs SIE) and reports the base DIE and
+// DIE-2xALU average losses.
+func BenchmarkFig2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		g, _, err := experiments.Fig2(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		var dieLoss, aluLoss float64
+		for bi := range g.Benchmarks {
+			sie := g.IPC(bi, 0)
+			dieLoss += stats.PctLoss(sie, g.IPC(bi, 1))
+			aluLoss += stats.PctLoss(sie, g.IPC(bi, 2))
+		}
+		n := float64(len(g.Benchmarks))
+		b.ReportMetric(dieLoss/n, "%DIE-loss")
+		b.ReportMetric(aluLoss/n, "%2xALU-loss")
+	}
+}
+
+// BenchmarkHeadline regenerates the headline comparison (Figure 7 in the
+// reconstruction): the fraction of the ALU-bandwidth and overall IPC loss
+// that DIE-IRB gains back. The paper reports ~50% and ~23%.
+func BenchmarkHeadline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, sum, _, err := experiments.Headline(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(sum.ALUBandwidth, "%ALU-recovered")
+		b.ReportMetric(sum.OverallGain, "%overall-recovered")
+	}
+}
+
+// BenchmarkIRBHit regenerates the IRB effectiveness figure (Figure 8) and
+// reports the mean PC-hit and reuse rates.
+func BenchmarkIRBHit(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		g, _, err := experiments.IRBHit(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		var pc, reuse float64
+		for bi := range g.Benchmarks {
+			pc += g.Results[bi][0].PCHitRate()
+			reuse += g.Results[bi][0].ReuseRate()
+		}
+		n := float64(len(g.Benchmarks))
+		b.ReportMetric(pc/n, "pc-hit")
+		b.ReportMetric(reuse/n, "reuse")
+	}
+}
+
+// BenchmarkIRBSize regenerates the size sensitivity figure (Figure 9),
+// reporting the IPC at the smallest and the paper's 1024-entry points.
+func BenchmarkIRBSize(b *testing.B) {
+	opts := benchOpts()
+	opts.Benchmarks = []string{"gcc"} // the capacity-pressured benchmark
+	for i := 0; i < b.N; i++ {
+		g, _, err := experiments.IRBSize(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(g.IPC(0, 0), "IPC@128")
+		b.ReportMetric(g.IPC(0, 3), "IPC@1024")
+	}
+}
+
+// BenchmarkConflict regenerates the conflict-miss reduction ablation
+// (Figure 10), reporting the reuse recovered by the victim buffer on the
+// alias-afflicted benchmark.
+func BenchmarkConflict(b *testing.B) {
+	opts := benchOpts()
+	opts.Benchmarks = []string{"parser"}
+	for i := 0; i < b.N; i++ {
+		g, _, err := experiments.Conflict(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(g.Results[0][0].ReuseRate(), "reuse-DM")
+		b.ReportMetric(g.Results[0][2].ReuseRate(), "reuse-victim16")
+	}
+}
+
+// BenchmarkIRBPorts regenerates the port sensitivity figure (Figure 11).
+func BenchmarkIRBPorts(b *testing.B) {
+	opts := benchOpts()
+	opts.Benchmarks = []string{"bzip2"}
+	for i := 0; i < b.N; i++ {
+		g, _, err := experiments.Ports(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(g.IPC(0, 0), "IPC@1R")
+		b.ReportMetric(g.IPC(0, 2), "IPC@4R")
+	}
+}
+
+// BenchmarkFaultCoverage regenerates the Section 3.4 validation (Table 2
+// in the reconstruction): detection coverage of the check-&-retire
+// comparison under fault injection.
+func BenchmarkFaultCoverage(b *testing.B) {
+	opts := benchOpts()
+	opts.Benchmarks = []string{"bzip2"}
+	for i := 0; i < b.N; i++ {
+		rows, _, err := experiments.Faults(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Mode == core.DIEIRB && r.Site == "fu" {
+				b.ReportMetric(r.Coverage(), "fu-coverage")
+			}
+		}
+	}
+}
+
+// BenchmarkAblationDup regenerates ablation A (duplicate-only vs
+// both-streams IRB policy).
+func BenchmarkAblationDup(b *testing.B) {
+	opts := benchOpts()
+	opts.Benchmarks = []string{"bzip2"}
+	for i := 0; i < b.N; i++ {
+		g, _, err := experiments.AblationDup(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(g.IPC(0, 0), "IPC-dup-only")
+		b.ReportMetric(g.IPC(0, 1), "IPC-both")
+	}
+}
+
+// BenchmarkAblationFwd regenerates ablation B (no-forwarding vs
+// IRB-as-functional-unit).
+func BenchmarkAblationFwd(b *testing.B) {
+	opts := benchOpts()
+	opts.Benchmarks = []string{"bzip2"}
+	for i := 0; i < b.N; i++ {
+		g, _, err := experiments.AblationFwd(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(g.IPC(0, 0), "IPC-no-fwd")
+		b.ReportMetric(g.IPC(0, 1), "IPC-as-FU")
+	}
+}
+
+// BenchmarkSimulatorThroughput measures the simulator's own speed in
+// simulated instructions per wall-clock second, per execution mode.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	p, _ := workload.ByName("gzip")
+	for _, nc := range sim.HeadlineConfigs() {
+		b.Run(nc.Name, func(b *testing.B) {
+			const insns = 50_000
+			for i := 0; i < b.N; i++ {
+				if _, err := sim.Run(nc.Name, nc.Cfg, p, sim.Options{Insns: insns}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(insns)*float64(b.N)/b.Elapsed().Seconds(), "insns/s")
+		})
+	}
+}
+
+// BenchmarkFunctionalSim measures the golden-model interpreter alone.
+func BenchmarkFunctionalSim(b *testing.B) {
+	p, _ := workload.ByName("gzip")
+	prog := workload.MustGenerate(p.WithIters(1_000_000))
+	b.ResetTimer()
+	var total uint64
+	for i := 0; i < b.N; i++ {
+		m := fsim.New(prog)
+		n, err := m.Run(200_000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		total += n
+	}
+	b.ReportMetric(float64(total)/b.Elapsed().Seconds(), "insns/s")
+}
+
+// BenchmarkIRBLookup measures the reuse buffer microarchitecture model.
+func BenchmarkIRBLookup(b *testing.B) {
+	buf := irb.MustNew(irb.Default())
+	for pc := uint64(0); pc < 2048; pc++ {
+		buf.Insert(pc, pc, irb.Entry{Src1: pc, Src2: pc, Result: pc * 2})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Lookup(uint64(i), uint64(i)%2048)
+	}
+}
+
+// BenchmarkScheduler regenerates the Section 3.3 scheduler matrix
+// (data-capture vs decoupled, value- vs name-based reuse tests).
+func BenchmarkScheduler(b *testing.B) {
+	opts := benchOpts()
+	opts.Benchmarks = []string{"bzip2"}
+	for i := 0; i < b.N; i++ {
+		g, _, err := experiments.Scheduler(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(g.IPC(0, 0), "IPC-capture-value")
+		b.ReportMetric(g.IPC(0, 3), "IPC-decoupled-name")
+	}
+}
+
+// BenchmarkCluster regenerates the clustered-alternative comparison from
+// the paper's Section 3 discussion.
+func BenchmarkCluster(b *testing.B) {
+	opts := benchOpts()
+	opts.Benchmarks = []string{"bzip2"}
+	for i := 0; i < b.N; i++ {
+		g, _, err := experiments.Cluster(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(g.IPC(0, 1), "IPC-DIE")
+		b.ReportMetric(g.IPC(0, 2), "IPC-cluster")
+		b.ReportMetric(g.IPC(0, 3), "IPC-DIE-IRB")
+	}
+}
+
+// BenchmarkPrior24 regenerates the introduction's prior-work claim
+// ([24]: DIE loses up to 45% vs SIE) over both workload suites.
+func BenchmarkPrior24(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		g, _, err := experiments.Prior24(experiments.Options{Insns: 50_000})
+		if err != nil {
+			b.Fatal(err)
+		}
+		worst := 0.0
+		for bi := range g.Benchmarks {
+			if l := stats.PctLoss(g.IPC(bi, 0), g.IPC(bi, 1)); l > worst {
+				worst = l
+			}
+		}
+		b.ReportMetric(worst, "%worst-DIE-loss")
+	}
+}
+
+// BenchmarkReuseSources regenerates the reuse-sources extension table
+// (squash reuse on DIE-IRB, Sn+d chaining on SIE-IRB).
+func BenchmarkReuseSources(b *testing.B) {
+	opts := benchOpts()
+	opts.Benchmarks = []string{"bzip2"}
+	for i := 0; i < b.N; i++ {
+		g, _, err := experiments.ReuseSources(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(g.Results[0][0].ReuseRate(), "reuse-base")
+		b.ReportMetric(g.Results[0][1].ReuseRate(), "reuse-squash")
+	}
+}

@@ -1,0 +1,131 @@
+// Command simdie runs one benchmark on one machine configuration and
+// prints the full statistics report — the equivalent of a single
+// sim-outorder invocation on the paper's platform.
+//
+// Usage:
+//
+//	simdie -bench gzip -mode DIE-IRB
+//	simdie -bench art -mode DIE -2xruu -insns 1000000
+//	simdie -bench mesa -mode SIE -verify
+//	simdie -bench bzip2 -dump | head   # disassemble the workload
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+func main() {
+	bench := flag.String("bench", "gzip", "benchmark name (one of the 12 SPEC2000 profiles)")
+	mode := flag.String("mode", "DIE-IRB", "execution mode: SIE, DIE, DIE-IRB, SIE-IRB")
+	insns := flag.Uint64("insns", sim.DefaultInsns, "architected instructions to simulate")
+	verify := flag.Bool("verify", false, "verify against the functional oracle")
+	x2alu := flag.Bool("2xalu", false, "double all functional units")
+	x2ruu := flag.Bool("2xruu", false, "double RUU and LSQ capacity")
+	x2width := flag.Bool("2xwidths", false, "double all pipeline widths")
+	irbEntries := flag.Int("irb-entries", 1024, "IRB entries (DIE-IRB/SIE-IRB)")
+	irbAssoc := flag.Int("irb-assoc", 1, "IRB associativity")
+	irbVictim := flag.Int("irb-victim", 0, "IRB victim buffer entries")
+	dump := flag.Bool("dump", false, "print the workload's disassembly instead of simulating")
+	trace := flag.Uint64("trace", 0, "print a pipeline trace for the first N cycles")
+	flag.Parse()
+
+	if err := run(*bench, *mode, *insns, *verify, *x2alu, *x2ruu, *x2width,
+		*irbEntries, *irbAssoc, *irbVictim, *dump, *trace); err != nil {
+		fmt.Fprintln(os.Stderr, "simdie:", err)
+		os.Exit(1)
+	}
+}
+
+func run(bench, mode string, insns uint64, verify, x2alu, x2ruu, x2width bool,
+	irbEntries, irbAssoc, irbVictim int, dump bool, trace uint64) error {
+	p, ok := workload.ByName(bench)
+	if !ok {
+		return fmt.Errorf("unknown benchmark %q (want one of the SPEC2000 profile names)", bench)
+	}
+	if dump {
+		prog, err := workload.Generate(p.WithIters(insns))
+		if err != nil {
+			return err
+		}
+		for pc, in := range prog.Code {
+			fmt.Printf("%6d: %s\n", pc, in)
+		}
+		return nil
+	}
+
+	cfg := core.BaseSIE()
+	cfg.Mode = core.Mode(mode)
+	cfg.IRB.Entries = irbEntries
+	cfg.IRB.Assoc = irbAssoc
+	cfg.IRB.VictimEntries = irbVictim
+	if x2alu {
+		cfg = cfg.WithDoubledALUs()
+	}
+	if x2ruu {
+		cfg = cfg.WithDoubledRUU()
+	}
+	if x2width {
+		cfg = cfg.WithDoubledWidths()
+	}
+
+	if trace > 0 {
+		// Tracing needs direct core access; run outside the driver.
+		prog, err := workload.Generate(p.WithIters(insns + insns/3))
+		if err != nil {
+			return err
+		}
+		cfg.MaxInsns = insns
+		c, err := core.New(cfg, prog)
+		if err != nil {
+			return err
+		}
+		c.SetTracer(&core.TextTracer{W: os.Stdout, MaxCycles: trace})
+		return c.Run()
+	}
+
+	r, err := sim.Run(mode, cfg, p, sim.Options{Insns: insns, Verify: verify})
+	if err != nil {
+		return err
+	}
+	report(r)
+	return nil
+}
+
+func report(r sim.Result) {
+	s := r.Core
+	t := stats.NewTable(fmt.Sprintf("%s on %s", r.Bench, r.Mode), "stat", "value")
+	t.AddRow("IPC", r.IPC)
+	t.AddRow("cycles", s.Cycles)
+	t.AddRow("instructions committed", s.Committed)
+	t.AddRow("uop copies committed", s.CopiesCommitted)
+	t.AddRow("uops dispatched", s.Dispatched)
+	t.AddRow("wrong-path uops", s.WrongPath)
+	t.AddRow("branch mispredicts", s.Mispredicts)
+	t.AddRow("bpred direction accuracy", 1-stats.Ratio(r.Bpred.CondMiss, r.Bpred.CondBranches))
+	t.AddRow("loads / stores", fmt.Sprintf("%d / %d", s.Loads, s.Stores))
+	t.AddRow("store-to-load forwards", s.LoadForwarded)
+	t.AddRow("L1I / L1D / L2 miss rate", fmt.Sprintf("%.4f / %.4f / %.4f",
+		r.L1I.MissRate(), r.L1D.MissRate(), r.L2.MissRate()))
+	t.AddRow("RUU-full dispatch stalls", s.RUUFullStalls)
+	t.AddRow("LSQ-full dispatch stalls", s.LSQFullStalls)
+	t.AddRow("ready-but-not-issued (copy-cycles)", s.ReadyNotIssued)
+	t.AddRow("issued int-alu/mult/fp-add/fp-mult/mem", fmt.Sprintf("%d/%d/%d/%d/%d",
+		s.Issued[0], s.Issued[1], s.Issued[2], s.Issued[3], s.Issued[4]))
+	if r.IRB != nil {
+		t.AddRow("IRB PC hit rate", r.PCHitRate())
+		t.AddRow("IRB reuse rate (dup stream)", r.ReuseRate())
+		t.AddRow("IRB reuse hits / misses", fmt.Sprintf("%d / %d", s.IRBReuseHits, s.IRBReuseMiss))
+		t.AddRow("IRB lookups port-denied", r.IRB.ReadDenied)
+		t.AddRow("IRB updates port-denied", r.IRB.WriteDenied)
+		t.AddRow("IRB evictions (victim spills)", fmt.Sprintf("%d (%d)",
+			r.IRB.Evictions, r.IRB.VictimSpills))
+	}
+	fmt.Print(t)
+}

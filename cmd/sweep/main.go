@@ -1,0 +1,141 @@
+// Command sweep regenerates the paper's figures and tables (and this
+// reproduction's ablations) over the 12 SPEC2000-like workloads.
+//
+// Usage:
+//
+//	sweep -exp all                     # every experiment
+//	sweep -exp fig2                    # one experiment
+//	sweep -exp headline -insns 500000  # bigger instruction budget
+//	sweep -exp irbhit -bench gzip,mesa # subset of benchmarks
+//
+// Experiments: config, fig2, headline, irbhit, irbsize, conflict,
+// irbports, faults, ablation-dup, ablation-fwd, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run (see package doc)")
+	insns := flag.Uint64("insns", sim.DefaultInsns, "architected instructions per run")
+	bench := flag.String("bench", "", "comma-separated benchmark subset (default all 12)")
+	verify := flag.Bool("verify", false, "verify every run against the functional oracle")
+	csv := flag.Bool("csv", false, "emit comma-separated values instead of aligned tables")
+	flag.Parse()
+	emitCSV = *csv
+
+	opts := experiments.Options{Insns: *insns, Verify: *verify}
+	if *bench != "" {
+		opts.Benchmarks = strings.Split(*bench, ",")
+	}
+
+	if err := run(*exp, opts); err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(1)
+	}
+}
+
+type runner func(experiments.Options) (*stats.Table, error)
+
+func runners() []struct {
+	name string
+	fn   runner
+} {
+	return []struct {
+		name string
+		fn   runner
+	}{
+		{"config", func(experiments.Options) (*stats.Table, error) {
+			return experiments.ConfigTable(), nil
+		}},
+		{"fig2", func(o experiments.Options) (*stats.Table, error) {
+			_, t, err := experiments.Fig2(o)
+			return t, err
+		}},
+		{"headline", func(o experiments.Options) (*stats.Table, error) {
+			_, _, t, err := experiments.Headline(o)
+			return t, err
+		}},
+		{"irbhit", func(o experiments.Options) (*stats.Table, error) {
+			_, t, err := experiments.IRBHit(o)
+			return t, err
+		}},
+		{"irbsize", func(o experiments.Options) (*stats.Table, error) {
+			_, t, err := experiments.IRBSize(o)
+			return t, err
+		}},
+		{"conflict", func(o experiments.Options) (*stats.Table, error) {
+			_, t, err := experiments.Conflict(o)
+			return t, err
+		}},
+		{"irbports", func(o experiments.Options) (*stats.Table, error) {
+			_, t, err := experiments.Ports(o)
+			return t, err
+		}},
+		{"faults", func(o experiments.Options) (*stats.Table, error) {
+			_, t, err := experiments.Faults(o)
+			return t, err
+		}},
+		{"ablation-dup", func(o experiments.Options) (*stats.Table, error) {
+			_, t, err := experiments.AblationDup(o)
+			return t, err
+		}},
+		{"ablation-fwd", func(o experiments.Options) (*stats.Table, error) {
+			_, t, err := experiments.AblationFwd(o)
+			return t, err
+		}},
+		{"scheduler", func(o experiments.Options) (*stats.Table, error) {
+			_, t, err := experiments.Scheduler(o)
+			return t, err
+		}},
+		{"cluster", func(o experiments.Options) (*stats.Table, error) {
+			_, t, err := experiments.Cluster(o)
+			return t, err
+		}},
+		{"prior24", func(o experiments.Options) (*stats.Table, error) {
+			_, t, err := experiments.Prior24(o)
+			return t, err
+		}},
+		{"reuse-sources", func(o experiments.Options) (*stats.Table, error) {
+			_, t, err := experiments.ReuseSources(o)
+			return t, err
+		}},
+	}
+}
+
+var emitCSV bool
+
+func render(t *stats.Table) string {
+	if emitCSV {
+		return t.CSV()
+	}
+	return t.String()
+}
+
+func run(exp string, opts experiments.Options) error {
+	for _, r := range runners() {
+		if exp != "all" && exp != r.name {
+			continue
+		}
+		t, err := r.fn(opts)
+		if err != nil {
+			return fmt.Errorf("%s: %w", r.name, err)
+		}
+		fmt.Printf("=== %s ===\n%s\n", r.name, render(t))
+		if exp == r.name {
+			return nil
+		}
+	}
+	if exp != "all" {
+		return fmt.Errorf("unknown experiment %q", exp)
+	}
+	return nil
+}

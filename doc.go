@@ -1,0 +1,14 @@
+// Package repro is a from-scratch Go reproduction of "A Complexity-
+// Effective Approach to ALU Bandwidth Enhancement for Instruction-Level
+// Temporal Redundancy" (Parashar, Gurumurthi & Sivasubramaniam, ISCA 2004).
+//
+// The repository contains a cycle-level out-of-order superscalar simulator
+// (internal/core) with the paper's three execution models — SIE, DIE and
+// DIE-IRB — plus every substrate they need: the ISA and functional
+// simulator, branch predictors, a cache hierarchy, the instruction reuse
+// buffer, 12 SPEC2000-like synthetic workloads, and a fault-injection
+// framework. The benchmark harness in bench_test.go and cmd/sweep
+// regenerates every figure and table of the paper's evaluation; see
+// DESIGN.md for the experiment index and EXPERIMENTS.md for recorded
+// results.
+package repro

@@ -1,0 +1,61 @@
+// Fault injection: validates the redundancy argument of the paper's
+// Section 3.4 end-to-end. Single-bit transient faults are injected into
+// functional unit outputs, operand forwarding paths, and the IRB storage
+// array while a benchmark runs on the DIE-IRB machine; the commit-time
+// check-&-retire comparison must catch every fault that could reach
+// architectural state. Faults striking the IRB's operand fields merely
+// fail the reuse test (the duplicate then executes on a real ALU), which
+// is why the paper argues the IRB needs no ECC of its own.
+//
+//	go run ./examples/faultinjection
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func main() {
+	profile, ok := workload.ByName("parser")
+	if !ok {
+		log.Fatal("parser profile missing")
+	}
+
+	fmt.Println("site         injected  detected  masked  outcome")
+	for _, site := range fault.Sites() {
+		inj := fault.MustNew(fault.Config{Site: site, Rate: 5e-4, Seed: 42})
+		r, err := sim.Run("DIE-IRB", core.BaseDIEIRB(), profile, sim.Options{
+			Insns:    150_000,
+			Injector: inj,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		outcome := describe(site, inj.Injected, r.Core.FaultsDetected)
+		fmt.Printf("%-12s %8d  %8d  %6d  %s\n",
+			site, inj.Injected, r.Core.FaultsDetected, r.Core.FaultsMasked, outcome)
+	}
+}
+
+func describe(site fault.Site, injected, detected uint64) string {
+	switch site {
+	case fault.IRBOperand:
+		return "corrupted operands fail the reuse test: harmless by design"
+	case fault.IRBResult:
+		if detected > 0 {
+			return "reused corrupted results caught by check-&-retire"
+		}
+		return "no corrupted entry was reused before being overwritten"
+	default:
+		if injected == 0 {
+			return "no faults fired"
+		}
+		return fmt.Sprintf("%.0f%% caught (the rest struck squashed wrong-path work)",
+			100*float64(detected)/float64(injected))
+	}
+}

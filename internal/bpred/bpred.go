@@ -1,0 +1,361 @@
+// Package bpred implements the branch prediction structures of the
+// simulated front end: bimodal and gshare direction predictors, a
+// tournament (combined) predictor in the style of SimpleScalar's "comb"
+// predictor, a set-associative branch target buffer for indirect jumps, and
+// a return address stack. The DIE-IRB paper leaves the PC and branch
+// prediction structures outside the Sphere of Replication, so one predictor
+// instance serves both instruction streams.
+package bpred
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+)
+
+// Kind selects the direction predictor algorithm.
+type Kind string
+
+const (
+	// Bimodal is a table of 2-bit saturating counters indexed by PC.
+	Bimodal Kind = "bimodal"
+	// Gshare is a table of 2-bit counters indexed by PC xor global
+	// branch history.
+	Gshare Kind = "gshare"
+	// Combined is a tournament predictor: a meta table of 2-bit counters
+	// chooses between a bimodal and a gshare component per branch.
+	Combined Kind = "combined"
+	// Taken statically predicts every conditional branch taken; used by
+	// tests and as a pessimistic baseline.
+	Taken Kind = "taken"
+)
+
+// Config sizes the prediction structures. All table sizes must be powers
+// of two.
+type Config struct {
+	Kind        Kind
+	BimodalSize int // entries in the bimodal table
+	GshareSize  int // entries in the gshare table
+	HistBits    int // global history bits for gshare
+	MetaSize    int // entries in the tournament meta table
+	BTBSets     int
+	BTBAssoc    int
+	RASSize     int
+}
+
+// Default returns the configuration used by the paper's platform: a
+// combined predictor (SimpleScalar's default), 2K-entry tables, a
+// 512-set 4-way BTB and an 8-entry RAS.
+func Default() Config {
+	return Config{
+		Kind:        Combined,
+		BimodalSize: 2048,
+		GshareSize:  2048,
+		HistBits:    11,
+		MetaSize:    2048,
+		BTBSets:     512,
+		BTBAssoc:    4,
+		RASSize:     8,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	pow2 := func(name string, v int) error {
+		if v <= 0 || v&(v-1) != 0 {
+			return fmt.Errorf("bpred: %s = %d, want power of two", name, v)
+		}
+		return nil
+	}
+	for _, f := range []struct {
+		name string
+		v    int
+	}{
+		{"BimodalSize", c.BimodalSize},
+		{"GshareSize", c.GshareSize},
+		{"MetaSize", c.MetaSize},
+		{"BTBSets", c.BTBSets},
+	} {
+		if err := pow2(f.name, f.v); err != nil {
+			return err
+		}
+	}
+	if c.BTBAssoc <= 0 {
+		return fmt.Errorf("bpred: BTBAssoc = %d, want > 0", c.BTBAssoc)
+	}
+	if c.RASSize <= 0 {
+		return fmt.Errorf("bpred: RASSize = %d, want > 0", c.RASSize)
+	}
+	if c.HistBits <= 0 || c.HistBits > 30 {
+		return fmt.Errorf("bpred: HistBits = %d, want 1..30", c.HistBits)
+	}
+	switch c.Kind {
+	case Bimodal, Gshare, Combined, Taken:
+	default:
+		return fmt.Errorf("bpred: unknown kind %q", c.Kind)
+	}
+	return nil
+}
+
+// Stats counts prediction outcomes.
+type Stats struct {
+	CondBranches uint64 // conditional branches predicted
+	CondMiss     uint64 // direction mispredictions
+	IndirJumps   uint64 // indirect-target predictions (BTB or RAS)
+	IndirMiss    uint64 // indirect-target mispredictions
+}
+
+// Predictor is the complete front-end prediction unit.
+type Predictor struct {
+	cfg     Config
+	bimodal []uint8
+	gshare  []uint8
+	meta    []uint8
+	history uint32
+	btb     *btb
+	ras     []uint64
+	rasTop  int
+	Stats   Stats
+}
+
+// New builds a predictor; counters start weakly taken (2) to match
+// SimpleScalar initialization.
+func New(cfg Config) (*Predictor, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	p := &Predictor{
+		cfg:     cfg,
+		bimodal: make([]uint8, cfg.BimodalSize),
+		gshare:  make([]uint8, cfg.GshareSize),
+		meta:    make([]uint8, cfg.MetaSize),
+		btb:     newBTB(cfg.BTBSets, cfg.BTBAssoc),
+		ras:     make([]uint64, cfg.RASSize),
+	}
+	for i := range p.bimodal {
+		p.bimodal[i] = 2
+	}
+	for i := range p.gshare {
+		p.gshare[i] = 2
+	}
+	for i := range p.meta {
+		p.meta[i] = 2
+	}
+	return p, nil
+}
+
+// MustNew is New that panics on configuration errors.
+func MustNew(cfg Config) *Predictor {
+	p, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Predict returns the predicted next PC for the control-transfer
+// instruction in at pc. For non-control instructions it returns pc+1.
+// Predict also performs the RAS push/pop side effects of calls and
+// returns, mirroring a real fetch stage.
+func (p *Predictor) Predict(pc uint64, in isa.Instr) uint64 {
+	oi := in.Op.Info()
+	switch {
+	case oi.IsBranch:
+		if p.direction(pc) {
+			return isa.CtrlTarget(in.Op, in.Imm, 0, pc)
+		}
+		return pc + 1
+	case in.Op == isa.OpCall:
+		p.push(pc + 1)
+		return isa.CtrlTarget(in.Op, in.Imm, 0, pc)
+	case in.Op == isa.OpJump:
+		return isa.CtrlTarget(in.Op, in.Imm, 0, pc)
+	case oi.IsIndirect:
+		if in.Src1 == isa.LinkReg {
+			return p.pop(pc)
+		}
+		if t, ok := p.btb.lookup(pc); ok {
+			return t
+		}
+		// No BTB entry: fall through, which will be corrected when
+		// the jump resolves.
+		return pc + 1
+	default:
+		return pc + 1
+	}
+}
+
+// direction returns the predicted direction for the conditional branch at
+// pc without updating any state (counters update at resolve time).
+func (p *Predictor) direction(pc uint64) bool {
+	switch p.cfg.Kind {
+	case Taken:
+		return true
+	case Bimodal:
+		return p.bimodal[p.bimodalIdx(pc)] >= 2
+	case Gshare:
+		return p.gshare[p.gshareIdx(pc)] >= 2
+	default: // Combined
+		if p.meta[p.metaIdx(pc)] >= 2 {
+			return p.gshare[p.gshareIdx(pc)] >= 2
+		}
+		return p.bimodal[p.bimodalIdx(pc)] >= 2
+	}
+}
+
+// Update trains the predictor with the resolved outcome of a control
+// instruction and records accuracy statistics. predictedNext is the next
+// PC fetch followed; actualNext the architecturally correct one.
+func (p *Predictor) Update(pc uint64, in isa.Instr, taken bool, actualNext, predictedNext uint64) {
+	oi := in.Op.Info()
+	switch {
+	case oi.IsBranch:
+		p.Stats.CondBranches++
+		if predictedNext != actualNext {
+			p.Stats.CondMiss++
+		}
+		p.train(pc, taken)
+	case oi.IsIndirect:
+		p.Stats.IndirJumps++
+		if predictedNext != actualNext {
+			p.Stats.IndirMiss++
+		}
+		if in.Src1 != isa.LinkReg {
+			p.btb.insert(pc, actualNext)
+		}
+	}
+}
+
+func (p *Predictor) train(pc uint64, taken bool) {
+	if p.cfg.Kind == Taken {
+		return
+	}
+	bIdx, gIdx := p.bimodalIdx(pc), p.gshareIdx(pc)
+	bCorrect := (p.bimodal[bIdx] >= 2) == taken
+	gCorrect := (p.gshare[gIdx] >= 2) == taken
+	if p.cfg.Kind == Combined && bCorrect != gCorrect {
+		m := p.metaIdx(pc)
+		if gCorrect {
+			p.meta[m] = satInc(p.meta[m])
+		} else {
+			p.meta[m] = satDec(p.meta[m])
+		}
+	}
+	if p.cfg.Kind != Gshare {
+		if taken {
+			p.bimodal[bIdx] = satInc(p.bimodal[bIdx])
+		} else {
+			p.bimodal[bIdx] = satDec(p.bimodal[bIdx])
+		}
+	}
+	if p.cfg.Kind != Bimodal {
+		if taken {
+			p.gshare[gIdx] = satInc(p.gshare[gIdx])
+		} else {
+			p.gshare[gIdx] = satDec(p.gshare[gIdx])
+		}
+		p.history = (p.history<<1 | b2u(taken)) & (1<<p.cfg.HistBits - 1)
+	}
+}
+
+func (p *Predictor) bimodalIdx(pc uint64) int {
+	return int(pc) & (p.cfg.BimodalSize - 1)
+}
+
+func (p *Predictor) gshareIdx(pc uint64) int {
+	return int(pc^uint64(p.history)) & (p.cfg.GshareSize - 1)
+}
+
+func (p *Predictor) metaIdx(pc uint64) int {
+	return int(pc) & (p.cfg.MetaSize - 1)
+}
+
+func (p *Predictor) push(ret uint64) {
+	p.ras[p.rasTop] = ret
+	p.rasTop = (p.rasTop + 1) % len(p.ras)
+}
+
+func (p *Predictor) pop(pc uint64) uint64 {
+	p.rasTop = (p.rasTop - 1 + len(p.ras)) % len(p.ras)
+	t := p.ras[p.rasTop]
+	if t == 0 {
+		return pc + 1
+	}
+	return t
+}
+
+func satInc(c uint8) uint8 {
+	if c < 3 {
+		return c + 1
+	}
+	return 3
+}
+
+func satDec(c uint8) uint8 {
+	if c > 0 {
+		return c - 1
+	}
+	return 0
+}
+
+func b2u(b bool) uint32 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// btb is a set-associative branch target buffer with LRU replacement,
+// used only for non-return indirect jumps (direct targets come from the
+// pre-decoded instruction).
+type btb struct {
+	sets  int
+	assoc int
+	tags  []uint64
+	tgts  []uint64
+	lru   []uint32
+	clock uint32
+}
+
+func newBTB(sets, assoc int) *btb {
+	n := sets * assoc
+	return &btb{
+		sets:  sets,
+		assoc: assoc,
+		tags:  make([]uint64, n),
+		tgts:  make([]uint64, n),
+		lru:   make([]uint32, n),
+	}
+}
+
+func (b *btb) lookup(pc uint64) (uint64, bool) {
+	base := (int(pc) & (b.sets - 1)) * b.assoc
+	tag := pc + 1 // bias so that tag 0 means empty
+	for w := 0; w < b.assoc; w++ {
+		if b.tags[base+w] == tag {
+			b.clock++
+			b.lru[base+w] = b.clock
+			return b.tgts[base+w], true
+		}
+	}
+	return 0, false
+}
+
+func (b *btb) insert(pc, target uint64) {
+	base := (int(pc) & (b.sets - 1)) * b.assoc
+	tag := pc + 1
+	victim := base
+	for w := 0; w < b.assoc; w++ {
+		if b.tags[base+w] == tag {
+			victim = base + w
+			break
+		}
+		if b.lru[base+w] < b.lru[victim] {
+			victim = base + w
+		}
+	}
+	b.clock++
+	b.tags[victim] = tag
+	b.tgts[victim] = target
+	b.lru[victim] = b.clock
+}

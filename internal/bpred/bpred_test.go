@@ -1,0 +1,237 @@
+package bpred
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+)
+
+func branchAt(imm int32) isa.Instr {
+	return isa.Instr{Op: isa.OpBne, Src1: 1, Src2: 0, Imm: imm}
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := Default()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("Default invalid: %v", err)
+	}
+	bad := Default()
+	bad.BimodalSize = 1000 // not a power of two
+	if err := bad.Validate(); err == nil {
+		t.Error("accepted non-power-of-two table")
+	}
+	bad2 := Default()
+	bad2.Kind = "oracle"
+	if err := bad2.Validate(); err == nil {
+		t.Error("accepted unknown kind")
+	}
+	bad3 := Default()
+	bad3.HistBits = 0
+	if err := bad3.Validate(); err == nil {
+		t.Error("accepted zero history bits")
+	}
+}
+
+// trainLoop trains p with n occurrences of a branch at pc with the given
+// outcome and returns how many of the last half were predicted correctly.
+func trainLoop(p *Predictor, pc uint64, in isa.Instr, outcomes []bool) int {
+	correct := 0
+	for i, taken := range outcomes {
+		pred := p.Predict(pc, in)
+		actual := pc + 1
+		if taken {
+			actual = isa.CtrlTarget(in.Op, in.Imm, 0, pc)
+		}
+		if i >= len(outcomes)/2 && pred == actual {
+			correct++
+		}
+		p.Update(pc, in, taken, actual, pred)
+	}
+	return correct
+}
+
+func TestBimodalLearnsBias(t *testing.T) {
+	for _, kind := range []Kind{Bimodal, Gshare, Combined} {
+		cfg := Default()
+		cfg.Kind = kind
+		p := MustNew(cfg)
+		outcomes := make([]bool, 100)
+		for i := range outcomes {
+			outcomes[i] = true
+		}
+		if got := trainLoop(p, 10, branchAt(5), outcomes); got < 49 {
+			t.Errorf("%s: always-taken branch predicted %d/50 in second half", kind, got)
+		}
+	}
+}
+
+func TestGshareLearnsPattern(t *testing.T) {
+	// Alternating T/N/T/N is hopeless for bimodal but trivial for a
+	// history-based predictor.
+	pat := make([]bool, 400)
+	for i := range pat {
+		pat[i] = i%2 == 0
+	}
+	cfgG := Default()
+	cfgG.Kind = Gshare
+	g := MustNew(cfgG)
+	gGot := trainLoop(g, 10, branchAt(5), pat)
+
+	cfgB := Default()
+	cfgB.Kind = Bimodal
+	b := MustNew(cfgB)
+	bGot := trainLoop(b, 10, branchAt(5), pat)
+
+	if gGot <= bGot {
+		t.Errorf("gshare (%d/200) should beat bimodal (%d/200) on alternating pattern", gGot, bGot)
+	}
+	if gGot < 180 {
+		t.Errorf("gshare learned only %d/200 of alternating pattern", gGot)
+	}
+}
+
+func TestCombinedTracksBetterComponent(t *testing.T) {
+	pat := make([]bool, 400)
+	for i := range pat {
+		pat[i] = i%2 == 0
+	}
+	c := MustNew(Default())
+	if got := trainLoop(c, 10, branchAt(5), pat); got < 150 {
+		t.Errorf("combined predictor learned only %d/200 of alternating pattern", got)
+	}
+}
+
+func TestStaticTaken(t *testing.T) {
+	cfg := Default()
+	cfg.Kind = Taken
+	p := MustNew(cfg)
+	in := branchAt(7)
+	if got := p.Predict(100, in); got != 107 {
+		t.Errorf("taken predictor: next = %d, want 107", got)
+	}
+}
+
+func TestPredictNonControl(t *testing.T) {
+	p := MustNew(Default())
+	if got := p.Predict(5, isa.Instr{Op: isa.OpAdd, Dest: 1, Src1: 2, Src2: 3}); got != 6 {
+		t.Errorf("non-control next = %d, want 6", got)
+	}
+}
+
+func TestDirectJumpAndCall(t *testing.T) {
+	p := MustNew(Default())
+	j := isa.Instr{Op: isa.OpJump, Imm: -10}
+	if got := p.Predict(50, j); got != 40 {
+		t.Errorf("jump predicted %d, want 40", got)
+	}
+	call := isa.Instr{Op: isa.OpCall, Dest: isa.LinkReg, Imm: 20}
+	if got := p.Predict(50, call); got != 70 {
+		t.Errorf("call predicted %d, want 70", got)
+	}
+}
+
+func TestRASPredictsReturns(t *testing.T) {
+	p := MustNew(Default())
+	call := isa.Instr{Op: isa.OpCall, Dest: isa.LinkReg, Imm: 100}
+	ret := isa.Instr{Op: isa.OpJalr, Dest: isa.ZeroReg, Src1: isa.LinkReg}
+	p.Predict(10, call) // pushes 11
+	p.Predict(20, call) // pushes 21
+	if got := p.Predict(200, ret); got != 21 {
+		t.Errorf("first return predicted %d, want 21", got)
+	}
+	if got := p.Predict(150, ret); got != 11 {
+		t.Errorf("second return predicted %d, want 11", got)
+	}
+	// Empty stack falls back to pc+1.
+	if got := p.Predict(300, ret); got != 301 {
+		t.Errorf("empty-RAS return predicted %d, want 301", got)
+	}
+}
+
+func TestRASWrapsAround(t *testing.T) {
+	cfg := Default()
+	cfg.RASSize = 2
+	p := MustNew(cfg)
+	call := isa.Instr{Op: isa.OpCall, Dest: isa.LinkReg, Imm: 100}
+	ret := isa.Instr{Op: isa.OpJalr, Dest: isa.ZeroReg, Src1: isa.LinkReg}
+	p.Predict(10, call)
+	p.Predict(20, call)
+	p.Predict(30, call) // overwrites the oldest entry
+	if got := p.Predict(400, ret); got != 31 {
+		t.Errorf("return predicted %d, want 31", got)
+	}
+	if got := p.Predict(400, ret); got != 21 {
+		t.Errorf("return predicted %d, want 21", got)
+	}
+}
+
+func TestBTBIndirectJumps(t *testing.T) {
+	p := MustNew(Default())
+	jr := isa.Instr{Op: isa.OpJalr, Dest: isa.ZeroReg, Src1: 5}
+	// Cold BTB: falls through.
+	if got := p.Predict(10, jr); got != 11 {
+		t.Errorf("cold indirect predicted %d, want 11", got)
+	}
+	p.Update(10, jr, false, 500, 11)
+	if got := p.Predict(10, jr); got != 500 {
+		t.Errorf("trained indirect predicted %d, want 500", got)
+	}
+	if p.Stats.IndirJumps != 1 || p.Stats.IndirMiss != 1 {
+		t.Errorf("indirect stats = %+v", p.Stats)
+	}
+}
+
+func TestBTBNoAdjacentPCAliasing(t *testing.T) {
+	b := newBTB(16, 2)
+	b.insert(4, 100)
+	b.insert(5, 200)
+	if tg, ok := b.lookup(4); !ok || tg != 100 {
+		t.Errorf("lookup(4) = %d,%v", tg, ok)
+	}
+	if tg, ok := b.lookup(5); !ok || tg != 200 {
+		t.Errorf("lookup(5) = %d,%v", tg, ok)
+	}
+}
+
+func TestBTBLRUReplacement(t *testing.T) {
+	b := newBTB(1, 2) // one set, two ways
+	b.insert(1, 101)
+	b.insert(2, 102)
+	b.lookup(1)      // make pc=1 most recent
+	b.insert(3, 103) // evicts pc=2
+	if _, ok := b.lookup(2); ok {
+		t.Error("pc=2 should have been evicted")
+	}
+	if tg, ok := b.lookup(1); !ok || tg != 101 {
+		t.Errorf("pc=1 evicted wrongly: %d,%v", tg, ok)
+	}
+	if tg, ok := b.lookup(3); !ok || tg != 103 {
+		t.Errorf("pc=3 missing: %d,%v", tg, ok)
+	}
+}
+
+func TestStatsCounting(t *testing.T) {
+	p := MustNew(Default())
+	in := branchAt(5)
+	pred := p.Predict(10, in)
+	p.Update(10, in, true, 15, pred)
+	p.Update(10, in, false, 11, 15) // a mispredict
+	if p.Stats.CondBranches != 2 {
+		t.Errorf("CondBranches = %d, want 2", p.Stats.CondBranches)
+	}
+	if p.Stats.CondMiss != 1 {
+		t.Errorf("CondMiss = %d, want 1", p.Stats.CondMiss)
+	}
+}
+
+func TestSaturatingCounters(t *testing.T) {
+	if satInc(3) != 3 {
+		t.Error("satInc(3) != 3")
+	}
+	if satDec(0) != 0 {
+		t.Error("satDec(0) != 0")
+	}
+	if satInc(1) != 2 || satDec(2) != 1 {
+		t.Error("mid-range counter updates wrong")
+	}
+}

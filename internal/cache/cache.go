@@ -1,0 +1,210 @@
+// Package cache models the memory hierarchy of the simulated machine:
+// set-associative L1 instruction and data caches backed by a unified L2 and
+// a fixed-latency main memory. The model is a blocking, latency-accurate
+// one in the style of SimpleScalar's default hierarchy: each access returns
+// the number of cycles it takes, and the timing core charges that latency
+// to the instruction. The DIE-IRB paper places the memory system outside
+// the Sphere of Replication, so both instruction streams share one
+// hierarchy and a duplicated load performs only its address calculation —
+// exactly one cache access happens per architected memory instruction.
+package cache
+
+import "fmt"
+
+// Config describes one cache level.
+type Config struct {
+	Sets       int // number of sets (power of two)
+	Assoc      int // ways per set
+	BlockBytes int // line size (power of two)
+	HitLat     int // access latency in cycles
+}
+
+// SizeBytes returns the capacity of the configured cache.
+func (c Config) SizeBytes() int { return c.Sets * c.Assoc * c.BlockBytes }
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Sets <= 0 || c.Sets&(c.Sets-1) != 0 {
+		return fmt.Errorf("cache: Sets = %d, want power of two", c.Sets)
+	}
+	if c.BlockBytes <= 0 || c.BlockBytes&(c.BlockBytes-1) != 0 {
+		return fmt.Errorf("cache: BlockBytes = %d, want power of two", c.BlockBytes)
+	}
+	if c.Assoc <= 0 {
+		return fmt.Errorf("cache: Assoc = %d, want > 0", c.Assoc)
+	}
+	if c.HitLat <= 0 {
+		return fmt.Errorf("cache: HitLat = %d, want > 0", c.HitLat)
+	}
+	return nil
+}
+
+// Stats counts the traffic seen by one cache level.
+type Stats struct {
+	Accesses   uint64
+	Misses     uint64
+	Writebacks uint64
+}
+
+// MissRate returns misses per access, or zero when idle.
+func (s Stats) MissRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+// Cache is one set-associative, write-back, write-allocate cache level with
+// LRU replacement.
+type Cache struct {
+	cfg   Config
+	tags  []uint64 // tag+1 per line; 0 = invalid
+	dirty []bool
+	lru   []uint64
+	clock uint64
+	Stats Stats
+}
+
+// New builds a cache level.
+func New(cfg Config) (*Cache, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n := cfg.Sets * cfg.Assoc
+	return &Cache{
+		cfg:   cfg,
+		tags:  make([]uint64, n),
+		dirty: make([]bool, n),
+		lru:   make([]uint64, n),
+	}, nil
+}
+
+// access looks addr up, allocating on miss. It reports whether the access
+// hit and whether a dirty line was evicted.
+func (c *Cache) access(addr uint64, write bool) (hit, writeback bool) {
+	c.Stats.Accesses++
+	block := addr / uint64(c.cfg.BlockBytes)
+	set := int(block) & (c.cfg.Sets - 1)
+	tag := block + 1
+	base := set * c.cfg.Assoc
+	victim := base
+	for w := 0; w < c.cfg.Assoc; w++ {
+		i := base + w
+		if c.tags[i] == tag {
+			c.clock++
+			c.lru[i] = c.clock
+			if write {
+				c.dirty[i] = true
+			}
+			return true, false
+		}
+		if c.lru[i] < c.lru[victim] {
+			victim = i
+		}
+	}
+	c.Stats.Misses++
+	writeback = c.tags[victim] != 0 && c.dirty[victim]
+	if writeback {
+		c.Stats.Writebacks++
+	}
+	c.clock++
+	c.tags[victim] = tag
+	c.dirty[victim] = write
+	c.lru[victim] = c.clock
+	return false, writeback
+}
+
+// Probe reports whether addr is resident without touching LRU state or
+// statistics. Tests and tooling use it.
+func (c *Cache) Probe(addr uint64) bool {
+	block := addr / uint64(c.cfg.BlockBytes)
+	base := (int(block) & (c.cfg.Sets - 1)) * c.cfg.Assoc
+	for w := 0; w < c.cfg.Assoc; w++ {
+		if c.tags[base+w] == block+1 {
+			return true
+		}
+	}
+	return false
+}
+
+// HierarchyConfig describes the full memory system.
+type HierarchyConfig struct {
+	L1I, L1D, L2 Config
+	MemLat       int // main memory access latency in cycles
+}
+
+// DefaultHierarchy returns the memory system modeled for the paper's
+// platform: 16KB 2-way L1I, 16KB 4-way L1D (1-cycle), 256KB 4-way unified
+// L2 (6-cycle), 100-cycle main memory.
+func DefaultHierarchy() HierarchyConfig {
+	return HierarchyConfig{
+		L1I:    Config{Sets: 256, Assoc: 2, BlockBytes: 32, HitLat: 1},
+		L1D:    Config{Sets: 128, Assoc: 4, BlockBytes: 32, HitLat: 1},
+		L2:     Config{Sets: 1024, Assoc: 4, BlockBytes: 64, HitLat: 6},
+		MemLat: 100,
+	}
+}
+
+// Hierarchy is the assembled memory system.
+type Hierarchy struct {
+	cfg HierarchyConfig
+	L1I *Cache
+	L1D *Cache
+	L2  *Cache
+}
+
+// NewHierarchy builds the memory system.
+func NewHierarchy(cfg HierarchyConfig) (*Hierarchy, error) {
+	l1i, err := New(cfg.L1I)
+	if err != nil {
+		return nil, fmt.Errorf("L1I: %w", err)
+	}
+	l1d, err := New(cfg.L1D)
+	if err != nil {
+		return nil, fmt.Errorf("L1D: %w", err)
+	}
+	l2, err := New(cfg.L2)
+	if err != nil {
+		return nil, fmt.Errorf("L2: %w", err)
+	}
+	if cfg.MemLat <= 0 {
+		return nil, fmt.Errorf("cache: MemLat = %d, want > 0", cfg.MemLat)
+	}
+	return &Hierarchy{cfg: cfg, L1I: l1i, L1D: l1d, L2: l2}, nil
+}
+
+// MustNewHierarchy is NewHierarchy that panics on configuration errors.
+func MustNewHierarchy(cfg HierarchyConfig) *Hierarchy {
+	h, err := NewHierarchy(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// AccessI returns the latency of fetching the instruction block at addr.
+func (h *Hierarchy) AccessI(addr uint64) int {
+	return h.through(h.L1I, addr, false)
+}
+
+// AccessD returns the latency of a data access at addr.
+func (h *Hierarchy) AccessD(addr uint64, write bool) int {
+	return h.through(h.L1D, addr, write)
+}
+
+// through performs an L1 access and, on a miss, an L2 access and possibly a
+// memory access, composing latencies. Writebacks ride the existing path and
+// are counted but add no latency (buffered in a real machine).
+func (h *Hierarchy) through(l1 *Cache, addr uint64, write bool) int {
+	lat := l1.cfg.HitLat
+	hit, _ := l1.access(addr, write)
+	if hit {
+		return lat
+	}
+	lat += h.L2.cfg.HitLat
+	l2hit, _ := h.L2.access(addr, false)
+	if l2hit {
+		return lat
+	}
+	return lat + h.cfg.MemLat
+}

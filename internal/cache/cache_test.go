@@ -1,0 +1,187 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func small() Config { return Config{Sets: 4, Assoc: 2, BlockBytes: 32, HitLat: 1} }
+
+func TestConfigValidate(t *testing.T) {
+	if err := small().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []Config{
+		{Sets: 3, Assoc: 2, BlockBytes: 32, HitLat: 1},
+		{Sets: 4, Assoc: 0, BlockBytes: 32, HitLat: 1},
+		{Sets: 4, Assoc: 2, BlockBytes: 33, HitLat: 1},
+		{Sets: 4, Assoc: 2, BlockBytes: 32, HitLat: 0},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Errorf("accepted invalid config %+v", bad)
+		}
+	}
+}
+
+func TestSizeBytes(t *testing.T) {
+	if got := small().SizeBytes(); got != 4*2*32 {
+		t.Errorf("SizeBytes = %d", got)
+	}
+	if got := DefaultHierarchy().L1D.SizeBytes(); got != 16*1024 {
+		t.Errorf("default L1D size = %d, want 16KB", got)
+	}
+}
+
+func TestColdMissThenHit(t *testing.T) {
+	c, _ := New(small())
+	if hit, _ := c.access(0x100, false); hit {
+		t.Error("cold access hit")
+	}
+	if hit, _ := c.access(0x100, false); !hit {
+		t.Error("second access missed")
+	}
+	// Same block, different word.
+	if hit, _ := c.access(0x118, false); !hit {
+		t.Error("same-block access missed")
+	}
+	if c.Stats.Accesses != 3 || c.Stats.Misses != 1 {
+		t.Errorf("stats = %+v", c.Stats)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c, _ := New(small()) // 4 sets x 2 ways, 32B blocks: set stride 128B
+	// Three blocks mapping to set 0.
+	a, b2, d := uint64(0), uint64(128), uint64(256)
+	c.access(a, false)
+	c.access(b2, false)
+	c.access(a, false) // a most recent
+	c.access(d, false) // evicts b2
+	if !c.Probe(a) || c.Probe(b2) || !c.Probe(d) {
+		t.Errorf("LRU state wrong: a=%v b=%v d=%v", c.Probe(a), c.Probe(b2), c.Probe(d))
+	}
+}
+
+func TestWritebackOnDirtyEviction(t *testing.T) {
+	c, _ := New(Config{Sets: 1, Assoc: 1, BlockBytes: 32, HitLat: 1})
+	c.access(0, true) // dirty
+	if _, wb := c.access(64, false); !wb {
+		t.Error("dirty eviction did not write back")
+	}
+	if _, wb := c.access(128, false); wb {
+		t.Error("clean eviction wrote back")
+	}
+	if c.Stats.Writebacks != 1 {
+		t.Errorf("writebacks = %d", c.Stats.Writebacks)
+	}
+}
+
+func TestProbeDoesNotDisturb(t *testing.T) {
+	c, _ := New(small())
+	c.access(0x40, false)
+	before := c.Stats
+	if !c.Probe(0x40) || c.Probe(0x4000) {
+		t.Error("probe results wrong")
+	}
+	if c.Stats != before {
+		t.Error("Probe changed statistics")
+	}
+}
+
+func TestHierarchyLatencies(t *testing.T) {
+	h := MustNewHierarchy(HierarchyConfig{
+		L1I:    Config{Sets: 4, Assoc: 1, BlockBytes: 32, HitLat: 1},
+		L1D:    Config{Sets: 4, Assoc: 1, BlockBytes: 32, HitLat: 1},
+		L2:     Config{Sets: 16, Assoc: 2, BlockBytes: 64, HitLat: 6},
+		MemLat: 100,
+	})
+	// Cold: L1 miss + L2 miss + memory.
+	if lat := h.AccessD(0x1000, false); lat != 1+6+100 {
+		t.Errorf("cold latency = %d, want 107", lat)
+	}
+	// Warm L1.
+	if lat := h.AccessD(0x1000, false); lat != 1 {
+		t.Errorf("L1 hit latency = %d, want 1", lat)
+	}
+	// Evict from tiny L1 but stay in L2: set stride = 4 sets * 32B = 128.
+	h.AccessD(0x1080, false)
+	if lat := h.AccessD(0x1000, false); lat != 1+6 {
+		t.Errorf("L2 hit latency = %d, want 7", lat)
+	}
+}
+
+func TestHierarchySeparatesIAndD(t *testing.T) {
+	h := MustNewHierarchy(DefaultHierarchy())
+	h.AccessI(0x2000)
+	if h.L1D.Stats.Accesses != 0 {
+		t.Error("instruction access touched L1D")
+	}
+	if h.L1I.Stats.Accesses != 1 {
+		t.Error("instruction access missed L1I stats")
+	}
+	// Both miss into the shared L2.
+	h.AccessD(0x2000, false)
+	if h.L2.Stats.Accesses != 2 {
+		t.Errorf("L2 accesses = %d, want 2", h.L2.Stats.Accesses)
+	}
+}
+
+func TestHierarchyConfigErrors(t *testing.T) {
+	bad := DefaultHierarchy()
+	bad.MemLat = 0
+	if _, err := NewHierarchy(bad); err == nil {
+		t.Error("accepted zero memory latency")
+	}
+	bad2 := DefaultHierarchy()
+	bad2.L2.Sets = 7
+	if _, err := NewHierarchy(bad2); err == nil {
+		t.Error("accepted invalid L2")
+	}
+}
+
+func TestMissRate(t *testing.T) {
+	var s Stats
+	if s.MissRate() != 0 {
+		t.Error("idle miss rate != 0")
+	}
+	s = Stats{Accesses: 4, Misses: 1}
+	if s.MissRate() != 0.25 {
+		t.Errorf("miss rate = %v", s.MissRate())
+	}
+}
+
+// Property: after accessing addr, an immediate re-access of any address in
+// the same block hits.
+func TestTemporalLocalityProperty(t *testing.T) {
+	f := func(addr uint64, off uint8) bool {
+		c, _ := New(Config{Sets: 64, Assoc: 4, BlockBytes: 32, HitLat: 1})
+		addr &= 1<<40 - 1
+		c.access(addr, false)
+		hit, _ := c.access(addr/32*32+uint64(off%32), false)
+		return hit
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a working set no larger than one set's capacity never conflicts
+// (all misses are cold).
+func TestNoConflictWithinAssocProperty(t *testing.T) {
+	f := func(seed uint8) bool {
+		cfg := Config{Sets: 8, Assoc: 4, BlockBytes: 32, HitLat: 1}
+		c, _ := New(cfg)
+		// Four blocks, all in the same set.
+		stride := uint64(cfg.Sets * cfg.BlockBytes)
+		base := uint64(seed) * 4096
+		for round := 0; round < 3; round++ {
+			for i := uint64(0); i < 4; i++ {
+				c.access(base+i*stride, false)
+			}
+		}
+		return c.Stats.Misses == 4 // only the cold misses
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

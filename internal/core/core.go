@@ -1,0 +1,913 @@
+package core
+
+import (
+	"container/heap"
+	"fmt"
+
+	"repro/internal/bpred"
+	"repro/internal/cache"
+	"repro/internal/fsim"
+	"repro/internal/irb"
+	"repro/internal/isa"
+	"repro/internal/program"
+)
+
+// FaultInjector lets the fault-injection harness corrupt values at the
+// three points the paper's Section 3.4 analyzes: functional unit outputs,
+// operand forwarding, and the IRB array. All methods must be deterministic
+// for a given (seq, pc) so runs are reproducible. A nil injector means a
+// fault-free run.
+type FaultInjector interface {
+	// FUResult may corrupt the outcome signature produced when the given
+	// instruction copy executes on a functional unit.
+	FUResult(seq uint64, pc uint64, dup bool, sig uint64) uint64
+	// Operand may corrupt source operand `which` (1 or 2) of the given
+	// copy as it is captured into the issue window, modeling a fault on
+	// a forwarding path.
+	Operand(seq uint64, pc uint64, dup bool, which int, val uint64) uint64
+	// AfterIRBInsert runs after pc's reuse-buffer entry is written,
+	// allowing the injector to strike the stored entry.
+	AfterIRBInsert(pc uint64, b *irb.IRB)
+}
+
+// fetchEntry is one instruction in the fetch-to-dispatch queue.
+type fetchEntry struct {
+	pc       uint64
+	in       isa.Instr
+	predNext uint64
+	cycle    uint64
+}
+
+// Core is one simulated processor executing one program.
+type Core struct {
+	cfg    Config
+	prog   *program.Program
+	front  *fsim.Front
+	pred   *bpred.Predictor
+	mem    *cache.Hierarchy
+	reuse  *irb.IRB // nil unless the mode uses the IRB
+	inj    FaultInjector
+	tracer Tracer
+
+	Stats Stats
+
+	// OnCommit, when set, observes every architected instruction in
+	// retirement order; the simulation driver uses it to verify the
+	// timing core against an independent functional run.
+	OnCommit func(rec *fsim.Retired)
+
+	cycle uint64
+	seq   uint64
+	done  bool
+
+	// Fetch state.
+	fetchPC         uint64
+	fq              []fetchEntry
+	fetchStallUntil uint64
+	curFetchBlock   uint64
+	fetchStopped    bool // halt fetched; wait for redirect or commit
+
+	ruu    *ring
+	lsq    *ring
+	fus    *fuPool // single pool, or cluster 0 when Clustered
+	fusDup *fuPool // cluster 1 (duplicate stream) when Clustered
+	events eventQueue
+
+	// regVer counts architected-register writes entering the pipeline,
+	// for the name-based reuse test. Wrong-path bumps are never undone:
+	// that only costs reuse opportunities, never correctness.
+	regVer [isa.NumRegs]uint32
+
+	// Rename tables: latest producer per register, per stream. In
+	// DIE-IRB the duplicate stream reads prodP — duplicates are woken by
+	// primary results (the paper's forwarding property) — so prodD is
+	// maintained only in plain DIE mode.
+	prodP [isa.NumRegs]*uop
+	prodD [isa.NumRegs]*uop
+
+	lastCommitCycle  uint64
+	commitStallUntil uint64 // fault-recovery penalty
+}
+
+// faultRecoveryPenalty approximates the cost of the instruction rewind
+// triggered by a commit-time pair mismatch. The rewind reuses the branch
+// misprediction machinery, so a pipeline-refill-sized stall is charged.
+const faultRecoveryPenalty = 16
+
+// deadlockWindow is how many cycles without a commit make Run fail with a
+// diagnostic; real stalls (cache misses, div chains) are far shorter.
+const deadlockWindow = 1_000_000
+
+// New builds a core for prog. The program is loaded into a fresh
+// functional machine; no instructions have executed yet.
+func New(cfg Config, prog *program.Program) (*Core, error) {
+	return NewAt(cfg, fsim.New(prog))
+}
+
+// NewAt builds a core that starts timing simulation from the given
+// functional machine's current state — the machinery behind fast-forward:
+// the caller runs the machine (cheaply, in the functional simulator) past
+// initialization or warmup phases, then attaches the timing core. The
+// caches and predictors start cold, as with SimpleScalar's -fastfwd. The
+// machine must not be halted and must not be stepped by the caller
+// afterwards.
+func NewAt(cfg Config, m *fsim.Machine) (*Core, error) {
+	prog := m.Prog
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
+	if m.Halted {
+		return nil, fmt.Errorf("core: cannot attach to a halted machine")
+	}
+	pred, err := bpred.New(cfg.Bpred)
+	if err != nil {
+		return nil, err
+	}
+	mem, err := cache.NewHierarchy(cfg.Cache)
+	if err != nil {
+		return nil, err
+	}
+	c := &Core{
+		cfg:           cfg,
+		prog:          prog,
+		front:         fsim.NewFront(m),
+		pred:          pred,
+		mem:           mem,
+		fetchPC:       m.PC,
+		curFetchBlock: ^uint64(0),
+		ruu:           newRing(cfg.RUUSize),
+		lsq:           newRing(cfg.LSQSize),
+	}
+	c.fus = newFUPool(cfg.FUs)
+	if cfg.Clustered {
+		// Each cluster owns a full copy of the functional unit mix —
+		// the replication that makes the paper call this alternative
+		// "almost a spatial redundancy approach".
+		c.fusDup = newFUPool(cfg.FUs)
+	}
+	if cfg.Mode.usesIRB() {
+		c.reuse = irb.MustNew(cfg.IRB)
+	}
+	return c, nil
+}
+
+// SetInjector installs a fault injector; call before Run.
+func (c *Core) SetInjector(inj FaultInjector) { c.inj = inj }
+
+// IRB returns the reuse buffer, or nil when the mode has none.
+func (c *Core) IRB() *irb.IRB { return c.reuse }
+
+// Bpred returns the branch predictor (for statistics).
+func (c *Core) Bpred() *bpred.Predictor { return c.pred }
+
+// Mem returns the cache hierarchy (for statistics).
+func (c *Core) Mem() *cache.Hierarchy { return c.mem }
+
+// Cycle returns the current cycle number.
+func (c *Core) Cycle() uint64 { return c.cycle }
+
+// Run simulates until the program halts, MaxInsns commit, or an internal
+// limit trips. The final statistics are in c.Stats.
+func (c *Core) Run() error {
+	for !c.done {
+		c.Tick()
+		if c.cfg.MaxCycles > 0 && c.cycle > c.cfg.MaxCycles {
+			return fmt.Errorf("core: %q exceeded %d cycles", c.prog.Name, c.cfg.MaxCycles)
+		}
+		if c.cycle-c.lastCommitCycle > deadlockWindow {
+			return fmt.Errorf("core: %q deadlocked at cycle %d (ruu=%d lsq=%d fq=%d committed=%d)",
+				c.prog.Name, c.cycle, c.ruu.len(), c.lsq.len(), len(c.fq), c.Stats.Committed)
+		}
+	}
+	c.Stats.Cycles = c.cycle
+	return nil
+}
+
+// Tick advances the machine one cycle. Stages run commit-first so a result
+// produced in cycle t is consumable in cycle t (wakeup before select) and
+// an instruction dispatched in cycle t issues no earlier than t+1.
+func (c *Core) Tick() {
+	c.cycle++
+	c.commit()
+	c.writeback()
+	c.memIssue()
+	c.selectIssue()
+	c.dispatch()
+	c.fetch()
+}
+
+// ---------------------------------------------------------------- fetch
+
+func (c *Core) fetch() {
+	if c.done || c.fetchStopped || c.cycle < c.fetchStallUntil {
+		return
+	}
+	for budget := c.cfg.FetchWidth; budget > 0 && len(c.fq) < c.cfg.FetchQueue; budget-- {
+		addr := c.fetchPC * isa.InstrBytes
+		block := addr / uint64(c.cfg.Cache.L1I.BlockBytes)
+		if block != c.curFetchBlock {
+			lat := c.mem.AccessI(addr)
+			c.curFetchBlock = block
+			if lat > c.cfg.Cache.L1I.HitLat {
+				// Miss: the block arrives after the stall; the
+				// instruction is fetched then.
+				c.fetchStallUntil = c.cycle + uint64(lat)
+				return
+			}
+		}
+		in := c.prog.Fetch(c.fetchPC)
+		predNext := c.pred.Predict(c.fetchPC, in)
+		c.fq = append(c.fq, fetchEntry{pc: c.fetchPC, in: in, predNext: predNext, cycle: c.cycle})
+		c.Stats.Fetched++
+		if in.Op == isa.OpHalt {
+			c.fetchStopped = true
+			return
+		}
+		taken := predNext != c.fetchPC+1
+		c.fetchPC = predNext
+		if taken {
+			// One taken control transfer per fetch cycle.
+			return
+		}
+	}
+}
+
+// ---------------------------------------------------------------- dispatch
+
+func (c *Core) dispatch() {
+	need := 1
+	if c.cfg.Mode.dual() {
+		need = 2
+	}
+	slots := c.cfg.DecodeWidth
+	if len(c.fq) == 0 {
+		c.Stats.FetchQEmpty++
+	}
+	for slots >= need && len(c.fq) > 0 {
+		fe := c.fq[0]
+		if c.ruu.free() < need {
+			c.Stats.RUUFullStalls++
+			return
+		}
+		isMem := fe.in.Op.Info().IsMem()
+		if isMem && c.lsq.free() == 0 {
+			c.Stats.LSQFullStalls++
+			return
+		}
+
+		// Execute functionally at the dispatch front, exactly like
+		// sim-outorder: correct-path instructions advance the
+		// architectural machine, wrong-path ones run in the overlay.
+		var rec fsim.Retired
+		wrong := false
+		if !c.front.Spec() {
+			if c.front.Halted() {
+				// Nothing after a correct-path halt is
+				// dispatchable; the queue can only hold stale
+				// entries if fetch raced a redirect.
+				c.fq = c.fq[:0]
+				return
+			}
+			if fe.pc != c.front.PC() {
+				panic(fmt.Sprintf("core: dispatch pc %d != front pc %d", fe.pc, c.front.PC()))
+			}
+			r, err := c.front.StepCorrect()
+			if err != nil {
+				panic(err)
+			}
+			rec = r
+		} else {
+			rec = c.front.StepSpecAt(fe.pc)
+			wrong = true
+		}
+		c.fq = c.fq[1:]
+		slots -= need
+
+		primary := c.newUop(&fe, rec, wrong, false)
+		var dupU *uop
+		if c.cfg.Mode.dual() {
+			dupU = c.newUop(&fe, rec, wrong, true)
+			primary.pair, dupU.pair = dupU, primary
+		}
+
+		c.ruu.push(primary)
+		if isMem {
+			primary.memAccess = true
+			c.lsq.push(primary)
+		}
+		if dupU != nil {
+			c.ruu.push(dupU)
+		}
+
+		c.wireAndRename(primary, dupU)
+		if c.tracer != nil {
+			c.tracer.Dispatch(c.cycle, primary.seq, false, wrong, &primary.rec)
+			if dupU != nil {
+				c.tracer.Dispatch(c.cycle, dupU.seq, true, wrong, &dupU.rec)
+			}
+		}
+
+		// A correct-path control transfer whose prediction was wrong
+		// switches the front to wrong-path execution; recovery happens
+		// when the first copy of the pair resolves.
+		if !wrong && fe.predNext != rec.NextPC {
+			if !fe.in.Op.Info().IsCtrl() {
+				panic(fmt.Sprintf("core: non-control mispredict at pc %d", fe.pc))
+			}
+			primary.mispred = true
+			if dupU != nil {
+				dupU.mispred = true
+			}
+			c.front.EnterSpec()
+		}
+	}
+}
+
+// newUop builds one instruction copy at dispatch, applying operand fault
+// injection and starting the IRB lookup where the mode calls for it.
+func (c *Core) newUop(fe *fetchEntry, rec fsim.Retired, wrong, dup bool) *uop {
+	c.seq++
+	u := &uop{
+		seq:           c.seq,
+		rec:           rec,
+		dup:           dup,
+		wrongPath:     wrong,
+		dispatchCycle: c.cycle,
+		fetchCycle:    fe.cycle,
+		predNext:      fe.predNext,
+		readyAt:       c.cycle + 1,
+		src1c:         rec.Src1,
+		src2c:         rec.Src2,
+	}
+	c.Stats.Dispatched++
+	if wrong {
+		c.Stats.WrongPath++
+	}
+	if oi := rec.Instr.Op.Info(); oi.UsesSrc1 {
+		u.ver1 = c.regVer[rec.Instr.Src1]
+	}
+	if oi := rec.Instr.Op.Info(); oi.UsesSrc2 {
+		u.ver2 = c.regVer[rec.Instr.Src2]
+	}
+	if c.inj != nil {
+		oi := rec.Instr.Op.Info()
+		if oi.UsesSrc1 {
+			u.src1c = c.inj.Operand(u.seq, rec.PC, dup, 1, u.src1c)
+		}
+		if oi.UsesSrc2 {
+			u.src2c = c.inj.Operand(u.seq, rec.PC, dup, 2, u.src2c)
+		}
+		u.corrupted = u.src1c != rec.Src1 || u.src2c != rec.Src2
+	}
+
+	// The IRB is looked up in parallel with fetch; port arbitration
+	// happens now and the data becomes usable for the reuse test
+	// LookupLat cycles after fetch.
+	if c.reuse != nil && c.streamUsesIRB(dup) && irbReusable(rec.Instr) {
+		if e, hit := c.reuse.Lookup(c.cycle, rec.PC); hit {
+			u.irbPCHit = true
+			u.irbEntry = e
+			u.irbReady = fe.cycle + uint64(c.cfg.IRB.LookupLat)
+			if u.irbReady <= c.cycle {
+				u.irbReady = c.cycle + 1
+			}
+		}
+	}
+
+	// Operations needing no functional unit complete by themselves.
+	if rec.Instr.Op.Info().Class == isa.FUNone {
+		u.state = uIssued
+		c.events.schedule(c.cycle+1, evExecDone, u)
+	}
+	return u
+}
+
+// streamUsesIRB reports whether the given stream consults the IRB: the
+// duplicate stream in DIE-IRB (plus the primary under IRBBothStreams), or
+// the single stream in SIE-IRB.
+func (c *Core) streamUsesIRB(dup bool) bool {
+	switch c.cfg.Mode {
+	case DIEIRB:
+		return dup || c.cfg.IRBBothStreams
+	case SIEIRB:
+		return true
+	default:
+		return false
+	}
+}
+
+// wireAndRename links the new pair's source operands to their producers
+// and installs the pair as the latest producers of its destination.
+func (c *Core) wireAndRename(primary, dupU *uop) {
+	c.wireSources(primary, &c.prodP)
+	if dupU != nil {
+		if c.cfg.Mode == DIE {
+			// Independent dataflow per stream.
+			c.wireSources(dupU, &c.prodD)
+		} else {
+			// DIE-IRB: duplicates are woken by primary results.
+			c.wireSources(dupU, &c.prodP)
+		}
+	}
+	in := primary.rec.Instr
+	if in.Op.Info().HasDest && in.Dest != isa.ZeroReg {
+		c.regVer[in.Dest]++
+		c.prodP[in.Dest] = primary
+		if dupU != nil && c.cfg.Mode == DIE {
+			if in.Op.Info().IsLoad {
+				// The memory access happens once, by the primary;
+				// the duplicate only recomputes the address. Both
+				// streams' consumers therefore receive the loaded
+				// value when that single access completes.
+				c.prodD[in.Dest] = primary
+			} else {
+				c.prodD[in.Dest] = dupU
+			}
+		}
+	}
+}
+
+// wireSources registers u as a consumer of the pending producers of its
+// source registers.
+func (c *Core) wireSources(u *uop, table *[isa.NumRegs]*uop) {
+	oi := u.rec.Instr.Op.Info()
+	add := func(r isa.Reg) {
+		if r == isa.ZeroReg {
+			return
+		}
+		p := table[r]
+		if p == nil || p.state == uDone || p.state == uSquashed {
+			return
+		}
+		p.consumers = append(p.consumers, u)
+		u.waitCount++
+	}
+	if oi.UsesSrc1 {
+		add(u.rec.Instr.Src1)
+	}
+	if oi.UsesSrc2 {
+		add(u.rec.Instr.Src2)
+	}
+}
+
+// ---------------------------------------------------------------- issue
+
+func (c *Core) selectIssue() {
+	slots := c.cfg.IssueWidth
+	if c.cfg.Clustered {
+		// Each cluster has its own issue unit of half the width; the
+		// two-pass structure maps passes onto clusters.
+		slots = c.cfg.IssueWidth / 2
+	}
+	if c.cfg.IRBAsFU && c.reuse != nil {
+		// Ablation B: charge the wakeup/bypass growth of IRB-as-FU by
+		// treating each IRB read port as a consumed broadcast slot.
+		slots -= c.cfg.IRB.ReadPorts
+		if slots < 1 {
+			slots = 1
+		}
+	}
+	// The decoupled (non-data-capture) scheduler pipelines wakeup and
+	// selection: an instruction woken in cycle t is selectable in t+1,
+	// after its register file read (Section 3.3).
+	var selDelay uint64
+	if c.cfg.Scheduler == Decoupled {
+		selDelay = 1
+	}
+	// Selection runs in two passes, primaries before duplicates (each
+	// oldest-first): the paper's design keeps the primary stream
+	// "executed by the functional units as in SIE", so ready duplicates
+	// never displace ready primary work. The reuse test itself runs in
+	// the first pass regardless — it is overlapped with wakeup and
+	// consumes neither an issue slot nor a functional unit.
+	for pass := 0; pass < 2; pass++ {
+		for i := 0; i < c.ruu.len(); i++ {
+			u := c.ruu.at(i)
+			if u.state != uWaiting || u.waitCount > 0 || u.readyAt+selDelay > c.cycle {
+				continue
+			}
+
+			if pass == 0 && u.irbPCHit && !u.irbTested && c.cycle >= u.irbReady {
+				u.irbTested = true
+				if c.reuseTest(u) {
+					u.reuseHit = true
+					c.Stats.IRBReuseHits++
+					if c.tracer != nil {
+						c.tracer.ReuseHit(c.cycle, u.seq, &u.rec)
+					}
+					u.outSig = irbOutSig(&u.rec, u.irbEntry)
+					if c.completeUop(u) {
+						// Recovery squashed everything younger.
+						return
+					}
+					continue
+				}
+				c.Stats.IRBReuseMiss++
+			}
+			if u.dup != (pass == 1) {
+				continue
+			}
+
+			if slots == 0 {
+				c.Stats.ReadyNotIssued++
+				continue
+			}
+			op := u.rec.Instr.Op
+			if !c.allocFU(u, op) {
+				c.Stats.ReadyNotIssued++
+				continue
+			}
+			slots--
+			c.Stats.IssueSlotsUsed++
+			c.Stats.Issued[fuBucket(op)]++
+			if u.dup {
+				c.Stats.DupFUExec++
+			}
+			if u.irbPCHit && !u.irbTested {
+				c.Stats.IRBNotReady++
+			}
+			if c.tracer != nil {
+				c.tracer.Issue(c.cycle, u.seq, u.dup, &u.rec)
+			}
+			u.state = uIssued
+			if op.Info().IsMem() {
+				// Address generation: one IntALU cycle; the
+				// memory access (primary copy only) follows via
+				// the LSQ.
+				c.events.schedule(c.cycle+1, evAddrDone, u)
+			} else {
+				c.events.schedule(c.cycle+uint64(op.Info().Latency), evExecDone, u)
+			}
+		}
+		if !c.cfg.Mode.dual() {
+			break
+		}
+		if c.cfg.Clustered {
+			// The duplicate cluster's issue unit has its own slots.
+			slots = c.cfg.IssueWidth / 2
+		}
+	}
+}
+
+// reuseTest runs the configured reuse test for a PC-hitting duplicate:
+// operand-value comparison (the paper's default) or the name-based version
+// check of Section 3.3.
+func (c *Core) reuseTest(u *uop) bool {
+	if c.cfg.IRBNameBased {
+		return u.irbEntry.MatchesVersions(u.ver1, u.ver2)
+	}
+	return u.irbEntry.Matches(u.src1c, u.src2c)
+}
+
+// allocFU reserves a functional unit for u, honouring the cluster split:
+// with Clustered, primaries draw from cluster 0 and duplicates from
+// cluster 1, falling back to the shared pool for singleton units.
+func (c *Core) allocFU(u *uop, op isa.Op) bool {
+	cl, occ := op.Info().Class, occupancy(op)
+	pool := c.fus
+	if c.cfg.Clustered && u.dup {
+		pool = c.fusDup
+	}
+	return pool.alloc(cl, c.cycle, occ)
+}
+
+func fuBucket(op isa.Op) int {
+	switch op.Info().Class {
+	case isa.FUIntMult:
+		return bucketIntMult
+	case isa.FUFPAdd:
+		return bucketFPAdd
+	case isa.FUFPMult:
+		return bucketFPMult
+	default:
+		if op.Info().IsMem() {
+			return bucketMem
+		}
+		return bucketIntALU
+	}
+}
+
+// ---------------------------------------------------------------- memory
+
+// memIssue starts data cache accesses for loads whose address is known,
+// enforcing conservative disambiguation (a load waits until every older
+// store in the LSQ has computed its address) and store-to-load forwarding.
+func (c *Core) memIssue() {
+	ports := c.cfg.FUs[isa.FUMemPort]
+	olderStoresReady := true
+	for i := 0; i < c.lsq.len(); i++ {
+		u := c.lsq.at(i)
+		if u.rec.Instr.Op.Info().IsStore {
+			if !u.addrReady {
+				olderStoresReady = false
+			}
+			continue
+		}
+		if u.memStarted || !u.addrReady || !olderStoresReady {
+			continue
+		}
+		if fwd := c.forwardingStore(i, u.rec.Addr); fwd {
+			u.memStarted = true
+			c.Stats.LoadForwarded++
+			c.events.schedule(c.cycle+1, evLoadDone, u)
+			continue
+		}
+		if ports == 0 {
+			continue
+		}
+		ports--
+		lat := c.mem.AccessD(u.rec.Addr, false)
+		u.memStarted = true
+		c.events.schedule(c.cycle+uint64(lat), evLoadDone, u)
+	}
+}
+
+// forwardingStore reports whether an older store in the LSQ matches addr
+// and can forward its data to the load at LSQ position loadIdx.
+func (c *Core) forwardingStore(loadIdx int, addr uint64) bool {
+	for j := loadIdx - 1; j >= 0; j-- {
+		s := c.lsq.at(j)
+		if s.rec.Instr.Op.Info().IsStore && s.rec.Addr == addr {
+			return true
+		}
+	}
+	return false
+}
+
+// ---------------------------------------------------------------- writeback
+
+// writeback drains all completion events due this cycle: functional unit
+// results, address calculations and load returns. Completions wake
+// consumers and may trigger branch-misprediction recovery.
+func (c *Core) writeback() {
+	for len(c.events) > 0 && c.events[0].cycle <= c.cycle {
+		e := heap.Pop(&c.events).(event)
+		u := e.u
+		if u.state == uSquashed {
+			continue
+		}
+		switch e.kind {
+		case evExecDone:
+			u.outSig = outSignature(&u.rec, u.src1c, u.src2c)
+			if c.inj != nil && u.rec.Instr.Op.Info().Class != isa.FUNone {
+				sig := c.inj.FUResult(u.seq, u.rec.PC, u.dup, u.outSig)
+				if sig != u.outSig {
+					u.outSig = sig
+					u.corrupted = true
+				}
+			}
+			if c.completeUop(u) {
+				continue
+			}
+		case evAddrDone:
+			u.addrReady = true
+			u.outSig = outSignature(&u.rec, u.src1c, u.src2c)
+			if c.inj != nil {
+				sig := c.inj.FUResult(u.seq, u.rec.PC, u.dup, u.outSig)
+				if sig != u.outSig {
+					u.outSig = sig
+					u.corrupted = true
+				}
+			}
+			// Stores and address-calculation-only copies are done;
+			// primary loads proceed to the cache via memIssue.
+			if !u.memAccess || u.rec.Instr.Op.Info().IsStore {
+				c.completeUop(u)
+			}
+		case evLoadDone:
+			c.completeUop(u)
+		}
+	}
+}
+
+// completeUop marks u done, wakes its consumers and handles control-flow
+// resolution. It reports whether a misprediction recovery squashed the
+// pipeline (callers iterating structures must then stop).
+func (c *Core) completeUop(u *uop) bool {
+	if u.state == uDone {
+		panic("core: double completion")
+	}
+	u.state = uDone
+	u.completeCycle = c.cycle
+	if c.tracer != nil {
+		c.tracer.Complete(c.cycle, u.seq, u.dup, &u.rec)
+	}
+	wake := c.cycle
+	if u.reuseHit && !c.cfg.IRBChaining {
+		// A reuse hit's value reaches consumers' operand lines a cycle
+		// later, like any other broadcast; only Sn+d-style chaining
+		// hardware lets dependent reuse tests cascade within a cycle.
+		wake++
+	}
+	for _, consumer := range u.consumers {
+		if consumer.state == uSquashed {
+			continue
+		}
+		consumer.waitCount--
+		at := wake
+		if c.cfg.Clustered && consumer.dup != u.dup {
+			// Inter-cluster forwarding costs an extra cycle.
+			at++
+		}
+		if consumer.readyAt < at {
+			consumer.readyAt = at
+		}
+	}
+	u.consumers = nil
+
+	// Branch resolution: the first copy of a mispredicted correct-path
+	// control transfer to resolve triggers recovery (the paper exploits
+	// exactly this "earliest of the two streams" property).
+	if u.mispred && !u.wrongPath {
+		c.recover(u)
+		return true
+	}
+	return false
+}
+
+// recover squashes everything younger than u's pair and redirects fetch to
+// the architecturally correct path.
+func (c *Core) recover(u *uop) {
+	c.Stats.Mispredicts++
+	c.Stats.RecoveryCycles += c.cycle - u.dispatchCycle
+	maxSeq := u.seq
+	if u.pair != nil {
+		u.mispred, u.pair.mispred = false, false
+		if u.pair.seq > maxSeq {
+			maxSeq = u.pair.seq
+		}
+	} else {
+		u.mispred = false
+	}
+	if c.cfg.IRBSquashReuse && c.reuse != nil {
+		c.harvestSquashed(maxSeq)
+	}
+	killed := c.ruu.squashYoungerThan(maxSeq)
+	c.Stats.Squashed += uint64(killed)
+	c.lsq.squashYoungerThan(maxSeq)
+	if c.tracer != nil {
+		c.tracer.Squash(c.cycle, killed)
+	}
+	c.rebuildRename()
+	c.front.Squash()
+	c.fetchPC = c.front.PC()
+	c.fq = c.fq[:0]
+	c.fetchStopped = false
+	c.curFetchBlock = ^uint64(0)
+	if c.fetchStallUntil > c.cycle {
+		// Abandon the in-flight wrong-path instruction fetch.
+		c.fetchStallUntil = c.cycle
+	}
+}
+
+// harvestSquashed implements squash reuse: completed wrong-path
+// instructions about to be squashed are inserted into the IRB — their
+// results are valid memoizations for their operand values regardless of
+// path — so post-recovery re-execution can reuse them. Inserts go through
+// normal write-port arbitration.
+func (c *Core) harvestSquashed(maxSeq uint64) {
+	for i := c.ruu.len() - 1; i >= 0; i-- {
+		u := c.ruu.at(i)
+		if u.seq <= maxSeq {
+			return
+		}
+		if u.dup || u.state != uDone || u.reuseHit || !irbReusable(u.rec.Instr) {
+			continue
+		}
+		e := irbEntryFor(&u.rec)
+		e.Ver1, e.Ver2 = u.ver1, u.ver2
+		c.reuse.Insert(c.cycle, u.rec.PC, e)
+	}
+}
+
+// rebuildRename reconstructs the rename tables from the surviving RUU
+// contents after a squash, restoring the producer mapping that existed
+// when the recovering branch dispatched.
+func (c *Core) rebuildRename() {
+	clear(c.prodP[:])
+	clear(c.prodD[:])
+	for i := 0; i < c.ruu.len(); i++ {
+		u := c.ruu.at(i)
+		in := u.rec.Instr
+		if !in.Op.Info().HasDest || in.Dest == isa.ZeroReg {
+			continue
+		}
+		if !u.dup {
+			c.prodP[in.Dest] = u
+		} else if c.cfg.Mode == DIE {
+			if in.Op.Info().IsLoad {
+				c.prodD[in.Dest] = u.pair
+			} else {
+				c.prodD[in.Dest] = u
+			}
+		}
+	}
+}
+
+// ---------------------------------------------------------------- commit
+
+func (c *Core) commit() {
+	if c.cycle < c.commitStallUntil {
+		return
+	}
+	need := 1
+	if c.cfg.Mode.dual() {
+		need = 2
+	}
+	for slots := c.cfg.CommitWidth; slots >= need && c.ruu.len() >= need; slots -= need {
+		head := c.ruu.at(0)
+		if head.state != uDone {
+			return
+		}
+		if head.wrongPath {
+			panic("core: wrong-path uop at commit")
+		}
+		var dupU *uop
+		if need == 2 {
+			dupU = c.ruu.at(1)
+			if dupU.state != uDone {
+				return
+			}
+			if dupU.pair != head {
+				panic("core: unpaired uops at commit")
+			}
+			// Check & retire: compare the two copies' outcome
+			// signatures. A mismatch means a transient fault was
+			// caught; the rewind is approximated by a flush-sized
+			// commit stall (the architected values, which come from
+			// the functional front, are unaffected).
+			if head.outSig != dupU.outSig {
+				c.Stats.FaultsDetected++
+				c.commitStallUntil = c.cycle + faultRecoveryPenalty
+				head.outSig = dupU.outSig // rewind re-executes cleanly
+			} else if head.corrupted || dupU.corrupted {
+				c.Stats.FaultsMasked++
+			}
+		}
+		c.retire(head, dupU)
+		c.ruu.popHead()
+		if dupU != nil {
+			c.ruu.popHead()
+		}
+		if c.done {
+			return
+		}
+	}
+}
+
+// retire performs the architected side effects of one instruction: branch
+// predictor training, the single memory access of a store, IRB update, and
+// program completion.
+func (c *Core) retire(u, dupU *uop) {
+	rec := &u.rec
+	oi := rec.Instr.Op.Info()
+	c.Stats.Committed++
+	c.Stats.CopiesCommitted++
+	if dupU != nil {
+		c.Stats.CopiesCommitted++
+	}
+	c.lastCommitCycle = c.cycle
+
+	if u.memAccess {
+		if c.lsq.len() == 0 || c.lsq.at(0) != u {
+			panic("core: LSQ head mismatch at commit")
+		}
+		c.lsq.popHead()
+	}
+	switch {
+	case oi.IsStore:
+		c.Stats.Stores++
+		c.mem.AccessD(rec.Addr, true)
+	case oi.IsLoad:
+		c.Stats.Loads++
+	case oi.IsCtrl():
+		c.pred.Update(rec.PC, rec.Instr, rec.Taken, rec.NextPC, u.predNext)
+	}
+
+	// IRB update at commit, off the critical path: pairs that did not
+	// reuse refresh the buffer so the next occurrence can.
+	if c.reuse != nil && irbReusable(rec.Instr) {
+		reused := u.reuseHit || (dupU != nil && dupU.reuseHit)
+		if !reused {
+			e := irbEntryFor(rec)
+			e.Ver1, e.Ver2 = u.ver1, u.ver2
+			if c.reuse.Insert(c.cycle, rec.PC, e) && c.inj != nil {
+				c.inj.AfterIRBInsert(rec.PC, c.reuse)
+			}
+		}
+	}
+
+	if c.tracer != nil {
+		c.tracer.Commit(c.cycle, u.seq, rec)
+	}
+	if c.OnCommit != nil {
+		c.OnCommit(rec)
+	}
+	if rec.Halt || (c.cfg.MaxInsns > 0 && c.Stats.Committed >= c.cfg.MaxInsns) {
+		c.done = true
+		c.Stats.Cycles = c.cycle
+	}
+}

@@ -1,0 +1,286 @@
+package core
+
+import (
+	"container/heap"
+
+	"repro/internal/fsim"
+	"repro/internal/irb"
+	"repro/internal/isa"
+)
+
+// uopState tracks a uop through the pipeline.
+type uopState uint8
+
+const (
+	uWaiting  uopState = iota // in the issue window, operands may be pending
+	uIssued                   // executing on a functional unit
+	uDone                     // result available; eligible to commit
+	uSquashed                 // killed by recovery; slot already reclaimed
+)
+
+// uop is one in-flight instruction copy. In DIE modes every architected
+// instruction dispatches as a pair of uops (primary and duplicate) sharing
+// one fsim.Retired record; the pair is compared at commit.
+type uop struct {
+	seq  uint64 // global dispatch order
+	rec  fsim.Retired
+	dup  bool
+	pair *uop // other member of the DIE pair (nil in SIE)
+
+	wrongPath bool
+	state     uopState
+
+	// Dataflow. waitCount is the number of pending producers; readyAt is
+	// the earliest cycle the uop can be selected once waitCount is zero.
+	waitCount int
+	readyAt   uint64
+	consumers []*uop
+
+	dispatchCycle uint64
+	fetchCycle    uint64
+	completeCycle uint64
+
+	// Control flow.
+	predNext uint64
+	mispred  bool // correct-path control with predNext != rec.NextPC
+
+	// IRB (DIE-IRB mode).
+	irbPCHit  bool
+	irbEntry  irb.Entry
+	irbReady  uint64 // cycle the pipelined lookup data arrives
+	irbTested bool
+	reuseHit  bool
+
+	// Memory. Only the primary copy of a load/store occupies the LSQ and
+	// accesses the cache; the duplicate performs address calculation
+	// only (the paper keeps memory outside the Sphere of Replication).
+	memAccess  bool // occupies an LSQ slot
+	addrReady  bool // address calculation completed
+	memStarted bool // load: cache access / forwarding has begun
+
+	// Register write-versions of the sources at dispatch, for the
+	// name-based reuse test.
+	ver1, ver2 uint32
+
+	// Fault-check signatures: the operand values this copy "read" and
+	// the outcome it "produced". They equal the record's values unless a
+	// fault injector corrupted them.
+	src1c, src2c uint64
+	outSig       uint64
+	corrupted    bool // an injector touched this copy (accounting only)
+}
+
+// outSignature computes the canonical outcome signature of an instruction
+// copy from its (possibly corrupted) operand values: ALU result for value-
+// producing ops, effective address for memory ops, and target/direction for
+// control transfers. The DIE commit check compares the two copies'
+// signatures.
+func outSignature(rec *fsim.Retired, src1, src2 uint64) uint64 {
+	in := rec.Instr
+	oi := in.Op.Info()
+	switch {
+	case oi.IsStore:
+		// Fold the store data into the signature so a corrupted data
+		// operand is caught, not just a corrupted address.
+		return sigMix(isa.EffAddr(src1, in.Imm), src2)
+	case oi.IsLoad:
+		return isa.EffAddr(src1, in.Imm)
+	case oi.IsBranch:
+		next := rec.PC + 1
+		taken := isa.EvalBranch(in.Op, src1, src2)
+		if taken {
+			next = isa.CtrlTarget(in.Op, in.Imm, src1, rec.PC)
+		}
+		return next*2 + b2u64(taken)
+	case oi.IsJump:
+		return isa.CtrlTarget(in.Op, in.Imm, src1, rec.PC) * 2
+	case oi.HasDest:
+		return isa.Exec(in.Op, src1, src2, in.Imm, rec.PC)
+	default:
+		return 0
+	}
+}
+
+// irbOutSig converts a reuse-buffer entry into an outcome signature for the
+// instruction class of rec, mirroring outSignature's encoding.
+func irbOutSig(rec *fsim.Retired, e irb.Entry) uint64 {
+	oi := rec.Instr.Op.Info()
+	switch {
+	case oi.IsCtrl():
+		return e.Result*2 + b2u64(e.Taken)
+	case oi.IsStore:
+		// The reuse test verified the data operand (Src2); fold the
+		// stored copy in so the signature matches outSignature's.
+		return sigMix(e.Result, e.Src2)
+	default:
+		return e.Result
+	}
+}
+
+// sigMix combines two 64-bit values into one signature word with a
+// multiplicative hash; single-bit corruption of either input always
+// changes the output.
+func sigMix(a, b uint64) uint64 {
+	return a ^ (b * 0x9e3779b97f4a7c15)
+}
+
+// irbEntryFor builds the reuse-buffer payload for a retiring instruction:
+// operands plus result, with control transfers storing target and
+// direction and memory operations storing the effective address.
+func irbEntryFor(rec *fsim.Retired) irb.Entry {
+	oi := rec.Instr.Op.Info()
+	e := irb.Entry{Src1: rec.Src1, Src2: rec.Src2}
+	switch {
+	case oi.IsMem():
+		e.Result = rec.Addr
+	case oi.IsCtrl():
+		e.Result = rec.NextPC
+		e.Taken = rec.Taken
+	default:
+		e.Result = rec.Result
+	}
+	return e
+}
+
+// irbReusable reports whether the instruction class participates in
+// instruction reuse: integer and FP ALU operations, branch target/direction
+// calculation, and the address calculation of loads and stores. (The memory
+// access itself is never reused — the paper keeps memory outside the Sphere
+// of Replication.)
+func irbReusable(in isa.Instr) bool {
+	oi := in.Op.Info()
+	if in.Op == isa.OpNop || in.Op == isa.OpHalt {
+		return false
+	}
+	return oi.HasDest || oi.IsMem() || oi.IsCtrl()
+}
+
+func b2u64(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// fuPool allocates functional units. Units are fully pipelined (new
+// operation every cycle) except divide and square root, which occupy their
+// unit for the full latency, matching SimpleScalar's issue latencies.
+type fuPool struct {
+	busyUntil [isa.NumFUClasses][]uint64
+}
+
+func newFUPool(counts [isa.NumFUClasses]int) *fuPool {
+	p := &fuPool{}
+	for cl := isa.FUClass(0); cl < isa.NumFUClasses; cl++ {
+		p.busyUntil[cl] = make([]uint64, counts[cl])
+	}
+	return p
+}
+
+// occupancy returns how many cycles an operation keeps its unit busy.
+func occupancy(op isa.Op) int {
+	switch op {
+	case isa.OpDiv, isa.OpRem, isa.OpDivu, isa.OpFDiv, isa.OpFSqrt:
+		return op.Info().Latency
+	default:
+		return 1
+	}
+}
+
+// alloc reserves a unit of class cl starting at cycle for occ cycles; it
+// reports whether one was free.
+func (p *fuPool) alloc(cl isa.FUClass, cycle uint64, occ int) bool {
+	for i, b := range p.busyUntil[cl] {
+		if b <= cycle {
+			p.busyUntil[cl][i] = cycle + uint64(occ)
+			return true
+		}
+	}
+	return false
+}
+
+// event is a scheduled pipeline completion.
+type event struct {
+	cycle uint64
+	kind  eventKind
+	u     *uop
+}
+
+type eventKind uint8
+
+const (
+	evExecDone eventKind = iota // FU execution finished: complete + wake
+	evAddrDone                  // memory address calculation finished
+	evLoadDone                  // memory access finished: complete + wake
+)
+
+// eventQueue is a min-heap of events by cycle.
+type eventQueue []event
+
+func (q eventQueue) Len() int           { return len(q) }
+func (q eventQueue) Less(i, j int) bool { return q[i].cycle < q[j].cycle }
+func (q eventQueue) Swap(i, j int)      { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)        { *q = append(*q, x.(event)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	*q = old[:n-1]
+	return e
+}
+
+func (q *eventQueue) schedule(cycle uint64, kind eventKind, u *uop) {
+	heap.Push(q, event{cycle: cycle, kind: kind, u: u})
+}
+
+// ring is a bounded FIFO of uops used for the RUU and the LSQ. Entries
+// retire from the head and are squashed from the tail.
+type ring struct {
+	buf        []*uop
+	head, size int
+}
+
+func newRing(capacity int) *ring { return &ring{buf: make([]*uop, capacity)} }
+
+func (r *ring) len() int  { return r.size }
+func (r *ring) cap() int  { return len(r.buf) }
+func (r *ring) free() int { return len(r.buf) - r.size }
+
+func (r *ring) push(u *uop) {
+	if r.size == len(r.buf) {
+		panic("core: ring overflow")
+	}
+	r.buf[(r.head+r.size)%len(r.buf)] = u
+	r.size++
+}
+
+func (r *ring) at(i int) *uop { return r.buf[(r.head+i)%len(r.buf)] }
+
+func (r *ring) popHead() *uop {
+	if r.size == 0 {
+		panic("core: ring underflow")
+	}
+	u := r.buf[r.head]
+	r.buf[r.head] = nil
+	r.head = (r.head + 1) % len(r.buf)
+	r.size--
+	return u
+}
+
+// squashYoungerThan removes all entries with seq greater than maxSeq,
+// marking them squashed, and returns how many were removed.
+func (r *ring) squashYoungerThan(maxSeq uint64) int {
+	n := 0
+	for r.size > 0 {
+		i := (r.head + r.size - 1) % len(r.buf)
+		u := r.buf[i]
+		if u.seq <= maxSeq {
+			break
+		}
+		u.state = uSquashed
+		r.buf[i] = nil
+		r.size--
+		n++
+	}
+	return n
+}

@@ -1,0 +1,91 @@
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/fsim"
+)
+
+// Tracer observes pipeline events. All callbacks run synchronously inside
+// Tick, in pipeline-stage order, and receive immutable views; a nil tracer
+// (the default) costs one predictable branch per event site.
+type Tracer interface {
+	// Dispatch fires when an instruction copy enters the RUU.
+	Dispatch(cycle uint64, seq uint64, dup, wrongPath bool, rec *fsim.Retired)
+	// Issue fires when a copy is selected for a functional unit.
+	Issue(cycle uint64, seq uint64, dup bool, rec *fsim.Retired)
+	// ReuseHit fires when a duplicate passes the reuse test and skips
+	// the functional units.
+	ReuseHit(cycle uint64, seq uint64, rec *fsim.Retired)
+	// Complete fires when a copy's result becomes available.
+	Complete(cycle uint64, seq uint64, dup bool, rec *fsim.Retired)
+	// Squash fires once per recovery with the number of killed copies.
+	Squash(cycle uint64, killed int)
+	// Commit fires when an architected instruction retires.
+	Commit(cycle uint64, seq uint64, rec *fsim.Retired)
+}
+
+// SetTracer installs a pipeline tracer; call before Run. Passing nil
+// removes it.
+func (c *Core) SetTracer(tr Tracer) { c.tracer = tr }
+
+// TextTracer writes a human-readable pipeline trace, one line per event,
+// in the spirit of SimpleScalar's ptrace output. MaxCycles bounds the
+// traced window (0 = unbounded).
+type TextTracer struct {
+	W         io.Writer
+	MaxCycles uint64
+}
+
+func (t *TextTracer) active(cycle uint64) bool {
+	return t.MaxCycles == 0 || cycle <= t.MaxCycles
+}
+
+func (t *TextTracer) line(cycle uint64, ev string, seq uint64, dup bool, rec *fsim.Retired) {
+	if !t.active(cycle) {
+		return
+	}
+	stream := "P"
+	if dup {
+		stream = "D"
+	}
+	fmt.Fprintf(t.W, "%8d %-8s #%-6d %s pc=%-5d %s\n", cycle, ev, seq, stream, rec.PC, rec.Instr)
+}
+
+// Dispatch implements Tracer.
+func (t *TextTracer) Dispatch(cycle, seq uint64, dup, wrongPath bool, rec *fsim.Retired) {
+	ev := "dispatch"
+	if wrongPath {
+		ev = "dispatch*" // wrong path
+	}
+	t.line(cycle, ev, seq, dup, rec)
+}
+
+// Issue implements Tracer.
+func (t *TextTracer) Issue(cycle, seq uint64, dup bool, rec *fsim.Retired) {
+	t.line(cycle, "issue", seq, dup, rec)
+}
+
+// ReuseHit implements Tracer.
+func (t *TextTracer) ReuseHit(cycle, seq uint64, rec *fsim.Retired) {
+	t.line(cycle, "reuse", seq, true, rec)
+}
+
+// Complete implements Tracer.
+func (t *TextTracer) Complete(cycle, seq uint64, dup bool, rec *fsim.Retired) {
+	t.line(cycle, "complete", seq, dup, rec)
+}
+
+// Squash implements Tracer.
+func (t *TextTracer) Squash(cycle uint64, killed int) {
+	if !t.active(cycle) {
+		return
+	}
+	fmt.Fprintf(t.W, "%8d squash   %d copies\n", cycle, killed)
+}
+
+// Commit implements Tracer.
+func (t *TextTracer) Commit(cycle, seq uint64, rec *fsim.Retired) {
+	t.line(cycle, "commit", seq, false, rec)
+}

@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// TestFullSuiteVerified is the heavyweight integration test: every
+// benchmark of both suites runs on every headline machine with the
+// functional oracle checking each committed instruction. It catches
+// workload-generator/core interactions that the per-package tests cannot.
+func TestFullSuiteVerified(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full verified suite skipped in -short mode")
+	}
+	profiles := append(workload.SPEC2000(), workload.SPEC95()...)
+	for _, p := range profiles {
+		for _, nc := range sim.HeadlineConfigs() {
+			p, nc := p, nc
+			t.Run(p.Name+"/"+nc.Name, func(t *testing.T) {
+				r, err := sim.Run(nc.Name, nc.Cfg, p, sim.Options{
+					Insns:  25_000,
+					Verify: true,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if r.Core.Committed != 25_000 {
+					t.Errorf("committed %d", r.Core.Committed)
+				}
+			})
+		}
+	}
+}
+
+// TestSuiteSpansRegimes pins the qualitative diversity the experiments
+// depend on: at least one benchmark in each behavioural regime.
+func TestSuiteSpansRegimes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("regime scan skipped in -short mode")
+	}
+	var (
+		memoryBound bool // DIE loss < 3%
+		aluBound    bool // DIE loss > 20% mostly recovered by 2xALU
+		ruuBound    bool // DIE loss > 20% NOT recovered by 2xALU
+		reuseRich   bool // DIE-IRB reuse rate > 0.4
+	)
+	for _, p := range workload.SPEC2000() {
+		opts := sim.Options{Insns: 60_000}
+		sie, err := sim.Run("SIE", sim.HeadlineConfigs()[0].Cfg, p, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		die, err := sim.Run("DIE", sim.HeadlineConfigs()[1].Cfg, p, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		irb, err := sim.Run("DIE-IRB", sim.HeadlineConfigs()[2].Cfg, p, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		alu2, err := sim.Run("DIE-2xALU", sim.HeadlineConfigs()[3].Cfg, p, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		loss := 100 * (sie.IPC - die.IPC) / sie.IPC
+		aluRecovers := alu2.IPC-die.IPC > 0.6*(sie.IPC-die.IPC)
+		switch {
+		case loss < 3:
+			memoryBound = true
+		case loss > 20 && aluRecovers:
+			aluBound = true
+		case loss > 20 && !aluRecovers:
+			ruuBound = true
+		}
+		if irb.ReuseRate() > 0.4 {
+			reuseRich = true
+		}
+	}
+	if !memoryBound {
+		t.Error("no memory-bound benchmark (DIE loss < 3%)")
+	}
+	if !aluBound {
+		t.Error("no ALU-bound benchmark (large loss recovered by 2xALU)")
+	}
+	if !ruuBound {
+		t.Error("no window-bound benchmark (large loss NOT recovered by 2xALU)")
+	}
+	if !reuseRich {
+		t.Error("no reuse-rich benchmark (IRB reuse > 0.4)")
+	}
+}

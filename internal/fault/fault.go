@@ -1,0 +1,140 @@
+// Package fault implements transient-fault injection for validating the
+// redundancy claims of the DIE-IRB paper's Section 3.4. It provides a
+// deterministic injector that strikes single-bit faults at the three
+// locations the paper analyzes:
+//
+//   - functional unit outputs (a particle strike in combinational logic),
+//   - operand forwarding paths (a corrupted bypass value), and
+//   - the IRB storage array (a strike after an entry was inserted).
+//
+// The experiments measure detection coverage: a fault is *detected* when
+// the commit-time check of the primary/duplicate pair sees differing
+// outcome signatures, and *masked* when the corruption never produces an
+// architecturally visible difference (for example, a corrupted IRB operand
+// field merely fails the reuse test, which is harmless — the duplicate
+// executes on a functional unit instead).
+package fault
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"repro/internal/irb"
+)
+
+// Site selects where faults strike.
+type Site string
+
+const (
+	// FU corrupts the outcome of a randomly chosen functional unit
+	// execution (primary or duplicate copy with equal probability).
+	FU Site = "fu"
+	// Forward corrupts a source operand of a randomly chosen
+	// instruction copy as it is captured into the issue window.
+	Forward Site = "forward"
+	// IRBResult flips a bit of a just-inserted reuse-buffer entry's
+	// result field.
+	IRBResult Site = "irb-result"
+	// IRBOperand flips a bit of a just-inserted entry's stored operand,
+	// which should fail the reuse test (a harmless outcome).
+	IRBOperand Site = "irb-operand"
+)
+
+// Sites lists all injection sites.
+func Sites() []Site { return []Site{FU, Forward, IRBResult, IRBOperand} }
+
+// Config parameterizes an injection campaign.
+type Config struct {
+	Site Site
+	// Rate is the per-opportunity injection probability. Keep it small
+	// (1e-4 .. 1e-3) so at most a few faults are in flight at once.
+	Rate float64
+	// Seed makes the campaign reproducible.
+	Seed uint64
+	// MaxFaults caps the campaign (0 = unlimited).
+	MaxFaults uint64
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	switch c.Site {
+	case FU, Forward, IRBResult, IRBOperand:
+	default:
+		return fmt.Errorf("fault: unknown site %q", c.Site)
+	}
+	if c.Rate <= 0 || c.Rate > 1 {
+		return fmt.Errorf("fault: rate %g out of (0,1]", c.Rate)
+	}
+	return nil
+}
+
+// Injector implements core.FaultInjector. It decides injection points with
+// a seeded PRNG, so identical runs inject identical faults.
+type Injector struct {
+	cfg Config
+	rng *rand.Rand
+
+	// Injected counts faults actually applied.
+	Injected uint64
+}
+
+// New builds an injector.
+func New(cfg Config) (*Injector, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Injector{
+		cfg: cfg,
+		rng: rand.New(rand.NewPCG(cfg.Seed, cfg.Seed^0xdeadbeefcafef00d)),
+	}, nil
+}
+
+// MustNew is New that panics on configuration errors.
+func MustNew(cfg Config) *Injector {
+	i, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return i
+}
+
+func (i *Injector) fire() bool {
+	if i.cfg.MaxFaults > 0 && i.Injected >= i.cfg.MaxFaults {
+		return false
+	}
+	if i.rng.Float64() >= i.cfg.Rate {
+		return false
+	}
+	i.Injected++
+	return true
+}
+
+// FUResult implements core.FaultInjector.
+func (i *Injector) FUResult(seq, pc uint64, dup bool, sig uint64) uint64 {
+	if i.cfg.Site != FU || !i.fire() {
+		return sig
+	}
+	return sig ^ 1<<i.rng.UintN(64)
+}
+
+// Operand implements core.FaultInjector.
+func (i *Injector) Operand(seq, pc uint64, dup bool, which int, val uint64) uint64 {
+	if i.cfg.Site != Forward || !i.fire() {
+		return val
+	}
+	return val ^ 1<<i.rng.UintN(64)
+}
+
+// AfterIRBInsert implements core.FaultInjector.
+func (i *Injector) AfterIRBInsert(pc uint64, b *irb.IRB) {
+	switch i.cfg.Site {
+	case IRBResult:
+		if i.fire() {
+			b.CorruptResult(pc, uint(i.rng.UintN(64)))
+		}
+	case IRBOperand:
+		if i.fire() {
+			b.CorruptOperand(pc, i.rng.UintN(2) == 0, uint(i.rng.UintN(64)))
+		}
+	}
+}

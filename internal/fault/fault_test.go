@@ -1,0 +1,107 @@
+package fault
+
+import (
+	"testing"
+
+	"repro/internal/irb"
+)
+
+func TestConfigValidate(t *testing.T) {
+	good := Config{Site: FU, Rate: 0.001, Seed: 1}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []Config{
+		{Site: "cosmic", Rate: 0.1},
+		{Site: FU, Rate: 0},
+		{Site: FU, Rate: 1.5},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Errorf("accepted %+v", bad)
+		}
+	}
+}
+
+func TestSitesComplete(t *testing.T) {
+	if len(Sites()) != 4 {
+		t.Errorf("Sites() = %v", Sites())
+	}
+}
+
+func TestFUInjectionFlipsExactlyOneBit(t *testing.T) {
+	inj := MustNew(Config{Site: FU, Rate: 1, Seed: 7})
+	sig := uint64(0x1234)
+	got := inj.FUResult(1, 10, false, sig)
+	if got == sig {
+		t.Fatal("rate-1 injector did not fire")
+	}
+	diff := got ^ sig
+	if diff&(diff-1) != 0 {
+		t.Errorf("flipped more than one bit: %#x", diff)
+	}
+	if inj.Injected != 1 {
+		t.Errorf("Injected = %d", inj.Injected)
+	}
+}
+
+func TestSiteScoping(t *testing.T) {
+	inj := MustNew(Config{Site: Forward, Rate: 1, Seed: 7})
+	if got := inj.FUResult(1, 10, false, 42); got != 42 {
+		t.Error("forward-site injector corrupted an FU result")
+	}
+	if got := inj.Operand(1, 10, true, 1, 42); got == 42 {
+		t.Error("forward-site injector did not corrupt an operand")
+	}
+}
+
+func TestMaxFaultsCap(t *testing.T) {
+	inj := MustNew(Config{Site: FU, Rate: 1, Seed: 7, MaxFaults: 3})
+	for i := 0; i < 10; i++ {
+		inj.FUResult(uint64(i), 10, false, 0)
+	}
+	if inj.Injected != 3 {
+		t.Errorf("Injected = %d, want 3", inj.Injected)
+	}
+}
+
+func TestDeterministicCampaign(t *testing.T) {
+	run := func() []uint64 {
+		inj := MustNew(Config{Site: FU, Rate: 0.5, Seed: 99})
+		out := make([]uint64, 20)
+		for i := range out {
+			out[i] = inj.FUResult(uint64(i), 5, false, 1000)
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("campaigns diverged at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestIRBInjection(t *testing.T) {
+	buf := irb.MustNew(irb.Config{Entries: 64, Assoc: 1, ReadPorts: 4, WritePorts: 2, LookupLat: 3})
+	buf.Insert(1, 7, irb.Entry{Src1: 1, Src2: 2, Result: 3})
+
+	res := MustNew(Config{Site: IRBResult, Rate: 1, Seed: 3})
+	res.AfterIRBInsert(7, buf)
+	if e, _ := buf.Probe(7); e.Result == 3 {
+		t.Error("IRBResult injector left result intact")
+	}
+	if e, _ := buf.Probe(7); e.Src1 != 1 || e.Src2 != 2 {
+		t.Error("IRBResult injector touched operands")
+	}
+
+	buf.Insert(2, 7, irb.Entry{Src1: 1, Src2: 2, Result: 3})
+	op := MustNew(Config{Site: IRBOperand, Rate: 1, Seed: 3})
+	op.AfterIRBInsert(7, buf)
+	e, _ := buf.Probe(7)
+	if e.Src1 == 1 && e.Src2 == 2 {
+		t.Error("IRBOperand injector left operands intact")
+	}
+	if e.Result != 3 {
+		t.Error("IRBOperand injector touched the result")
+	}
+}

@@ -1,0 +1,104 @@
+package fsim
+
+import "repro/internal/isa"
+
+// Front is the dispatch-front execution engine of the timing core. On the
+// correct path it steps the underlying Machine directly. After the core
+// dispatches a mispredicted branch it calls EnterSpec, and subsequent
+// wrong-path instructions execute against a copy-on-write overlay of the
+// register file and memory; Squash discards the overlay when the branch
+// resolves. This mirrors sim-outorder's speculative-mode execution: wrong-
+// path instructions compute real (but doomed) values and therefore exercise
+// functional units, issue ports and the IRB exactly like correct-path ones.
+type Front struct {
+	M *Machine
+
+	spec     bool
+	specRegs map[isa.Reg]uint64
+	specMem  map[uint64]uint64
+}
+
+// NewFront wraps m.
+func NewFront(m *Machine) *Front {
+	return &Front{
+		M:        m,
+		specRegs: make(map[isa.Reg]uint64),
+		specMem:  make(map[uint64]uint64),
+	}
+}
+
+// Spec reports whether the front is executing down a wrong path.
+func (f *Front) Spec() bool { return f.spec }
+
+// PC returns the correct-path PC (the next instruction StepCorrect would
+// execute).
+func (f *Front) PC() uint64 { return f.M.PC }
+
+// Halted reports whether correct-path execution has retired OpHalt.
+func (f *Front) Halted() bool { return f.M.Halted }
+
+// StepCorrect executes the next correct-path instruction. It must not be
+// called while in speculative mode.
+func (f *Front) StepCorrect() (Retired, error) {
+	if f.spec {
+		panic("fsim: StepCorrect during speculative mode")
+	}
+	return f.M.Step()
+}
+
+// EnterSpec switches the front to wrong-path execution. The core calls it
+// after dispatching a branch whose predicted next PC differs from the
+// actual next PC; fetch then proceeds down the predicted (wrong) path.
+func (f *Front) EnterSpec() {
+	if f.spec {
+		panic("fsim: nested EnterSpec")
+	}
+	f.spec = true
+}
+
+// Squash discards all wrong-path state and returns to the correct path.
+// Squash on a non-speculating front is a no-op, matching the pipeline's
+// recovery logic which squashes unconditionally.
+func (f *Front) Squash() {
+	f.spec = false
+	clear(f.specRegs)
+	clear(f.specMem)
+}
+
+// StepSpecAt executes the instruction at pc against the speculative
+// overlay. Unlike StepCorrect the caller chooses the PC: wrong-path fetch
+// follows the branch predictor, not the computed next PC.
+func (f *Front) StepSpecAt(pc uint64) Retired {
+	if !f.spec {
+		panic("fsim: StepSpecAt outside speculative mode")
+	}
+	in := f.M.Prog.Fetch(pc)
+	r := exec(in, pc, f.readSpec, specMemReader{f})
+	if in.Op.Info().HasDest && in.Dest != isa.ZeroReg {
+		f.specRegs[in.Dest] = r.Result
+	}
+	if in.Op.Info().IsStore {
+		f.specMem[r.Addr] = r.StoreVal
+	}
+	return r
+}
+
+func (f *Front) readSpec(r isa.Reg) uint64 {
+	if r == isa.ZeroReg {
+		return 0
+	}
+	if v, ok := f.specRegs[r]; ok {
+		return v
+	}
+	return f.M.Regs[r]
+}
+
+// specMemReader layers wrong-path stores over the machine's memory.
+type specMemReader struct{ f *Front }
+
+func (s specMemReader) Read(addr uint64) uint64 {
+	if v, ok := s.f.specMem[addr]; ok {
+		return v
+	}
+	return s.f.M.Mem.Read(addr)
+}

@@ -1,0 +1,41 @@
+package fsim
+
+// pageWords is the number of 8-byte words per page (4 KiB pages).
+const pageWords = 512
+
+// Memory is a sparse, page-granular 64-bit word-addressable memory covering
+// the ISA's 40-bit address space. Unwritten locations read as zero, which
+// keeps wrong-path execution with garbage addresses well defined.
+type Memory struct {
+	pages map[uint64]*[pageWords]uint64
+}
+
+// NewMemory returns an empty memory.
+func NewMemory() *Memory {
+	return &Memory{pages: make(map[uint64]*[pageWords]uint64)}
+}
+
+// Read returns the 8-byte word at addr (8-byte aligned by the ISA's
+// effective-address computation).
+func (m *Memory) Read(addr uint64) uint64 {
+	pg := m.pages[addr/8/pageWords]
+	if pg == nil {
+		return 0
+	}
+	return pg[addr/8%pageWords]
+}
+
+// Write stores an 8-byte word at addr.
+func (m *Memory) Write(addr uint64, v uint64) {
+	idx := addr / 8 / pageWords
+	pg := m.pages[idx]
+	if pg == nil {
+		pg = new([pageWords]uint64)
+		m.pages[idx] = pg
+	}
+	pg[addr/8%pageWords] = v
+}
+
+// Footprint returns the number of distinct pages touched, a cheap proxy for
+// working-set size used by workload tests.
+func (m *Memory) Footprint() int { return len(m.pages) }

@@ -1,0 +1,32 @@
+package irb_test
+
+import (
+	"fmt"
+
+	"repro/internal/irb"
+)
+
+// Example shows the reuse buffer's lifecycle: an instruction's first
+// execution misses and is inserted at commit; a recurrence with the same
+// operands passes the reuse test and can skip the functional units; a
+// recurrence with different operands is a reuse miss.
+func Example() {
+	buf := irb.MustNew(irb.Default())
+	const pc = 0x42
+
+	if _, hit := buf.Lookup(1, pc); !hit {
+		fmt.Println("first execution: PC miss, execute on an ALU")
+	}
+	buf.Insert(2, pc, irb.Entry{Src1: 10, Src2: 20, Result: 30})
+
+	if e, hit := buf.Lookup(3, pc); hit && e.Matches(10, 20) {
+		fmt.Printf("same operands: reuse hit, result %d without an ALU\n", e.Result)
+	}
+	if e, hit := buf.Lookup(4, pc); hit && !e.Matches(10, 99) {
+		fmt.Println("different operands: reuse miss, execute on an ALU")
+	}
+	// Output:
+	// first execution: PC miss, execute on an ALU
+	// same operands: reuse hit, result 30 without an ALU
+	// different operands: reuse miss, execute on an ALU
+}

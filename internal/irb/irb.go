@@ -1,0 +1,419 @@
+// Package irb implements the Instruction Reuse Buffer at the center of the
+// DIE-IRB proposal (Parashar et al., ISCA 2004): a small PC-indexed table
+// of previously executed instructions — operand values and result — that
+// the duplicate instruction stream of a dual-execution (DIE) core looks up
+// in parallel with fetch. A duplicate whose stored operands match its
+// actual operands (the "reuse test", performed in the issue window) skips
+// the functional units entirely, amplifying effective ALU bandwidth without
+// widening issue or adding result-forwarding buses.
+//
+// The buffer is direct-mapped with 1024 entries in the paper's chosen
+// configuration, accessed through a 3-stage pipeline (PC index, two cycles
+// of operand/result read) and provisioned with 4 read ports, 2 write ports
+// and 2 read/write ports. Both the geometry and the port mix are
+// configurable here, along with two conflict-miss reduction mechanisms the
+// paper alludes to: higher associativity and a small fully-associative
+// victim buffer.
+package irb
+
+import "fmt"
+
+// Config sizes the reuse buffer.
+type Config struct {
+	Entries int // total main-array entries (power of two)
+	Assoc   int // main-array associativity; 1 = direct-mapped (paper)
+
+	// VictimEntries sizes the fully-associative victim buffer that
+	// captures main-array evictions; 0 disables it. This is the
+	// conflict-miss reduction mechanism evaluated in the conflict
+	// ablation experiment.
+	VictimEntries int
+
+	// Port provisioning per cycle. A lookup consumes one read port (or a
+	// free read/write port); an update consumes one write port (or a
+	// free read/write port). Lookups that cannot get a port miss;
+	// updates that cannot get a port are dropped — both are safe,
+	// performance-only outcomes for a cache-like structure.
+	ReadPorts  int
+	WritePorts int
+	RWPorts    int
+
+	// LookupLat is the pipelined access depth in cycles from the fetch-
+	// stage lookup to operands/result being available for the reuse
+	// test (3 in the paper: index + two read stages).
+	LookupLat int
+}
+
+// Default returns the paper's IRB configuration: 1024-entry direct-mapped,
+// 4R+2W+2RW ports, 3-cycle pipelined access, no victim buffer.
+func Default() Config {
+	return Config{
+		Entries:    1024,
+		Assoc:      1,
+		ReadPorts:  4,
+		WritePorts: 2,
+		RWPorts:    2,
+		LookupLat:  3,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Entries <= 0 || c.Entries&(c.Entries-1) != 0 {
+		return fmt.Errorf("irb: Entries = %d, want power of two", c.Entries)
+	}
+	if c.Assoc <= 0 || c.Entries%c.Assoc != 0 {
+		return fmt.Errorf("irb: Assoc = %d, want > 0 and dividing Entries", c.Assoc)
+	}
+	sets := c.Entries / c.Assoc
+	if sets&(sets-1) != 0 {
+		return fmt.Errorf("irb: Entries/Assoc = %d, want power of two", sets)
+	}
+	if c.VictimEntries < 0 {
+		return fmt.Errorf("irb: VictimEntries = %d, want >= 0", c.VictimEntries)
+	}
+	if c.ReadPorts < 0 || c.WritePorts < 0 || c.RWPorts < 0 {
+		return fmt.Errorf("irb: negative port count")
+	}
+	if c.ReadPorts+c.RWPorts == 0 {
+		return fmt.Errorf("irb: no ports available for lookups")
+	}
+	if c.WritePorts+c.RWPorts == 0 {
+		return fmt.Errorf("irb: no ports available for updates")
+	}
+	if c.LookupLat < 1 {
+		return fmt.Errorf("irb: LookupLat = %d, want >= 1", c.LookupLat)
+	}
+	return nil
+}
+
+// Entry is the payload of one reuse-buffer line: the operand values of the
+// buffered execution and its result. For branches, Result holds the target
+// and Taken the direction; for memory instructions Result holds the
+// effective address (the IRB serves only the address calculation — the
+// memory access itself is outside the Sphere of Replication).
+type Entry struct {
+	Src1, Src2 uint64
+	Result     uint64
+	Taken      bool
+
+	// Ver1, Ver2 are the source registers' write-version numbers at the
+	// buffered execution's dispatch, used by the name-based reuse test
+	// (the paper's Section 3.3 alternative): the entry is reusable while
+	// no newer write to either source register has entered the pipeline.
+	Ver1, Ver2 uint32
+}
+
+// MatchesVersions performs the name-based reuse test.
+func (e Entry) MatchesVersions(v1, v2 uint32) bool {
+	return e.Ver1 == v1 && e.Ver2 == v2
+}
+
+// Matches performs the reuse test: it reports whether the buffered operand
+// values equal the instruction's actual operand values.
+func (e Entry) Matches(src1, src2 uint64) bool {
+	return e.Src1 == src1 && e.Src2 == src2
+}
+
+// Stats counts IRB traffic. PCHits / Lookups is the PC hit rate; a reuse
+// (operand-match) hit is counted by the core, which performs the reuse
+// test, as are the IPC effects.
+type Stats struct {
+	Lookups    uint64 // lookups attempted
+	PCHits     uint64 // lookups that found a matching PC tag
+	VictimHits uint64 // subset of PCHits served by the victim buffer
+	ReadDenied uint64 // lookups dropped for lack of a read port
+
+	Inserts      uint64 // updates written
+	WriteDenied  uint64 // updates dropped for lack of a write port
+	Evictions    uint64 // main-array entries displaced by updates
+	VictimSpills uint64 // evictions captured by the victim buffer
+}
+
+// IRB is the instruction reuse buffer.
+type IRB struct {
+	cfg    Config
+	sets   int
+	tags   []uint64 // pc+1 per line; 0 = invalid
+	data   []Entry
+	lru    []uint64
+	clock  uint64
+	victim *victimBuf
+
+	portCycle  uint64
+	readsUsed  int
+	writesUsed int
+	rwUsed     int
+
+	Stats Stats
+}
+
+// New builds an IRB.
+func New(cfg Config) (*IRB, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	b := &IRB{
+		cfg:  cfg,
+		sets: cfg.Entries / cfg.Assoc,
+		tags: make([]uint64, cfg.Entries),
+		data: make([]Entry, cfg.Entries),
+		lru:  make([]uint64, cfg.Entries),
+	}
+	if cfg.VictimEntries > 0 {
+		b.victim = newVictimBuf(cfg.VictimEntries)
+	}
+	return b, nil
+}
+
+// MustNew is New that panics on configuration errors.
+func MustNew(cfg Config) *IRB {
+	b, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// Config returns the buffer's configuration.
+func (b *IRB) Config() Config { return b.cfg }
+
+// Lookup probes the buffer for pc at the given cycle, consuming a read
+// port. It returns the stored entry and whether the PC hit. The entry's
+// values become usable for the reuse test LookupLat cycles later; the core
+// enforces that timing. A lookup that cannot obtain a port this cycle is a
+// miss.
+func (b *IRB) Lookup(cycle, pc uint64) (Entry, bool) {
+	b.Stats.Lookups++
+	if !b.allocPort(cycle, false) {
+		b.Stats.ReadDenied++
+		return Entry{}, false
+	}
+	base, tag := b.setBase(pc), pc+1
+	for w := 0; w < b.cfg.Assoc; w++ {
+		if b.tags[base+w] == tag {
+			b.clock++
+			b.lru[base+w] = b.clock
+			b.Stats.PCHits++
+			return b.data[base+w], true
+		}
+	}
+	if b.victim != nil {
+		if e, ok := b.victim.lookup(pc); ok {
+			// Promote the victim entry back into the main array,
+			// spilling the displaced line in its place.
+			b.Stats.PCHits++
+			b.Stats.VictimHits++
+			b.place(pc, e)
+			return e, true
+		}
+	}
+	return Entry{}, false
+}
+
+// Insert writes an entry for pc at the given cycle, consuming a write
+// port; it reports whether the update was accepted. Updates happen at
+// commit, off the critical path; dropped updates only cost future reuse
+// opportunities.
+func (b *IRB) Insert(cycle, pc uint64, e Entry) bool {
+	if !b.allocPort(cycle, true) {
+		b.Stats.WriteDenied++
+		return false
+	}
+	b.Stats.Inserts++
+	b.place(pc, e)
+	return true
+}
+
+// place installs an entry, choosing the LRU way and spilling any displaced
+// different-PC entry to the victim buffer.
+func (b *IRB) place(pc uint64, e Entry) {
+	base, tag := b.setBase(pc), pc+1
+	victimIdx := base
+	for w := 0; w < b.cfg.Assoc; w++ {
+		i := base + w
+		if b.tags[i] == tag || b.tags[i] == 0 {
+			victimIdx = i
+			break
+		}
+		if b.lru[i] < b.lru[victimIdx] {
+			victimIdx = i
+		}
+	}
+	if old := b.tags[victimIdx]; old != 0 && old != tag {
+		b.Stats.Evictions++
+		if b.victim != nil {
+			b.victim.insert(old-1, b.data[victimIdx])
+			b.Stats.VictimSpills++
+		}
+	}
+	b.clock++
+	b.tags[victimIdx] = tag
+	b.data[victimIdx] = e
+	b.lru[victimIdx] = b.clock
+}
+
+func (b *IRB) setBase(pc uint64) int {
+	return (int(pc) & (b.sets - 1)) * b.cfg.Assoc
+}
+
+// allocPort reserves one port of the requested kind for the cycle,
+// spilling into the shared read/write ports when the dedicated ones are
+// exhausted.
+func (b *IRB) allocPort(cycle uint64, write bool) bool {
+	if cycle != b.portCycle {
+		b.portCycle = cycle
+		b.readsUsed, b.writesUsed, b.rwUsed = 0, 0, 0
+	}
+	if write {
+		if b.writesUsed < b.cfg.WritePorts {
+			b.writesUsed++
+			return true
+		}
+	} else if b.readsUsed < b.cfg.ReadPorts {
+		b.readsUsed++
+		return true
+	}
+	if b.rwUsed < b.cfg.RWPorts {
+		b.rwUsed++
+		return true
+	}
+	return false
+}
+
+// Probe returns the entry for pc without consuming ports or updating any
+// replacement or statistics state. Tooling and fault injection use it.
+func (b *IRB) Probe(pc uint64) (Entry, bool) {
+	base, tag := b.setBase(pc), pc+1
+	for w := 0; w < b.cfg.Assoc; w++ {
+		if b.tags[base+w] == tag {
+			return b.data[base+w], true
+		}
+	}
+	if b.victim != nil {
+		if e, ok := b.victim.peek(pc); ok {
+			return e, true
+		}
+	}
+	return Entry{}, false
+}
+
+// CorruptResult flips bit (0..63) of the stored result for pc, simulating a
+// soft error striking the IRB array after the entry was inserted. It
+// reports whether an entry for pc existed. The fault-injection experiments
+// use it to validate the paper's claim that the IRB needs no dedicated
+// protection.
+func (b *IRB) CorruptResult(pc uint64, bit uint) bool {
+	base, tag := b.setBase(pc), pc+1
+	for w := 0; w < b.cfg.Assoc; w++ {
+		if b.tags[base+w] == tag {
+			b.data[base+w].Result ^= 1 << (bit & 63)
+			return true
+		}
+	}
+	if b.victim != nil {
+		return b.victim.corrupt(pc, bit)
+	}
+	return false
+}
+
+// CorruptOperand flips bit (0..63) of a stored operand field for pc (the
+// first operand when first is true, otherwise the second), simulating a
+// soft error in the IRB's operand array. A corrupted operand fails the
+// reuse test, which the paper argues is a harmless outcome. It reports
+// whether an entry for pc existed.
+func (b *IRB) CorruptOperand(pc uint64, first bool, bit uint) bool {
+	base, tag := b.setBase(pc), pc+1
+	for w := 0; w < b.cfg.Assoc; w++ {
+		if b.tags[base+w] == tag {
+			if first {
+				b.data[base+w].Src1 ^= 1 << (bit & 63)
+			} else {
+				b.data[base+w].Src2 ^= 1 << (bit & 63)
+			}
+			return true
+		}
+	}
+	if b.victim != nil {
+		return b.victim.corruptOperand(pc, first, bit)
+	}
+	return false
+}
+
+// victimBuf is a small fully-associative LRU buffer that captures entries
+// evicted from the direct-mapped main array, recovering conflict misses.
+type victimBuf struct {
+	pcs   []uint64 // pc+1; 0 = invalid
+	data  []Entry
+	lru   []uint64
+	clock uint64
+}
+
+func newVictimBuf(n int) *victimBuf {
+	return &victimBuf{
+		pcs:  make([]uint64, n),
+		data: make([]Entry, n),
+		lru:  make([]uint64, n),
+	}
+}
+
+func (v *victimBuf) lookup(pc uint64) (Entry, bool) {
+	for i, t := range v.pcs {
+		if t == pc+1 {
+			e := v.data[i]
+			v.pcs[i] = 0 // promoted out
+			return e, true
+		}
+	}
+	return Entry{}, false
+}
+
+func (v *victimBuf) peek(pc uint64) (Entry, bool) {
+	for i, t := range v.pcs {
+		if t == pc+1 {
+			return v.data[i], true
+		}
+	}
+	return Entry{}, false
+}
+
+func (v *victimBuf) insert(pc uint64, e Entry) {
+	victim := 0
+	for i, t := range v.pcs {
+		if t == pc+1 || t == 0 {
+			victim = i
+			break
+		}
+		if v.lru[i] < v.lru[victim] {
+			victim = i
+		}
+	}
+	v.clock++
+	v.pcs[victim] = pc + 1
+	v.data[victim] = e
+	v.lru[victim] = v.clock
+}
+
+func (v *victimBuf) corrupt(pc uint64, bit uint) bool {
+	for i, t := range v.pcs {
+		if t == pc+1 {
+			v.data[i].Result ^= 1 << (bit & 63)
+			return true
+		}
+	}
+	return false
+}
+
+func (v *victimBuf) corruptOperand(pc uint64, first bool, bit uint) bool {
+	for i, t := range v.pcs {
+		if t == pc+1 {
+			if first {
+				v.data[i].Src1 ^= 1 << (bit & 63)
+			} else {
+				v.data[i].Src2 ^= 1 << (bit & 63)
+			}
+			return true
+		}
+	}
+	return false
+}

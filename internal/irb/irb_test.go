@@ -1,0 +1,361 @@
+package irb
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// unlimited returns a config with enough ports that arbitration never
+// interferes with the behaviour under test.
+func unlimited(entries, assoc, victim int) Config {
+	return Config{
+		Entries: entries, Assoc: assoc, VictimEntries: victim,
+		ReadPorts: 64, WritePorts: 64, RWPorts: 0, LookupLat: 3,
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := Default().Validate(); err != nil {
+		t.Fatalf("Default invalid: %v", err)
+	}
+	bad := []Config{
+		{Entries: 1000, Assoc: 1, ReadPorts: 1, WritePorts: 1, LookupLat: 1},
+		{Entries: 1024, Assoc: 3, ReadPorts: 1, WritePorts: 1, LookupLat: 1},
+		{Entries: 1024, Assoc: 1, ReadPorts: 0, WritePorts: 1, RWPorts: 0, LookupLat: 1},
+		{Entries: 1024, Assoc: 1, ReadPorts: 1, WritePorts: 0, RWPorts: 0, LookupLat: 1},
+		{Entries: 1024, Assoc: 1, ReadPorts: 1, WritePorts: 1, LookupLat: 0},
+		{Entries: 1024, Assoc: 1, VictimEntries: -1, ReadPorts: 1, WritePorts: 1, LookupLat: 1},
+	}
+	for _, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("accepted invalid config %+v", c)
+		}
+	}
+}
+
+func TestInsertLookupHit(t *testing.T) {
+	b := MustNew(unlimited(16, 1, 0))
+	e := Entry{Src1: 10, Src2: 20, Result: 30}
+	if !b.Insert(1, 100, e) {
+		t.Fatal("insert rejected")
+	}
+	got, hit := b.Lookup(2, 100)
+	if !hit || got != e {
+		t.Errorf("Lookup = %+v, %v", got, hit)
+	}
+	if _, hit := b.Lookup(2, 101); hit {
+		t.Error("lookup of absent pc hit")
+	}
+	if b.Stats.PCHits != 1 || b.Stats.Lookups != 2 || b.Stats.Inserts != 1 {
+		t.Errorf("stats = %+v", b.Stats)
+	}
+}
+
+func TestReuseTest(t *testing.T) {
+	e := Entry{Src1: 10, Src2: 20, Result: 30}
+	if !e.Matches(10, 20) {
+		t.Error("matching operands failed reuse test")
+	}
+	if e.Matches(10, 21) || e.Matches(11, 20) {
+		t.Error("mismatching operands passed reuse test")
+	}
+}
+
+func TestDirectMappedConflict(t *testing.T) {
+	b := MustNew(unlimited(16, 1, 0))
+	// pc 5 and pc 21 collide in a 16-set direct-mapped array.
+	b.Insert(1, 5, Entry{Result: 1})
+	b.Insert(2, 21, Entry{Result: 2})
+	if _, hit := b.Lookup(3, 5); hit {
+		t.Error("conflicting entry survived in direct-mapped array")
+	}
+	if e, hit := b.Lookup(3, 21); !hit || e.Result != 2 {
+		t.Error("replacing entry missing")
+	}
+	if b.Stats.Evictions != 1 {
+		t.Errorf("evictions = %d, want 1", b.Stats.Evictions)
+	}
+}
+
+func TestAssociativityRemovesConflict(t *testing.T) {
+	b := MustNew(unlimited(16, 2, 0)) // 8 sets x 2 ways
+	// pc 5 and pc 13 collide in set 5 but coexist in a 2-way array.
+	b.Insert(1, 5, Entry{Result: 1})
+	b.Insert(2, 13, Entry{Result: 2})
+	if e, hit := b.Lookup(3, 5); !hit || e.Result != 1 {
+		t.Error("2-way array lost first entry")
+	}
+	if e, hit := b.Lookup(3, 13); !hit || e.Result != 2 {
+		t.Error("2-way array lost second entry")
+	}
+}
+
+func TestLRUWithinSet(t *testing.T) {
+	b := MustNew(unlimited(16, 2, 0)) // 8 sets x 2 ways
+	b.Insert(1, 5, Entry{Result: 1})
+	b.Insert(2, 13, Entry{Result: 2})
+	b.Lookup(3, 5)                    // pc 5 most recent
+	b.Insert(4, 21, Entry{Result: 3}) // evicts pc 13
+	if _, hit := b.Lookup(5, 13); hit {
+		t.Error("LRU entry not evicted")
+	}
+	if _, hit := b.Lookup(5, 5); !hit {
+		t.Error("MRU entry evicted")
+	}
+}
+
+func TestVictimBufferRecoversConflicts(t *testing.T) {
+	b := MustNew(unlimited(16, 1, 4))
+	b.Insert(1, 5, Entry{Result: 1})
+	b.Insert(2, 21, Entry{Result: 2}) // evicts pc 5 into victim buffer
+	e, hit := b.Lookup(3, 5)
+	if !hit || e.Result != 1 {
+		t.Fatal("victim buffer did not recover conflict miss")
+	}
+	// One spill from the conflicting insert, and a second from the
+	// promotion swapping pc 21 out to the victim buffer.
+	if b.Stats.VictimHits != 1 || b.Stats.VictimSpills != 2 {
+		t.Errorf("stats = %+v", b.Stats)
+	}
+	// The promotion swapped pc 21 out to the victim buffer; both must
+	// still be visible.
+	if _, hit := b.Lookup(4, 21); !hit {
+		t.Error("displaced entry lost after victim promotion")
+	}
+}
+
+func TestVictimBufferCapacity(t *testing.T) {
+	b := MustNew(unlimited(16, 1, 2))
+	// Fill set 5 repeatedly: pcs 5, 21, 37, 53 all collide.
+	for i, pc := range []uint64{5, 21, 37, 53} {
+		b.Insert(uint64(i+1), pc, Entry{Result: uint64(pc)})
+	}
+	// Victim holds the two most recent evictions (5 and 21 were evicted
+	// first; with capacity 2 the survivors are 21 and 37).
+	if _, hit := b.Lookup(10, 5); hit {
+		t.Error("oldest victim should have been displaced")
+	}
+	if e, hit := b.Lookup(11, 37); !hit || e.Result != 37 {
+		t.Error("recent victim lost")
+	}
+}
+
+func TestReadPortExhaustion(t *testing.T) {
+	cfg := Config{Entries: 64, Assoc: 1, ReadPorts: 2, WritePorts: 1, RWPorts: 1, LookupLat: 3}
+	b := MustNew(cfg)
+	// One insert per cycle so the write ports never throttle the setup.
+	for pc := uint64(0); pc < 8; pc++ {
+		b.Insert(pc, pc, Entry{Result: pc})
+	}
+	hits := 0
+	for pc := uint64(0); pc < 8; pc++ {
+		if _, hit := b.Lookup(5, pc); hit {
+			hits++
+		}
+	}
+	// 2 read ports + 1 shared RW port = 3 lookups served in one cycle.
+	if hits != 3 {
+		t.Errorf("served %d lookups in one cycle, want 3", hits)
+	}
+	if b.Stats.ReadDenied != 5 {
+		t.Errorf("ReadDenied = %d, want 5", b.Stats.ReadDenied)
+	}
+	// Next cycle the ports are free again.
+	if _, hit := b.Lookup(6, 0); !hit {
+		t.Error("port budget did not reset on new cycle")
+	}
+}
+
+func TestWritePortExhaustionDropsUpdates(t *testing.T) {
+	cfg := Config{Entries: 64, Assoc: 1, ReadPorts: 1, WritePorts: 2, RWPorts: 0, LookupLat: 3}
+	b := MustNew(cfg)
+	accepted := 0
+	for pc := uint64(0); pc < 5; pc++ {
+		if b.Insert(7, pc, Entry{Result: pc}) {
+			accepted++
+		}
+	}
+	if accepted != 2 {
+		t.Errorf("accepted %d inserts in one cycle, want 2", accepted)
+	}
+	if b.Stats.WriteDenied != 3 {
+		t.Errorf("WriteDenied = %d, want 3", b.Stats.WriteDenied)
+	}
+}
+
+func TestRWPortsSharedBetweenReadsAndWrites(t *testing.T) {
+	cfg := Config{Entries: 64, Assoc: 1, ReadPorts: 1, WritePorts: 1, RWPorts: 2, LookupLat: 3}
+	b := MustNew(cfg)
+	// Same cycle: 2 reads (1 dedicated + 1 RW), then 3 writes
+	// (1 dedicated + 1 remaining RW + 1 denied).
+	b.Lookup(9, 0)
+	b.Lookup(9, 1)
+	ok1 := b.Insert(9, 2, Entry{})
+	ok2 := b.Insert(9, 3, Entry{})
+	ok3 := b.Insert(9, 4, Entry{})
+	if !ok1 || !ok2 || ok3 {
+		t.Errorf("write port sharing wrong: %v %v %v", ok1, ok2, ok3)
+	}
+}
+
+func TestProbeDoesNotDisturb(t *testing.T) {
+	b := MustNew(unlimited(16, 1, 0))
+	b.Insert(1, 7, Entry{Result: 9})
+	before := b.Stats
+	if e, ok := b.Probe(7); !ok || e.Result != 9 {
+		t.Error("Probe missed present entry")
+	}
+	if _, ok := b.Probe(8); ok {
+		t.Error("Probe hit absent entry")
+	}
+	if b.Stats != before {
+		t.Error("Probe changed statistics")
+	}
+}
+
+func TestCorruptResult(t *testing.T) {
+	b := MustNew(unlimited(16, 1, 4))
+	b.Insert(1, 7, Entry{Result: 0})
+	if !b.CorruptResult(7, 5) {
+		t.Fatal("CorruptResult missed present entry")
+	}
+	if e, _ := b.Probe(7); e.Result != 1<<5 {
+		t.Errorf("corrupted result = %#x, want %#x", e.Result, uint64(1)<<5)
+	}
+	if b.CorruptResult(99, 0) {
+		t.Error("CorruptResult hit absent entry")
+	}
+	// Corruption reaches entries in the victim buffer too.
+	b.Insert(2, 23, Entry{Result: 0}) // evicts pc 7 to victim
+	if !b.CorruptResult(7, 0) {
+		t.Error("CorruptResult missed victim-buffer entry")
+	}
+}
+
+func TestUpdateExistingEntryInPlace(t *testing.T) {
+	b := MustNew(unlimited(16, 1, 0))
+	b.Insert(1, 5, Entry{Src1: 1, Result: 2})
+	b.Insert(2, 5, Entry{Src1: 3, Result: 4})
+	if b.Stats.Evictions != 0 {
+		t.Errorf("same-pc update counted as eviction")
+	}
+	if e, _ := b.Probe(5); e.Src1 != 3 || e.Result != 4 {
+		t.Errorf("entry not updated: %+v", e)
+	}
+}
+
+// Property: anything inserted (without subsequent conflicting inserts) is
+// found by lookup with exactly the inserted payload.
+func TestInsertLookupProperty(t *testing.T) {
+	f := func(pc uint64, s1, s2, res uint64, taken bool) bool {
+		b := MustNew(unlimited(256, 1, 0))
+		pc &= 1<<30 - 1
+		e := Entry{Src1: s1, Src2: s2, Result: res, Taken: taken}
+		b.Insert(1, pc, e)
+		got, hit := b.Lookup(2, pc)
+		return hit && got == e
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: with a victim buffer, a lookup immediately following the
+// eviction of the looked-up pc always hits (single-conflict recovery).
+func TestVictimRecoveryProperty(t *testing.T) {
+	f := func(pcRaw uint16) bool {
+		b := MustNew(unlimited(64, 1, 8))
+		pc := uint64(pcRaw)
+		b.Insert(1, pc, Entry{Result: 1})
+		b.Insert(2, pc+64, Entry{Result: 2}) // collides with pc
+		_, hit := b.Lookup(3, pc)
+		return hit
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: port arbitration never serves more lookups per cycle than
+// ReadPorts+RWPorts.
+func TestPortBoundProperty(t *testing.T) {
+	f := func(r, w, rw uint8, n uint8) bool {
+		cfg := Config{
+			Entries: 64, Assoc: 1,
+			ReadPorts: int(r%4) + 1, WritePorts: int(w%4) + 1, RWPorts: int(rw % 4),
+			LookupLat: 3,
+		}
+		b := MustNew(cfg)
+		for pc := uint64(0); pc < 32; pc++ {
+			b.Insert(uint64(pc), pc, Entry{})
+		}
+		served := 0
+		for i := uint8(0); i < n; i++ {
+			if _, hit := b.Lookup(1000, uint64(i)%32); hit {
+				served++
+			}
+		}
+		return served <= cfg.ReadPorts+cfg.RWPorts
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMatchesVersions(t *testing.T) {
+	e := Entry{Ver1: 3, Ver2: 7}
+	if !e.MatchesVersions(3, 7) {
+		t.Error("matching versions failed")
+	}
+	if e.MatchesVersions(3, 8) || e.MatchesVersions(4, 7) {
+		t.Error("stale versions passed the name-based test")
+	}
+}
+
+func TestConfigAccessor(t *testing.T) {
+	b := MustNew(Default())
+	if got := b.Config(); got != Default() {
+		t.Errorf("Config() = %+v", got)
+	}
+}
+
+func TestProbeFindsVictimEntries(t *testing.T) {
+	b := MustNew(unlimited(16, 1, 4))
+	b.Insert(1, 5, Entry{Result: 1})
+	b.Insert(2, 21, Entry{Result: 2}) // spills pc 5 to the victim buffer
+	if e, ok := b.Probe(5); !ok || e.Result != 1 {
+		t.Error("Probe missed a victim-buffer entry")
+	}
+}
+
+func TestCorruptOperandMainArray(t *testing.T) {
+	b := MustNew(unlimited(16, 1, 0))
+	b.Insert(1, 5, Entry{Src1: 0, Src2: 0})
+	if !b.CorruptOperand(5, true, 3) {
+		t.Fatal("CorruptOperand missed present entry")
+	}
+	if e, _ := b.Probe(5); e.Src1 != 1<<3 {
+		t.Errorf("Src1 = %#x", e.Src1)
+	}
+	if !b.CorruptOperand(5, false, 4) {
+		t.Fatal("second CorruptOperand missed")
+	}
+	if e, _ := b.Probe(5); e.Src2 != 1<<4 {
+		t.Errorf("Src2 = %#x", e.Src2)
+	}
+	if b.CorruptOperand(99, true, 0) {
+		t.Error("CorruptOperand hit absent entry")
+	}
+}
+
+func TestCorruptOperandVictim(t *testing.T) {
+	b := MustNew(unlimited(16, 1, 4))
+	b.Insert(1, 5, Entry{})
+	b.Insert(2, 21, Entry{}) // pc 5 now in the victim buffer
+	if !b.CorruptOperand(5, true, 2) {
+		t.Error("CorruptOperand missed victim entry")
+	}
+	if e, _ := b.Probe(5); e.Src1 != 1<<2 {
+		t.Errorf("victim Src1 = %#x", e.Src1)
+	}
+}

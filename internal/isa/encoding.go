@@ -1,0 +1,72 @@
+package isa
+
+import "fmt"
+
+// Binary encoding. Each instruction occupies 8 bytes:
+//
+//	bits  0..7   opcode
+//	bits  8..15  dest register
+//	bits 16..23  src1 register
+//	bits 24..31  src2 register
+//	bits 32..63  immediate (signed 32-bit)
+//
+// The encoding exists so that programs have a concrete memory image for the
+// instruction cache model and so that tooling (cmd/simdie -dump) can round-
+// trip programs. It is deliberately simple; the timing model operates on
+// decoded Instr values.
+
+// Encode packs the instruction into its 64-bit binary form.
+func Encode(in Instr) uint64 {
+	return uint64(in.Op) |
+		uint64(in.Dest)<<8 |
+		uint64(in.Src1)<<16 |
+		uint64(in.Src2)<<24 |
+		uint64(uint32(in.Imm))<<32
+}
+
+// Decode unpacks a 64-bit binary instruction. It returns an error when the
+// opcode or a used register field is out of range.
+func Decode(w uint64) (Instr, error) {
+	in := Instr{
+		Op:   Op(w & 0xff),
+		Dest: Reg(w >> 8 & 0xff),
+		Src1: Reg(w >> 16 & 0xff),
+		Src2: Reg(w >> 24 & 0xff),
+		Imm:  int32(uint32(w >> 32)),
+	}
+	if int(in.Op) >= NumOps {
+		return Instr{}, fmt.Errorf("isa: decode: undefined opcode %d", w&0xff)
+	}
+	oi := in.Op.Info()
+	if err := checkReg(oi.HasDest, in.Dest, oi.DestFP, "dest"); err != nil {
+		return Instr{}, err
+	}
+	if err := checkReg(oi.UsesSrc1, in.Src1, oi.Src1FP, "src1"); err != nil {
+		return Instr{}, err
+	}
+	if err := checkReg(oi.UsesSrc2, in.Src2, oi.Src2FP, "src2"); err != nil {
+		return Instr{}, err
+	}
+	return in, nil
+}
+
+func checkReg(used bool, r Reg, wantFP bool, field string) error {
+	if !used {
+		return nil
+	}
+	if r >= NumRegs {
+		return fmt.Errorf("isa: decode: %s register %d out of range", field, r)
+	}
+	if r.IsFP() != wantFP {
+		return fmt.Errorf("isa: decode: %s register %s has wrong file (want fp=%v)", field, r, wantFP)
+	}
+	return nil
+}
+
+// Validate checks that the instruction's register fields match the operand
+// shape of its opcode. Program builders call it to reject malformed
+// instructions at construction time.
+func Validate(in Instr) error {
+	_, err := Decode(Encode(in))
+	return err
+}

@@ -1,0 +1,145 @@
+package isa
+
+import "math"
+
+// Exec computes the result of a register-to-register operation given its two
+// source operand bit patterns. Floating point operands and results are IEEE
+// 754 binary64 bit patterns. Exec is the single source of truth for ALU
+// semantics: the functional simulator, the timing core's functional units
+// and the instruction reuse buffer's stored results all derive from it, so
+// an IRB hit is guaranteed to reproduce exactly what a functional unit would
+// compute for the same operands — the property the paper's reuse test
+// depends on.
+//
+// Exec must only be called for opcodes with HasDest (plus branches, which
+// should use EvalBranch, and loads, whose result comes from memory).
+func Exec(op Op, a, b uint64, imm int32, pc uint64) uint64 {
+	switch op {
+	case OpAdd:
+		return a + b
+	case OpAddi:
+		return a + uint64(int64(imm))
+	case OpSub:
+		return a - b
+	case OpAnd:
+		return a & b
+	case OpOr:
+		return a | b
+	case OpXor:
+		return a ^ b
+	case OpShl:
+		return a << (b & 63)
+	case OpShr:
+		return a >> (b & 63)
+	case OpSar:
+		return uint64(int64(a) >> (b & 63))
+	case OpSlt:
+		if int64(a) < int64(b) {
+			return 1
+		}
+		return 0
+	case OpSltu:
+		if a < b {
+			return 1
+		}
+		return 0
+	case OpLui:
+		return uint64(int64(imm)) << 16
+	case OpMul:
+		return a * b
+	case OpDiv:
+		if b == 0 {
+			return 0
+		}
+		// Match hardware behaviour for the INT64_MIN / -1 overflow
+		// case rather than faulting.
+		if int64(a) == math.MinInt64 && int64(b) == -1 {
+			return a
+		}
+		return uint64(int64(a) / int64(b))
+	case OpRem:
+		if b == 0 {
+			return a
+		}
+		if int64(a) == math.MinInt64 && int64(b) == -1 {
+			return 0
+		}
+		return uint64(int64(a) % int64(b))
+	case OpDivu:
+		if b == 0 {
+			return 0
+		}
+		return a / b
+	case OpFAdd:
+		return f2u(u2f(a) + u2f(b))
+	case OpFSub:
+		return f2u(u2f(a) - u2f(b))
+	case OpFMul:
+		return f2u(u2f(a) * u2f(b))
+	case OpFDiv:
+		return f2u(u2f(a) / u2f(b))
+	case OpFSqrt:
+		return f2u(math.Sqrt(u2f(a)))
+	case OpFNeg:
+		return f2u(-u2f(a))
+	case OpFAbs:
+		return f2u(math.Abs(u2f(a)))
+	case OpFCmpLt:
+		if u2f(a) < u2f(b) {
+			return 1
+		}
+		return 0
+	case OpFCmpEq:
+		if u2f(a) == u2f(b) {
+			return 1
+		}
+		return 0
+	case OpCvtIF:
+		return f2u(float64(int64(a)))
+	case OpCvtFI:
+		return uint64(int64(u2f(a)))
+	case OpJalr, OpCall:
+		return pc + 1
+	}
+	return 0
+}
+
+// EvalBranch reports whether a conditional branch with the given operand
+// values is taken.
+func EvalBranch(op Op, a, b uint64) bool {
+	switch op {
+	case OpBeq:
+		return a == b
+	case OpBne:
+		return a != b
+	case OpBlt:
+		return int64(a) < int64(b)
+	case OpBge:
+		return int64(a) >= int64(b)
+	}
+	return false
+}
+
+// CtrlTarget computes the target PC of a control transfer given its operand
+// value (for indirect jumps) and the instruction's PC. For a not-taken
+// conditional branch the next PC is pc+1, which the caller handles.
+func CtrlTarget(op Op, imm int32, src1 uint64, pc uint64) uint64 {
+	if op == OpJalr {
+		return src1
+	}
+	return uint64(int64(pc) + int64(imm))
+}
+
+// EffAddr computes the effective byte address of a memory operation. The
+// address is masked to a 40-bit space so that wrong-path execution with
+// garbage base registers stays within the sparse memory model's range.
+const addrMask = (uint64(1) << 40) - 1
+
+// EffAddr computes the effective address of a load or store and aligns it
+// to the 8-byte access size of this ISA.
+func EffAddr(base uint64, imm int32) uint64 {
+	return (base + uint64(int64(imm))) & addrMask &^ 7
+}
+
+func u2f(u uint64) float64 { return math.Float64frombits(u) }
+func f2u(f float64) uint64 { return math.Float64bits(f) }

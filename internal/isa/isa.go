@@ -1,0 +1,286 @@
+// Package isa defines the instruction set architecture simulated by this
+// repository: a 64-bit load/store RISC machine with integer and floating
+// point register files, whose functional-unit classes and operation
+// latencies mirror the SimpleScalar machine model used by the DIE-IRB paper
+// (Parashar et al., ISCA 2004).
+//
+// The package provides the instruction representation (Instr), opcode
+// metadata (class, latency, operand kinds), pure functional semantics for
+// register-to-register operations (Exec, EvalBranch, EffAddr), and a binary
+// encoding (Encode/Decode) used by the instruction cache model.
+package isa
+
+import "fmt"
+
+// NumIntRegs and NumFPRegs are the architected register file sizes.
+// Integer register 0 (ZeroReg) is hardwired to zero, as in MIPS/Alpha.
+const (
+	NumIntRegs = 32
+	NumFPRegs  = 32
+
+	// ZeroReg reads as zero and ignores writes.
+	ZeroReg = 0
+
+	// LinkReg receives the return address of CALL instructions.
+	LinkReg = 31
+)
+
+// Reg names an architected register. Integer registers are 0..31 and
+// floating point registers are 32..63; the split keeps a single rename
+// namespace in the core simple while preserving two architected files.
+type Reg uint8
+
+// FP0 is the register number of floating point register 0. FP register i is
+// Reg(FP0 + i).
+const FP0 Reg = 32
+
+// NumRegs is the total size of the unified register namespace.
+const NumRegs = NumIntRegs + NumFPRegs
+
+// IsFP reports whether r names a floating point register.
+func (r Reg) IsFP() bool { return r >= FP0 }
+
+// String renders the register in assembly syntax (r3, f12).
+func (r Reg) String() string {
+	if r.IsFP() {
+		return fmt.Sprintf("f%d", int(r-FP0))
+	}
+	return fmt.Sprintf("r%d", int(r))
+}
+
+// Op enumerates the opcodes of the ISA.
+type Op uint8
+
+// Integer ALU operations (single cycle, FU class IntALU).
+const (
+	OpNop  Op = iota
+	OpAdd     // rd = rs1 + rs2
+	OpAddi    // rd = rs1 + imm
+	OpSub     // rd = rs1 - rs2
+	OpAnd     // rd = rs1 & rs2
+	OpOr      // rd = rs1 | rs2
+	OpXor     // rd = rs1 ^ rs2
+	OpShl     // rd = rs1 << (rs2 & 63)
+	OpShr     // rd = rs1 >> (rs2 & 63) (logical)
+	OpSar     // rd = int64(rs1) >> (rs2 & 63) (arithmetic)
+	OpSlt     // rd = 1 if int64(rs1) < int64(rs2) else 0
+	OpSltu    // rd = 1 if rs1 < rs2 else 0
+	OpLui     // rd = imm << 16
+
+	// Integer multiply/divide (FU class IntMult).
+	OpMul  // rd = rs1 * rs2 (low 64 bits)
+	OpDiv  // rd = int64(rs1) / int64(rs2); 0 on divide-by-zero
+	OpRem  // rd = int64(rs1) % int64(rs2); rs1 on divide-by-zero
+	OpDivu // rd = rs1 / rs2; 0 on divide-by-zero
+
+	// Floating point (operands/results are float64 bit patterns held in
+	// FP registers).
+	OpFAdd   // fd = fs1 + fs2 (FU class FPAdd)
+	OpFSub   // fd = fs1 - fs2 (FU class FPAdd)
+	OpFMul   // fd = fs1 * fs2 (FU class FPMult)
+	OpFDiv   // fd = fs1 / fs2 (FU class FPMult)
+	OpFSqrt  // fd = sqrt(fs1) (FU class FPMult)
+	OpFNeg   // fd = -fs1 (FU class FPAdd)
+	OpFAbs   // fd = |fs1| (FU class FPAdd)
+	OpFCmpLt // rd = 1 if fs1 < fs2 else 0 (FU class FPAdd, int dest)
+	OpFCmpEq // rd = 1 if fs1 == fs2 else 0 (FU class FPAdd, int dest)
+	OpCvtIF  // fd = float64(int64(rs1)) (FU class FPAdd)
+	OpCvtFI  // rd = int64(fs1) (FU class FPAdd)
+
+	// Memory (address = rs1 + imm; FU class for address generation is
+	// IntALU per the paper: "memory address calculations" use the ALUs).
+	OpLoad   // rd = mem64[rs1+imm]
+	OpStore  // mem64[rs1+imm] = rs2
+	OpFLoad  // fd = mem64[rs1+imm]
+	OpFStore // mem64[rs1+imm] = fs2
+
+	// Control transfer. Branch targets are PC-relative instruction
+	// offsets in Imm; JALR jumps to rs1.
+	OpBeq  // if rs1 == rs2 goto PC+imm
+	OpBne  // if rs1 != rs2 goto PC+imm
+	OpBlt  // if int64(rs1) < int64(rs2) goto PC+imm
+	OpBge  // if int64(rs1) >= int64(rs2) goto PC+imm
+	OpJump // goto PC+imm
+	OpJalr // rd = PC+1; goto rs1 (indirect jump / return)
+	OpCall // r31 = PC+1; goto PC+imm
+
+	// OpHalt stops the machine; it retires like a NOP.
+	OpHalt
+
+	numOps
+)
+
+// NumOps is the number of defined opcodes.
+const NumOps = int(numOps)
+
+// FUClass identifies the functional unit class that executes an operation.
+// The classes and default latencies follow the SimpleScalar machine model
+// the paper simulates on.
+type FUClass uint8
+
+const (
+	// FUNone marks operations that need no functional unit (NOP, HALT).
+	FUNone FUClass = iota
+	// FUIntALU executes single-cycle integer operations, branch target
+	// calculations and memory address generation.
+	FUIntALU
+	// FUIntMult executes integer multiply and divide.
+	FUIntMult
+	// FUFPAdd executes floating point add/sub/compare/convert.
+	FUFPAdd
+	// FUFPMult executes floating point multiply, divide and square root.
+	FUFPMult
+	// FUMemPort is the cache port used by the memory access part of
+	// loads and stores (address generation still uses FUIntALU).
+	FUMemPort
+
+	// NumFUClasses is the number of functional unit classes.
+	NumFUClasses
+)
+
+// String returns the conventional name of the class.
+func (c FUClass) String() string {
+	switch c {
+	case FUNone:
+		return "none"
+	case FUIntALU:
+		return "int-alu"
+	case FUIntMult:
+		return "int-mult"
+	case FUFPAdd:
+		return "fp-add"
+	case FUFPMult:
+		return "fp-mult"
+	case FUMemPort:
+		return "mem-port"
+	}
+	return fmt.Sprintf("FUClass(%d)", uint8(c))
+}
+
+// OpInfo describes the static properties of an opcode.
+type OpInfo struct {
+	Name    string
+	Class   FUClass
+	Latency int // execution latency in cycles, excluding cache misses
+
+	// Operand shape flags.
+	HasDest    bool // writes a destination register
+	DestFP     bool // destination is a floating point register
+	Src1FP     bool
+	Src2FP     bool
+	UsesSrc1   bool
+	UsesSrc2   bool
+	UsesImm    bool
+	IsLoad     bool
+	IsStore    bool
+	IsBranch   bool // conditional branch
+	IsJump     bool // unconditional control transfer
+	IsIndirect bool // target comes from a register
+}
+
+// IsCtrl reports whether the opcode is any control transfer.
+func (oi *OpInfo) IsCtrl() bool { return oi.IsBranch || oi.IsJump }
+
+// IsMem reports whether the opcode accesses memory.
+func (oi *OpInfo) IsMem() bool { return oi.IsLoad || oi.IsStore }
+
+// opInfos is indexed by Op. Latencies follow SimpleScalar's defaults
+// (int mult 3, int div 20, fp add 2, fp mult 4, fp div 12, fp sqrt 24),
+// which are the values the paper's platform uses.
+var opInfos = [NumOps]OpInfo{
+	OpNop:  {Name: "nop", Class: FUNone, Latency: 1},
+	OpHalt: {Name: "halt", Class: FUNone, Latency: 1},
+
+	OpAdd:  {Name: "add", Class: FUIntALU, Latency: 1, HasDest: true, UsesSrc1: true, UsesSrc2: true},
+	OpAddi: {Name: "addi", Class: FUIntALU, Latency: 1, HasDest: true, UsesSrc1: true, UsesImm: true},
+	OpSub:  {Name: "sub", Class: FUIntALU, Latency: 1, HasDest: true, UsesSrc1: true, UsesSrc2: true},
+	OpAnd:  {Name: "and", Class: FUIntALU, Latency: 1, HasDest: true, UsesSrc1: true, UsesSrc2: true},
+	OpOr:   {Name: "or", Class: FUIntALU, Latency: 1, HasDest: true, UsesSrc1: true, UsesSrc2: true},
+	OpXor:  {Name: "xor", Class: FUIntALU, Latency: 1, HasDest: true, UsesSrc1: true, UsesSrc2: true},
+	OpShl:  {Name: "shl", Class: FUIntALU, Latency: 1, HasDest: true, UsesSrc1: true, UsesSrc2: true},
+	OpShr:  {Name: "shr", Class: FUIntALU, Latency: 1, HasDest: true, UsesSrc1: true, UsesSrc2: true},
+	OpSar:  {Name: "sar", Class: FUIntALU, Latency: 1, HasDest: true, UsesSrc1: true, UsesSrc2: true},
+	OpSlt:  {Name: "slt", Class: FUIntALU, Latency: 1, HasDest: true, UsesSrc1: true, UsesSrc2: true},
+	OpSltu: {Name: "sltu", Class: FUIntALU, Latency: 1, HasDest: true, UsesSrc1: true, UsesSrc2: true},
+	OpLui:  {Name: "lui", Class: FUIntALU, Latency: 1, HasDest: true, UsesImm: true},
+
+	OpMul:  {Name: "mul", Class: FUIntMult, Latency: 3, HasDest: true, UsesSrc1: true, UsesSrc2: true},
+	OpDiv:  {Name: "div", Class: FUIntMult, Latency: 20, HasDest: true, UsesSrc1: true, UsesSrc2: true},
+	OpRem:  {Name: "rem", Class: FUIntMult, Latency: 20, HasDest: true, UsesSrc1: true, UsesSrc2: true},
+	OpDivu: {Name: "divu", Class: FUIntMult, Latency: 20, HasDest: true, UsesSrc1: true, UsesSrc2: true},
+
+	OpFAdd:   {Name: "fadd", Class: FUFPAdd, Latency: 2, HasDest: true, DestFP: true, Src1FP: true, Src2FP: true, UsesSrc1: true, UsesSrc2: true},
+	OpFSub:   {Name: "fsub", Class: FUFPAdd, Latency: 2, HasDest: true, DestFP: true, Src1FP: true, Src2FP: true, UsesSrc1: true, UsesSrc2: true},
+	OpFMul:   {Name: "fmul", Class: FUFPMult, Latency: 4, HasDest: true, DestFP: true, Src1FP: true, Src2FP: true, UsesSrc1: true, UsesSrc2: true},
+	OpFDiv:   {Name: "fdiv", Class: FUFPMult, Latency: 12, HasDest: true, DestFP: true, Src1FP: true, Src2FP: true, UsesSrc1: true, UsesSrc2: true},
+	OpFSqrt:  {Name: "fsqrt", Class: FUFPMult, Latency: 24, HasDest: true, DestFP: true, Src1FP: true, UsesSrc1: true},
+	OpFNeg:   {Name: "fneg", Class: FUFPAdd, Latency: 2, HasDest: true, DestFP: true, Src1FP: true, UsesSrc1: true},
+	OpFAbs:   {Name: "fabs", Class: FUFPAdd, Latency: 2, HasDest: true, DestFP: true, Src1FP: true, UsesSrc1: true},
+	OpFCmpLt: {Name: "fcmplt", Class: FUFPAdd, Latency: 2, HasDest: true, Src1FP: true, Src2FP: true, UsesSrc1: true, UsesSrc2: true},
+	OpFCmpEq: {Name: "fcmpeq", Class: FUFPAdd, Latency: 2, HasDest: true, Src1FP: true, Src2FP: true, UsesSrc1: true, UsesSrc2: true},
+	OpCvtIF:  {Name: "cvtif", Class: FUFPAdd, Latency: 2, HasDest: true, DestFP: true, UsesSrc1: true},
+	OpCvtFI:  {Name: "cvtfi", Class: FUFPAdd, Latency: 2, HasDest: true, Src1FP: true, UsesSrc1: true},
+
+	OpLoad:   {Name: "ld", Class: FUIntALU, Latency: 1, HasDest: true, UsesSrc1: true, UsesImm: true, IsLoad: true},
+	OpFLoad:  {Name: "fld", Class: FUIntALU, Latency: 1, HasDest: true, DestFP: true, UsesSrc1: true, UsesImm: true, IsLoad: true},
+	OpStore:  {Name: "st", Class: FUIntALU, Latency: 1, UsesSrc1: true, UsesSrc2: true, UsesImm: true, IsStore: true},
+	OpFStore: {Name: "fst", Class: FUIntALU, Latency: 1, UsesSrc1: true, UsesSrc2: true, Src2FP: true, UsesImm: true, IsStore: true},
+
+	OpBeq:  {Name: "beq", Class: FUIntALU, Latency: 1, UsesSrc1: true, UsesSrc2: true, UsesImm: true, IsBranch: true},
+	OpBne:  {Name: "bne", Class: FUIntALU, Latency: 1, UsesSrc1: true, UsesSrc2: true, UsesImm: true, IsBranch: true},
+	OpBlt:  {Name: "blt", Class: FUIntALU, Latency: 1, UsesSrc1: true, UsesSrc2: true, UsesImm: true, IsBranch: true},
+	OpBge:  {Name: "bge", Class: FUIntALU, Latency: 1, UsesSrc1: true, UsesSrc2: true, UsesImm: true, IsBranch: true},
+	OpJump: {Name: "j", Class: FUIntALU, Latency: 1, UsesImm: true, IsJump: true},
+	OpJalr: {Name: "jalr", Class: FUIntALU, Latency: 1, HasDest: true, UsesSrc1: true, IsJump: true, IsIndirect: true},
+	OpCall: {Name: "call", Class: FUIntALU, Latency: 1, HasDest: true, UsesImm: true, IsJump: true},
+}
+
+// Info returns the static properties of op. It panics on an undefined
+// opcode, which always indicates a generator or decoder bug.
+func (op Op) Info() *OpInfo {
+	if int(op) >= NumOps {
+		panic(fmt.Sprintf("isa: undefined opcode %d", op))
+	}
+	return &opInfos[op]
+}
+
+// String returns the mnemonic of the opcode.
+func (op Op) String() string { return op.Info().Name }
+
+// Instr is one static instruction. PC values are instruction indices, not
+// byte addresses; the instruction cache model converts to byte addresses
+// with a fixed 8-byte instruction size.
+type Instr struct {
+	Op   Op
+	Dest Reg
+	Src1 Reg
+	Src2 Reg
+	Imm  int32
+}
+
+// String renders the instruction in a readable assembly-like syntax.
+func (in Instr) String() string {
+	oi := in.Op.Info()
+	s := oi.Name
+	sep := " "
+	if oi.HasDest {
+		s += sep + in.Dest.String()
+		sep = ", "
+	}
+	if oi.UsesSrc1 {
+		s += sep + in.Src1.String()
+		sep = ", "
+	}
+	if oi.UsesSrc2 {
+		s += sep + in.Src2.String()
+		sep = ", "
+	}
+	if oi.UsesImm {
+		s += fmt.Sprintf("%s%d", sep, in.Imm)
+	}
+	return s
+}
+
+// InstrBytes is the architectural size of one encoded instruction, used to
+// map instruction indices to instruction-cache byte addresses.
+const InstrBytes = 8

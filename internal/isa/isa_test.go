@@ -1,0 +1,340 @@
+package isa
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestOpInfoComplete(t *testing.T) {
+	for op := Op(0); int(op) < NumOps; op++ {
+		oi := op.Info()
+		if oi.Name == "" {
+			t.Errorf("opcode %d has no name", op)
+		}
+		if oi.Latency < 1 {
+			t.Errorf("%s: latency %d < 1", oi.Name, oi.Latency)
+		}
+		if oi.Class == FUNone && op != OpNop && op != OpHalt {
+			t.Errorf("%s: only nop/halt may have FUNone", oi.Name)
+		}
+	}
+}
+
+func TestOpInfoShapes(t *testing.T) {
+	// Spot-check the operand shapes the core relies on.
+	cases := []struct {
+		op      Op
+		dest    bool
+		isMem   bool
+		isCtrl  bool
+		class   FUClass
+		latency int
+	}{
+		{OpAdd, true, false, false, FUIntALU, 1},
+		{OpMul, true, false, false, FUIntMult, 3},
+		{OpDiv, true, false, false, FUIntMult, 20},
+		{OpFAdd, true, false, false, FUFPAdd, 2},
+		{OpFMul, true, false, false, FUFPMult, 4},
+		{OpFDiv, true, false, false, FUFPMult, 12},
+		{OpFSqrt, true, false, false, FUFPMult, 24},
+		{OpLoad, true, true, false, FUIntALU, 1},
+		{OpStore, false, true, false, FUIntALU, 1},
+		{OpBeq, false, false, true, FUIntALU, 1},
+		{OpJalr, true, false, true, FUIntALU, 1},
+	}
+	for _, c := range cases {
+		oi := c.op.Info()
+		if oi.HasDest != c.dest {
+			t.Errorf("%s: HasDest = %v, want %v", oi.Name, oi.HasDest, c.dest)
+		}
+		if oi.IsMem() != c.isMem {
+			t.Errorf("%s: IsMem = %v, want %v", oi.Name, oi.IsMem(), c.isMem)
+		}
+		if oi.IsCtrl() != c.isCtrl {
+			t.Errorf("%s: IsCtrl = %v, want %v", oi.Name, oi.IsCtrl(), c.isCtrl)
+		}
+		if oi.Class != c.class {
+			t.Errorf("%s: Class = %v, want %v", oi.Name, oi.Class, c.class)
+		}
+		if oi.Latency != c.latency {
+			t.Errorf("%s: Latency = %d, want %d", oi.Name, oi.Latency, c.latency)
+		}
+	}
+}
+
+func TestRegString(t *testing.T) {
+	if got := Reg(3).String(); got != "r3" {
+		t.Errorf("Reg(3) = %q, want r3", got)
+	}
+	if got := (FP0 + 12).String(); got != "f12" {
+		t.Errorf("FP0+12 = %q, want f12", got)
+	}
+	if !FP0.IsFP() || Reg(31).IsFP() {
+		t.Error("IsFP boundary wrong")
+	}
+}
+
+func TestExecInteger(t *testing.T) {
+	cases := []struct {
+		op   Op
+		a, b uint64
+		imm  int32
+		want uint64
+	}{
+		{OpAdd, 3, 4, 0, 7},
+		{OpAdd, math.MaxUint64, 1, 0, 0},
+		{OpAddi, 10, 0, -3, 7},
+		{OpSub, 3, 4, 0, math.MaxUint64},
+		{OpAnd, 0b1100, 0b1010, 0, 0b1000},
+		{OpOr, 0b1100, 0b1010, 0, 0b1110},
+		{OpXor, 0b1100, 0b1010, 0, 0b0110},
+		{OpShl, 1, 65, 0, 2}, // shift amount masked to 6 bits
+		{OpShr, 16, 2, 0, 4},
+		{OpSar, uint64(0xffffffffffffff00), 4, 0, uint64(0xfffffffffffffff0)},
+		{OpSlt, uint64(0xffffffffffffffff), 1, 0, 1}, // -1 < 1 signed
+		{OpSltu, uint64(0xffffffffffffffff), 1, 0, 0},
+		{OpLui, 0, 0, 5, 5 << 16},
+		{OpMul, 7, 6, 0, 42},
+		{OpDiv, 42, 6, 0, 7},
+		{OpDiv, 42, 0, 0, 0},
+		{OpDiv, uint64(1) << 63, uint64(0xffffffffffffffff), 0, uint64(1) << 63},
+		{OpRem, 43, 6, 0, 1},
+		{OpRem, 43, 0, 0, 43},
+		{OpDivu, math.MaxUint64, 2, 0, math.MaxUint64 / 2},
+		{OpDivu, 5, 0, 0, 0},
+	}
+	for _, c := range cases {
+		if got := Exec(c.op, c.a, c.b, c.imm, 0); got != c.want {
+			t.Errorf("Exec(%s, %#x, %#x, %d) = %#x, want %#x", c.op, c.a, c.b, c.imm, got, c.want)
+		}
+	}
+}
+
+func TestExecFloat(t *testing.T) {
+	f := math.Float64bits
+	cases := []struct {
+		op   Op
+		a, b uint64
+		want uint64
+	}{
+		{OpFAdd, f(1.5), f(2.25), f(3.75)},
+		{OpFSub, f(1.5), f(2.25), f(-0.75)},
+		{OpFMul, f(3), f(4), f(12)},
+		{OpFDiv, f(1), f(4), f(0.25)},
+		{OpFSqrt, f(9), 0, f(3)},
+		{OpFNeg, f(2.5), 0, f(-2.5)},
+		{OpFAbs, f(-2.5), 0, f(2.5)},
+		{OpFCmpLt, f(1), f(2), 1},
+		{OpFCmpLt, f(2), f(1), 0},
+		{OpFCmpEq, f(2), f(2), 1},
+		{OpCvtIF, uint64(7), 0, f(7)},
+		{OpCvtFI, f(7.9), 0, 7},
+	}
+	for _, c := range cases {
+		if got := Exec(c.op, c.a, c.b, 0, 0); got != c.want {
+			t.Errorf("Exec(%s, %#x, %#x) = %#x, want %#x", c.op, c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestExecLink(t *testing.T) {
+	if got := Exec(OpCall, 0, 0, 10, 100); got != 101 {
+		t.Errorf("call link = %d, want 101", got)
+	}
+	if got := Exec(OpJalr, 555, 0, 0, 7); got != 8 {
+		t.Errorf("jalr link = %d, want 8", got)
+	}
+}
+
+func TestEvalBranch(t *testing.T) {
+	cases := []struct {
+		op    Op
+		a, b  uint64
+		taken bool
+	}{
+		{OpBeq, 5, 5, true},
+		{OpBeq, 5, 6, false},
+		{OpBne, 5, 6, true},
+		{OpBlt, uint64(0xffffffffffffffff), 0, true}, // -1 < 0
+		{OpBge, 0, uint64(0xffffffffffffffff), true}, // 0 >= -1
+		{OpBge, 1, 2, false},
+	}
+	for _, c := range cases {
+		if got := EvalBranch(c.op, c.a, c.b); got != c.taken {
+			t.Errorf("EvalBranch(%s, %d, %d) = %v, want %v", c.op, c.a, c.b, got, c.taken)
+		}
+	}
+}
+
+func TestCtrlTarget(t *testing.T) {
+	if got := CtrlTarget(OpJump, -5, 0, 100); got != 95 {
+		t.Errorf("jump target = %d, want 95", got)
+	}
+	if got := CtrlTarget(OpJalr, 0, 1234, 100); got != 1234 {
+		t.Errorf("jalr target = %d, want 1234", got)
+	}
+	if got := CtrlTarget(OpBne, 8, 0, 100); got != 108 {
+		t.Errorf("branch target = %d, want 108", got)
+	}
+}
+
+func TestEffAddr(t *testing.T) {
+	if got := EffAddr(100, 4); got != 104 {
+		t.Errorf("EffAddr(100,4) = %d, want 104", got)
+	}
+	if got := EffAddr(103, 0); got != 96 {
+		t.Errorf("EffAddr alignment: got %d, want 96", got)
+	}
+	// Wrong-path garbage addresses must stay within the masked space.
+	if got := EffAddr(math.MaxUint64, 0); got>>40 != 0 {
+		t.Errorf("EffAddr overflow not masked: %#x", got)
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	ins := []Instr{
+		{Op: OpAdd, Dest: 1, Src1: 2, Src2: 3},
+		{Op: OpAddi, Dest: 1, Src1: 2, Imm: -42},
+		{Op: OpFAdd, Dest: FP0 + 1, Src1: FP0 + 2, Src2: FP0 + 3},
+		{Op: OpLoad, Dest: 5, Src1: 6, Imm: 1 << 20},
+		{Op: OpFStore, Src1: 6, Src2: FP0 + 7, Imm: -8},
+		{Op: OpBeq, Src1: 1, Src2: 2, Imm: -100},
+		{Op: OpJalr, Dest: 1, Src1: 31},
+		{Op: OpHalt},
+	}
+	for _, in := range ins {
+		got, err := Decode(Encode(in))
+		if err != nil {
+			t.Fatalf("Decode(Encode(%v)): %v", in, err)
+		}
+		if got != in {
+			t.Errorf("round trip %v -> %v", in, got)
+		}
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	if _, err := Decode(uint64(NumOps) + 7); err == nil {
+		t.Error("Decode accepted undefined opcode")
+	}
+	// fadd with integer source register: wrong file.
+	bad := Instr{Op: OpFAdd, Dest: FP0, Src1: 2, Src2: FP0}
+	if _, err := Decode(Encode(bad)); err == nil {
+		t.Error("Decode accepted fadd with integer src1")
+	}
+	// register out of range
+	bad2 := Instr{Op: OpAdd, Dest: 70, Src1: 1, Src2: 2}
+	if _, err := Decode(Encode(bad2)); err == nil {
+		t.Error("Decode accepted out-of-range register")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := Validate(Instr{Op: OpAdd, Dest: 1, Src1: 2, Src2: 3}); err != nil {
+		t.Errorf("Validate rejected valid instruction: %v", err)
+	}
+	if err := Validate(Instr{Op: OpAdd, Dest: FP0, Src1: 2, Src2: 3}); err == nil {
+		t.Error("Validate accepted add with fp dest")
+	}
+}
+
+// Property: Exec is a pure function — same operands always give the same
+// result. This is the foundation of the IRB's reuse guarantee.
+func TestExecDeterministicProperty(t *testing.T) {
+	ops := []Op{OpAdd, OpSub, OpAnd, OpOr, OpXor, OpShl, OpShr, OpSar,
+		OpSlt, OpSltu, OpMul, OpDiv, OpRem, OpDivu,
+		OpFAdd, OpFSub, OpFMul, OpFDiv, OpFCmpLt, OpFCmpEq}
+	f := func(opIdx uint8, a, b uint64) bool {
+		op := ops[int(opIdx)%len(ops)]
+		r1 := Exec(op, a, b, 0, 0)
+		r2 := Exec(op, a, b, 0, 0)
+		return r1 == r2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: add/sub and xor are involutive inverses.
+func TestExecAlgebraProperties(t *testing.T) {
+	addSub := func(a, b uint64) bool {
+		return Exec(OpSub, Exec(OpAdd, a, b, 0, 0), b, 0, 0) == a
+	}
+	if err := quick.Check(addSub, nil); err != nil {
+		t.Errorf("add/sub inverse: %v", err)
+	}
+	xorInv := func(a, b uint64) bool {
+		return Exec(OpXor, Exec(OpXor, a, b, 0, 0), b, 0, 0) == a
+	}
+	if err := quick.Check(xorInv, nil); err != nil {
+		t.Errorf("xor involution: %v", err)
+	}
+}
+
+// Property: encode/decode round-trips for arbitrary valid instructions.
+func TestEncodeDecodeProperty(t *testing.T) {
+	f := func(op uint8, d, s1, s2 uint8, imm int32) bool {
+		in := Instr{Op: Op(op % uint8(NumOps))}
+		oi := in.Op.Info()
+		pick := func(fp bool, raw uint8) Reg {
+			r := Reg(raw % 32)
+			if fp {
+				r += FP0
+			}
+			return r
+		}
+		if oi.HasDest {
+			in.Dest = pick(oi.DestFP, d)
+		}
+		if oi.UsesSrc1 {
+			in.Src1 = pick(oi.Src1FP, s1)
+		}
+		if oi.UsesSrc2 {
+			in.Src2 = pick(oi.Src2FP, s2)
+		}
+		if oi.UsesImm {
+			in.Imm = imm
+		}
+		got, err := Decode(Encode(in))
+		return err == nil && got == in
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInstrString(t *testing.T) {
+	in := Instr{Op: OpAddi, Dest: 1, Src1: 2, Imm: -4}
+	if got := in.String(); got != "addi r1, r2, -4" {
+		t.Errorf("String = %q", got)
+	}
+	st := Instr{Op: OpFStore, Src1: 6, Src2: FP0 + 7, Imm: 8}
+	if got := st.String(); got != "fst r6, f7, 8" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestFUClassString(t *testing.T) {
+	cases := map[FUClass]string{
+		FUNone: "none", FUIntALU: "int-alu", FUIntMult: "int-mult",
+		FUFPAdd: "fp-add", FUFPMult: "fp-mult", FUMemPort: "mem-port",
+	}
+	for cl, want := range cases {
+		if got := cl.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", cl, got, want)
+		}
+	}
+	if got := FUClass(99).String(); got != "FUClass(99)" {
+		t.Errorf("unknown class = %q", got)
+	}
+}
+
+func TestOpInfoPanicsOnGarbage(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Info on undefined opcode did not panic")
+		}
+	}()
+	Op(200).Info()
+}

@@ -1,0 +1,29 @@
+package program_test
+
+import (
+	"fmt"
+
+	"repro/internal/fsim"
+	"repro/internal/isa"
+	"repro/internal/program"
+)
+
+// ExampleBuilder assembles and functionally executes a small
+// sum-of-squares loop.
+func ExampleBuilder() {
+	b := program.NewBuilder("sum-of-squares")
+	b.LoadConst(1, 5) // r1 = n
+	b.Label("loop")
+	b.EmitOp(isa.OpMul, 2, 1, 1)    // r2 = r1*r1
+	b.EmitOp(isa.OpAdd, 3, 3, 2)    // r3 += r2
+	b.EmitImm(isa.OpAddi, 1, 1, -1) // r1--
+	b.Branch(isa.OpBne, 1, isa.ZeroReg, "loop")
+	b.Emit(isa.Instr{Op: isa.OpHalt})
+
+	m := fsim.New(b.MustBuild())
+	if _, err := m.Run(1000); err != nil {
+		panic(err)
+	}
+	fmt.Printf("1²+2²+3²+4²+5² = %d\n", m.Regs[3])
+	// Output: 1²+2²+3²+4²+5² = 55
+}

@@ -1,0 +1,281 @@
+// Package sim is the top-level simulation driver: it generates a workload
+// program, runs it through a configured core, optionally verifies the
+// retired instruction stream against an independent functional execution,
+// and collects the statistics the experiment harness reports. It also
+// defines the named machine configurations of each experiment in the
+// paper (see DESIGN.md's experiment index).
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/bpred"
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/fsim"
+	"repro/internal/irb"
+	"repro/internal/workload"
+)
+
+// Options control one simulation run.
+type Options struct {
+	// Insns is the architected instruction budget. The workload is sized
+	// to outlast it, so every configuration commits exactly this many
+	// instructions — the basis for IPC comparisons.
+	Insns uint64
+	// Verify cross-checks every committed instruction against an
+	// independent in-order functional execution. Costs ~15% runtime;
+	// tests keep it on, large sweeps may disable it.
+	Verify bool
+	// Injector, when non-nil, is installed as the core's fault injector.
+	Injector core.FaultInjector
+	// FastForward functionally executes this many instructions before
+	// the timing simulation starts, skipping initialization phases the
+	// way SimpleScalar's -fastfwd does. Caches and predictors start
+	// cold at the measurement point.
+	FastForward uint64
+}
+
+// DefaultInsns is the per-benchmark instruction budget used by the
+// experiment harness; large enough for the caches, predictor and IRB to
+// reach steady state, small enough for full sweeps on a laptop.
+const DefaultInsns = 300_000
+
+// Result is the outcome of one run.
+type Result struct {
+	Bench        string
+	Config       string
+	Mode         core.Mode
+	IPC          float64
+	Core         core.Stats
+	IRB          *irb.Stats // nil when the mode has no IRB
+	Bpred        bpred.Stats
+	L1I, L1D, L2 cache.Stats
+}
+
+// ReuseRate returns the fraction of reuse-eligible executions served by
+// the IRB: for dual modes, duplicate-stream reuse hits over reuse hits
+// plus duplicate FU executions; for single-stream SIE-IRB, reuse hits over
+// reuse hits plus all FU issues.
+func (r Result) ReuseRate() float64 {
+	den := r.Core.IRBReuseHits + r.Core.DupFUExec
+	if r.Mode == core.SIEIRB {
+		den = r.Core.IRBReuseHits + r.Core.IssueSlotsUsed
+	}
+	if den == 0 {
+		return 0
+	}
+	return float64(r.Core.IRBReuseHits) / float64(den)
+}
+
+// PCHitRate returns the IRB's PC-tag hit rate.
+func (r Result) PCHitRate() float64 {
+	if r.IRB == nil || r.IRB.Lookups == 0 {
+		return 0
+	}
+	return float64(r.IRB.PCHits) / float64(r.IRB.Lookups)
+}
+
+// Run simulates profile p on configuration cfg.
+func Run(name string, cfg core.Config, p workload.Profile, opts Options) (Result, error) {
+	if opts.Insns == 0 {
+		opts.Insns = DefaultInsns
+	}
+	// Size the program to outlast the instruction budget with margin.
+	prog, err := workload.Generate(p.WithIters(opts.FastForward + opts.Insns + opts.Insns/3))
+	if err != nil {
+		return Result{}, err
+	}
+	cfg.MaxInsns = opts.Insns
+	m := fsim.New(prog)
+	if opts.FastForward > 0 {
+		ran, ferr := m.Run(opts.FastForward)
+		if ferr != nil {
+			return Result{}, ferr
+		}
+		if ran < opts.FastForward || m.Halted {
+			return Result{}, fmt.Errorf("sim: %s halted during fast-forward (%d/%d)",
+				p.Name, ran, opts.FastForward)
+		}
+	}
+	c, err := core.NewAt(cfg, m)
+	if err != nil {
+		return Result{}, err
+	}
+	if opts.Injector != nil {
+		c.SetInjector(opts.Injector)
+	}
+	if opts.Verify {
+		oracle := fsim.New(prog)
+		if opts.FastForward > 0 {
+			if _, ferr := oracle.Run(opts.FastForward); ferr != nil {
+				return Result{}, ferr
+			}
+		}
+		c.OnCommit = func(rec *fsim.Retired) {
+			want, oerr := oracle.Step()
+			if oerr != nil {
+				panic(fmt.Sprintf("sim: oracle: %v", oerr))
+			}
+			if rec.Seq != want.Seq || rec.PC != want.PC || rec.Result != want.Result ||
+				rec.NextPC != want.NextPC || rec.Addr != want.Addr {
+				panic(fmt.Sprintf("sim: %s/%s diverged from functional execution at seq %d:\n got %+v\nwant %+v",
+					p.Name, cfg.Mode, want.Seq, rec, want))
+			}
+		}
+	}
+	if err := c.Run(); err != nil {
+		return Result{}, fmt.Errorf("sim: %s on %s: %w", p.Name, name, err)
+	}
+	if c.Stats.Committed < opts.Insns {
+		return Result{}, fmt.Errorf("sim: %s on %s committed only %d/%d instructions (program too short)",
+			p.Name, name, c.Stats.Committed, opts.Insns)
+	}
+	res := Result{
+		Bench:  p.Name,
+		Config: name,
+		Mode:   cfg.Mode,
+		IPC:    c.Stats.IPC(),
+		Core:   c.Stats,
+		Bpred:  c.Bpred().Stats,
+	}
+	res.L1I = c.Mem().L1I.Stats
+	res.L1D = c.Mem().L1D.Stats
+	res.L2 = c.Mem().L2.Stats
+	if b := c.IRB(); b != nil {
+		st := b.Stats
+		res.IRB = &st
+	}
+	return res, nil
+}
+
+// NamedConfig pairs a configuration with its display name.
+type NamedConfig struct {
+	Name string
+	Cfg  core.Config
+}
+
+// Fig2Configs returns the eight machines of the paper's Figure 2
+// motivation experiment (plus the SIE baseline first): DIE with each
+// combination of doubled ALUs, doubled RUU/LSQ and doubled widths.
+func Fig2Configs() []NamedConfig {
+	die := core.BaseDIE()
+	return []NamedConfig{
+		{"SIE", core.BaseSIE()},
+		{"DIE", die},
+		{"DIE-2xALU", die.WithDoubledALUs()},
+		{"DIE-2xRUU", die.WithDoubledRUU()},
+		{"DIE-2xWidths", die.WithDoubledWidths()},
+		{"DIE-2xALU-2xRUU", die.WithDoubledALUs().WithDoubledRUU()},
+		{"DIE-2xALU-2xWidths", die.WithDoubledALUs().WithDoubledWidths()},
+		{"DIE-2xRUU-2xWidths", die.WithDoubledRUU().WithDoubledWidths()},
+		{"DIE-2xALU-2xRUU-2xWidths", die.WithDoubledALUs().WithDoubledRUU().WithDoubledWidths()},
+	}
+}
+
+// HeadlineConfigs returns the machines of the headline comparison: the
+// SIE bound, the DIE floor, the proposed DIE-IRB, and the idealized
+// DIE-2xALU that DIE-IRB approximates without issue-logic growth.
+func HeadlineConfigs() []NamedConfig {
+	return []NamedConfig{
+		{"SIE", core.BaseSIE()},
+		{"DIE", core.BaseDIE()},
+		{"DIE-IRB", core.BaseDIEIRB()},
+		{"DIE-2xALU", core.BaseDIE().WithDoubledALUs()},
+	}
+}
+
+// IRBSizeConfigs returns DIE-IRB with the given IRB entry counts.
+func IRBSizeConfigs(sizes []int) []NamedConfig {
+	out := make([]NamedConfig, 0, len(sizes))
+	for _, n := range sizes {
+		cfg := core.BaseDIEIRB()
+		cfg.IRB.Entries = n
+		out = append(out, NamedConfig{fmt.Sprintf("DIE-IRB-%d", n), cfg})
+	}
+	return out
+}
+
+// ConflictConfigs returns the conflict-miss reduction ablation: the
+// direct-mapped baseline, the victim-buffer extension, and 2/4-way
+// set-associative variants at equal capacity.
+func ConflictConfigs() []NamedConfig {
+	mk := func(name string, assoc, victim int) NamedConfig {
+		cfg := core.BaseDIEIRB()
+		cfg.IRB.Assoc = assoc
+		cfg.IRB.VictimEntries = victim
+		return NamedConfig{name, cfg}
+	}
+	return []NamedConfig{
+		mk("DM", 1, 0),
+		mk("DM+victim8", 1, 8),
+		mk("DM+victim16", 1, 16),
+		mk("2-way", 2, 0),
+		mk("4-way", 4, 0),
+	}
+}
+
+// PortConfigs returns DIE-IRB with varying read-port provisioning (write
+// ports scale at half the reads, as in the paper's 4R/2W/2RW split).
+func PortConfigs(reads []int) []NamedConfig {
+	out := make([]NamedConfig, 0, len(reads))
+	for _, r := range reads {
+		cfg := core.BaseDIEIRB()
+		cfg.IRB.ReadPorts = r
+		cfg.IRB.WritePorts = (r + 1) / 2
+		cfg.IRB.RWPorts = r / 2
+		out = append(out, NamedConfig{fmt.Sprintf("DIE-IRB-%dR%dW%dRW", r, (r+1)/2, r/2), cfg})
+	}
+	return out
+}
+
+// SchedulerConfigs returns the Section 3.3 issue-logic matrix: the default
+// data-capture scheduler with the value-based reuse test, the decoupled
+// (non-data-capture) scheduler, and the name-based reuse test on both.
+func SchedulerConfigs() []NamedConfig {
+	mk := func(name string, sched core.SchedulerKind, nameBased bool) NamedConfig {
+		cfg := core.BaseDIEIRB()
+		cfg.Scheduler = sched
+		cfg.IRBNameBased = nameBased
+		return NamedConfig{name, cfg}
+	}
+	return []NamedConfig{
+		mk("capture/value", core.DataCapture, false),
+		mk("capture/name", core.DataCapture, true),
+		mk("decoupled/value", core.Decoupled, false),
+		mk("decoupled/name", core.Decoupled, true),
+	}
+}
+
+// ClusterConfigs returns the clustered-alternative comparison of the
+// paper's Section 3 discussion: the shared-resource DIE, the resource-
+// replicating clustered DIE, and the proposed DIE-IRB.
+func ClusterConfigs() []NamedConfig {
+	clu := core.BaseDIE()
+	clu.Clustered = true
+	return []NamedConfig{
+		{"SIE", core.BaseSIE()},
+		{"DIE", core.BaseDIE()},
+		{"DIE-cluster", clu},
+		{"DIE-IRB", core.BaseDIEIRB()},
+	}
+}
+
+// ReuseSourceConfigs returns the reuse-source extension matrix: the
+// baseline DIE-IRB, DIE-IRB with squash reuse, the prior-work SIE-IRB,
+// and SIE-IRB with Sn+d-style dependence chaining (the "collapse true
+// dependencies" capability instruction reuse was first proposed for).
+func ReuseSourceConfigs() []NamedConfig {
+	sq := core.BaseDIEIRB()
+	sq.IRBSquashReuse = true
+	sie := core.BaseSIE()
+	sie.Mode = core.SIEIRB
+	chain := sie
+	chain.IRBChaining = true
+	return []NamedConfig{
+		{"DIE-IRB", core.BaseDIEIRB()},
+		{"DIE-IRB+squash", sq},
+		{"SIE-IRB", sie},
+		{"SIE-IRB+chain", chain},
+	}
+}

@@ -1,0 +1,129 @@
+// Package stats provides small helpers for accumulating and rendering the
+// simulation statistics reported by the benchmark harness: ratios, percent
+// deltas, and fixed-width text tables matching the rows of the paper's
+// figures.
+package stats
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Ratio returns num/den, or 0 when den is 0.
+func Ratio(num, den uint64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
+}
+
+// PctLoss returns the percentage by which got falls short of base:
+// 100 * (base - got) / base. It is the "% IPC loss with respect to SIE"
+// metric of the paper's Figure 2. A negative value means got exceeds base.
+func PctLoss(base, got float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return 100 * (base - got) / base
+}
+
+// Recovered returns the fraction (in percent) of the gap between lo and hi
+// that x covers: 100 * (x - lo) / (hi - lo). It implements the paper's
+// "gained back K% of the IPC loss" metric, where lo is DIE's IPC and hi is
+// the reference (SIE or DIE-2xALU) IPC.
+func Recovered(lo, hi, x float64) float64 {
+	if hi == lo {
+		return 0
+	}
+	return 100 * (x - lo) / (hi - lo)
+}
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Table accumulates rows of a fixed set of columns and renders them with
+// aligned columns, in the spirit of a paper table.
+type Table struct {
+	title   string
+	headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{title: title, headers: headers}
+}
+
+// AddRow appends a row; cells render with %v, floats with two decimals.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.title != "" {
+		fmt.Fprintf(&b, "%s\n", t.title)
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.headers)
+	rule := make([]string, len(t.headers))
+	for i := range rule {
+		rule[i] = strings.Repeat("-", widths[i])
+	}
+	line(rule)
+	for _, r := range t.rows {
+		line(r)
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values (headers first) for
+// machine consumption by plotting scripts.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	b.WriteString(strings.Join(t.headers, ","))
+	b.WriteByte('\n')
+	for _, r := range t.rows {
+		b.WriteString(strings.Join(r, ","))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,93 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRatio(t *testing.T) {
+	if Ratio(1, 0) != 0 {
+		t.Error("Ratio with zero denominator != 0")
+	}
+	if Ratio(3, 4) != 0.75 {
+		t.Errorf("Ratio(3,4) = %v", Ratio(3, 4))
+	}
+}
+
+func TestPctLoss(t *testing.T) {
+	if got := PctLoss(2.0, 1.0); got != 50 {
+		t.Errorf("PctLoss(2,1) = %v, want 50", got)
+	}
+	if got := PctLoss(1.0, 1.5); got != -50 {
+		t.Errorf("PctLoss(1,1.5) = %v, want -50", got)
+	}
+	if PctLoss(0, 1) != 0 {
+		t.Error("PctLoss with zero base != 0")
+	}
+}
+
+func TestRecovered(t *testing.T) {
+	// DIE=1.0, 2xALU=2.0, IRB=1.5 recovers half the gap.
+	if got := Recovered(1, 2, 1.5); got != 50 {
+		t.Errorf("Recovered = %v, want 50", got)
+	}
+	if Recovered(1, 1, 5) != 0 {
+		t.Error("degenerate gap should give 0")
+	}
+}
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) != 0")
+	}
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Errorf("Mean = %v", got)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Title", "name", "ipc")
+	tb.AddRow("gzip", 1.5)
+	tb.AddRow("verylongbenchmarkname", 0.25)
+	out := tb.String()
+	if !strings.Contains(out, "Title") || !strings.Contains(out, "gzip") {
+		t.Errorf("table missing content:\n%s", out)
+	}
+	if !strings.Contains(out, "1.50") || !strings.Contains(out, "0.25") {
+		t.Errorf("floats not rendered with 2 decimals:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Title, header, rule, two rows.
+	if len(lines) != 5 {
+		t.Errorf("got %d lines, want 5:\n%s", len(lines), out)
+	}
+	// All data lines padded to equal field starts: the rule line is as
+	// wide as the widest row.
+	if len(lines[2]) < len("verylongbenchmarkname") {
+		t.Errorf("rule not sized to widest cell:\n%s", out)
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("t", "a", "b")
+	tb.AddRow("x", 1.0)
+	csv := tb.CSV()
+	if csv != "a,b\nx,1.00\n" {
+		t.Errorf("CSV = %q", csv)
+	}
+}
+
+// Property: Recovered(lo, hi, lo) = 0 and Recovered(lo, hi, hi) = 100 for
+// any distinct lo, hi.
+func TestRecoveredEndpointsProperty(t *testing.T) {
+	f := func(a, b float64) bool {
+		if a == b || a != a || b != b || a > 1e100 || a < -1e100 || b > 1e100 || b < -1e100 {
+			return true
+		}
+		return Recovered(a, b, a) == 0 && Recovered(a, b, b) == 100
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

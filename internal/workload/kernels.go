@@ -1,0 +1,209 @@
+package workload
+
+import (
+	"repro/internal/isa"
+	"repro/internal/program"
+)
+
+// This file provides hand-written classic kernels built directly on the
+// program.Builder. Unlike the profile generator they compute verifiable
+// results (tests check them against native Go computations), making them
+// useful both as simulator acceptance tests and as realistic small
+// workloads for the examples.
+
+// KernelMatMul builds an n x n integer matrix multiply C = A*B with
+// A[i][j] = i+j and B[i][j] = i*2+j. The result matrix starts at the
+// returned address, row-major.
+func KernelMatMul(n int) (*program.Program, uint64) {
+	b := program.NewBuilder("matmul")
+	a := b.Array(n*n, func(i int) uint64 { return uint64(i/n + i%n) })
+	bb := b.Array(n*n, func(i int) uint64 { return uint64((i/n)*2 + i%n) })
+	cc := b.Array(n*n, func(i int) uint64 { return 0 })
+
+	const (
+		rI, rJ, rK   = 1, 2, 3
+		rA, rB, rC   = 4, 5, 6
+		rN           = 7
+		rAcc         = 8
+		rTmp, rTmp2  = 9, 10
+		rVa, rVb     = 11, 12
+		rRowA, rAddr = 13, 14
+	)
+	b.LoadConst(rA, int64(a))
+	b.LoadConst(rB, int64(bb))
+	b.LoadConst(rC, int64(cc))
+	b.LoadConst(rN, int64(n))
+
+	b.LoadConst(rI, 0)
+	b.Label("i_loop")
+	b.LoadConst(rJ, 0)
+	b.Label("j_loop")
+	b.LoadConst(rAcc, 0)
+	b.LoadConst(rK, 0)
+	// rRowA = &A[i][0]
+	b.EmitOp(isa.OpMul, rRowA, rI, rN)
+	b.EmitOp(isa.OpShl, rRowA, rRowA, regConst(b, 3))
+	b.EmitOp(isa.OpAdd, rRowA, rRowA, rA)
+	b.Label("k_loop")
+	// rVa = A[i][k]
+	b.EmitOp(isa.OpShl, rTmp, rK, regConst(b, 3))
+	b.EmitOp(isa.OpAdd, rTmp, rTmp, rRowA)
+	b.EmitImm(isa.OpLoad, rVa, rTmp, 0)
+	// rVb = B[k][j]
+	b.EmitOp(isa.OpMul, rTmp2, rK, rN)
+	b.EmitOp(isa.OpAdd, rTmp2, rTmp2, rJ)
+	b.EmitOp(isa.OpShl, rTmp2, rTmp2, regConst(b, 3))
+	b.EmitOp(isa.OpAdd, rTmp2, rTmp2, rB)
+	b.EmitImm(isa.OpLoad, rVb, rTmp2, 0)
+	// acc += va*vb
+	b.EmitOp(isa.OpMul, rVa, rVa, rVb)
+	b.EmitOp(isa.OpAdd, rAcc, rAcc, rVa)
+	b.EmitImm(isa.OpAddi, rK, rK, 1)
+	b.Branch(isa.OpBlt, rK, rN, "k_loop")
+	// C[i][j] = acc
+	b.EmitOp(isa.OpMul, rAddr, rI, rN)
+	b.EmitOp(isa.OpAdd, rAddr, rAddr, rJ)
+	b.EmitOp(isa.OpShl, rAddr, rAddr, regConst(b, 3))
+	b.EmitOp(isa.OpAdd, rAddr, rAddr, rC)
+	b.Emit(isa.Instr{Op: isa.OpStore, Src1: rAddr, Src2: rAcc})
+	b.EmitImm(isa.OpAddi, rJ, rJ, 1)
+	b.Branch(isa.OpBlt, rJ, rN, "j_loop")
+	b.EmitImm(isa.OpAddi, rI, rI, 1)
+	b.Branch(isa.OpBlt, rI, rN, "i_loop")
+	b.Emit(isa.Instr{Op: isa.OpHalt})
+	return b.MustBuild(), cc
+}
+
+// regConst materializes a small constant into the scratch register r15 and
+// returns it; usable as a second source operand.
+func regConst(b *program.Builder, v int64) isa.Reg {
+	const r = 15
+	b.LoadConst(r, v)
+	return r
+}
+
+// KernelBubbleSort builds an in-place bubble sort of n words initialized
+// in descending order; the sorted array starts at the returned address.
+func KernelBubbleSort(n int) (*program.Program, uint64) {
+	b := program.NewBuilder("bubblesort")
+	arr := b.Array(n, func(i int) uint64 { return uint64(n - i) })
+	const (
+		rI, rJ, rN, rBase   = 1, 2, 3, 4
+		rAddr, rVa, rVb, rT = 5, 6, 7, 8
+	)
+	b.LoadConst(rBase, int64(arr))
+	b.LoadConst(rN, int64(n))
+	b.LoadConst(rI, 0)
+	b.Label("outer")
+	b.LoadConst(rJ, 0)
+	// inner bound: n-1-i
+	b.EmitOp(isa.OpSub, rT, rN, rI)
+	b.EmitImm(isa.OpAddi, rT, rT, -1)
+	b.Label("inner")
+	b.EmitOp(isa.OpShl, rAddr, rJ, regConst(b, 3))
+	b.EmitOp(isa.OpAdd, rAddr, rAddr, rBase)
+	b.EmitImm(isa.OpLoad, rVa, rAddr, 0)
+	b.EmitImm(isa.OpLoad, rVb, rAddr, 8)
+	b.Branch(isa.OpBge, rVb, rVa, "noswap")
+	b.Emit(isa.Instr{Op: isa.OpStore, Src1: rAddr, Src2: rVb})
+	b.Emit(isa.Instr{Op: isa.OpStore, Src1: rAddr, Src2: rVa, Imm: 8})
+	b.Label("noswap")
+	b.EmitImm(isa.OpAddi, rJ, rJ, 1)
+	b.Branch(isa.OpBlt, rJ, rT, "inner")
+	b.EmitImm(isa.OpAddi, rI, rI, 1)
+	b.EmitImm(isa.OpAddi, rT, rN, -1)
+	b.Branch(isa.OpBlt, rI, rT, "outer")
+	b.Emit(isa.Instr{Op: isa.OpHalt})
+	return b.MustBuild(), arr
+}
+
+// KernelFib builds an iterative Fibonacci computation; fib(n) ends in r3.
+func KernelFib(n int) *program.Program {
+	b := program.NewBuilder("fib")
+	const (
+		rN, rA, rB2, rT = 1, 2, 3, 4
+	)
+	b.LoadConst(rN, int64(n))
+	b.LoadConst(rA, 0)  // fib(0)
+	b.LoadConst(rB2, 1) // fib(1)
+	b.Label("loop")
+	b.EmitOp(isa.OpAdd, rT, rA, rB2)
+	b.EmitOp(isa.OpAdd, rA, rB2, isa.ZeroReg)
+	b.EmitOp(isa.OpAdd, rB2, rT, isa.ZeroReg)
+	b.EmitImm(isa.OpAddi, rN, rN, -1)
+	b.Branch(isa.OpBne, rN, isa.ZeroReg, "loop")
+	b.Emit(isa.Instr{Op: isa.OpHalt})
+	return b.MustBuild()
+}
+
+// KernelMemcpy builds a word-granular copy of n words from a source
+// pattern array; returns the destination base address.
+func KernelMemcpy(n int) (*program.Program, uint64) {
+	b := program.NewBuilder("memcpy")
+	src := b.Array(n, func(i int) uint64 { return uint64(i)*2654435761 + 17 })
+	dst := b.Array(n, func(i int) uint64 { return 0 })
+	const (
+		rSrc, rDst, rN, rV = 1, 2, 3, 4
+	)
+	b.LoadConst(rSrc, int64(src))
+	b.LoadConst(rDst, int64(dst))
+	b.LoadConst(rN, int64(n))
+	b.Label("loop")
+	b.EmitImm(isa.OpLoad, rV, rSrc, 0)
+	b.Emit(isa.Instr{Op: isa.OpStore, Src1: rDst, Src2: rV})
+	b.EmitImm(isa.OpAddi, rSrc, rSrc, 8)
+	b.EmitImm(isa.OpAddi, rDst, rDst, 8)
+	b.EmitImm(isa.OpAddi, rN, rN, -1)
+	b.Branch(isa.OpBne, rN, isa.ZeroReg, "loop")
+	b.Emit(isa.Instr{Op: isa.OpHalt})
+	return b.MustBuild(), dst
+}
+
+// KernelHistogram builds a histogram of n values over 16 buckets; the
+// bucket counts start at the returned address.
+func KernelHistogram(n int) (*program.Program, uint64) {
+	b := program.NewBuilder("histogram")
+	data := b.Array(n, func(i int) uint64 { return uint64(i*i*31+7) & 15 })
+	hist := b.Array(16, func(i int) uint64 { return 0 })
+	const (
+		rData, rHist, rN, rV, rAddr, rC = 1, 2, 3, 4, 5, 6
+	)
+	b.LoadConst(rData, int64(data))
+	b.LoadConst(rHist, int64(hist))
+	b.LoadConst(rN, int64(n))
+	b.Label("loop")
+	b.EmitImm(isa.OpLoad, rV, rData, 0)
+	b.EmitOp(isa.OpShl, rV, rV, regConst(b, 3))
+	b.EmitOp(isa.OpAdd, rAddr, rHist, rV)
+	b.EmitImm(isa.OpLoad, rC, rAddr, 0)
+	b.EmitImm(isa.OpAddi, rC, rC, 1)
+	b.Emit(isa.Instr{Op: isa.OpStore, Src1: rAddr, Src2: rC})
+	b.EmitImm(isa.OpAddi, rData, rData, 8)
+	b.EmitImm(isa.OpAddi, rN, rN, -1)
+	b.Branch(isa.OpBne, rN, isa.ZeroReg, "loop")
+	b.Emit(isa.Instr{Op: isa.OpHalt})
+	return b.MustBuild(), hist
+}
+
+// KernelCRC builds a bytewise CRC-style rolling checksum (x*33 + byte)
+// over n words; the checksum ends in r5.
+func KernelCRC(n int) *program.Program {
+	b := program.NewBuilder("crc")
+	data := b.Array(n, func(i int) uint64 { return uint64(i*131 + 7) })
+	const (
+		rData, rN, rV, rT, rSum = 1, 2, 3, 4, 5
+	)
+	b.LoadConst(rData, int64(data))
+	b.LoadConst(rN, int64(n))
+	b.LoadConst(rSum, 5381)
+	b.Label("loop")
+	b.EmitImm(isa.OpLoad, rV, rData, 0)
+	b.EmitOp(isa.OpShl, rT, rSum, regConst(b, 5))
+	b.EmitOp(isa.OpAdd, rSum, rSum, rT) // sum *= 33
+	b.EmitOp(isa.OpXor, rSum, rSum, rV)
+	b.EmitImm(isa.OpAddi, rData, rData, 8)
+	b.EmitImm(isa.OpAddi, rN, rN, -1)
+	b.Branch(isa.OpBne, rN, isa.ZeroReg, "loop")
+	b.Emit(isa.Instr{Op: isa.OpHalt})
+	return b.MustBuild()
+}

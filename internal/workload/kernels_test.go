@@ -1,0 +1,110 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/fsim"
+)
+
+// Each kernel's result is checked against a native Go computation — these
+// are end-to-end acceptance tests for the ISA semantics, the builder and
+// the functional simulator together.
+
+func runKernel(t *testing.T, prog interface {
+	Validate() error
+}, m *fsim.Machine) {
+	t.Helper()
+	if _, err := m.Run(50_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if !m.Halted {
+		t.Fatal("kernel did not halt")
+	}
+}
+
+func TestKernelMatMul(t *testing.T) {
+	const n = 8
+	prog, cBase := KernelMatMul(n)
+	m := fsim.New(prog)
+	runKernel(t, prog, m)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			want := uint64(0)
+			for k := 0; k < n; k++ {
+				want += uint64(i+k) * uint64(k*2+j)
+			}
+			got := m.Mem.Read(cBase + uint64(i*n+j)*8)
+			if got != want {
+				t.Fatalf("C[%d][%d] = %d, want %d", i, j, got, want)
+			}
+		}
+	}
+}
+
+func TestKernelBubbleSort(t *testing.T) {
+	const n = 32
+	prog, base := KernelBubbleSort(n)
+	m := fsim.New(prog)
+	runKernel(t, prog, m)
+	for i := 0; i < n; i++ {
+		if got := m.Mem.Read(base + uint64(i)*8); got != uint64(i+1) {
+			t.Fatalf("arr[%d] = %d, want %d", i, got, i+1)
+		}
+	}
+}
+
+func TestKernelFib(t *testing.T) {
+	prog := KernelFib(30)
+	m := fsim.New(prog)
+	runKernel(t, prog, m)
+	a, b := uint64(0), uint64(1)
+	for i := 0; i < 30; i++ {
+		a, b = b, a+b
+	}
+	if m.Regs[3] != b {
+		t.Errorf("fib(30): r3 = %d, want %d", m.Regs[3], b)
+	}
+}
+
+func TestKernelMemcpy(t *testing.T) {
+	const n = 64
+	prog, dst := KernelMemcpy(n)
+	m := fsim.New(prog)
+	runKernel(t, prog, m)
+	for i := 0; i < n; i++ {
+		want := uint64(i)*2654435761 + 17
+		if got := m.Mem.Read(dst + uint64(i)*8); got != want {
+			t.Fatalf("dst[%d] = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestKernelHistogram(t *testing.T) {
+	const n = 200
+	prog, hist := KernelHistogram(n)
+	m := fsim.New(prog)
+	runKernel(t, prog, m)
+	var want [16]uint64
+	for i := 0; i < n; i++ {
+		want[uint64(i*i*31+7)&15]++
+	}
+	for bkt := 0; bkt < 16; bkt++ {
+		if got := m.Mem.Read(hist + uint64(bkt)*8); got != want[bkt] {
+			t.Errorf("hist[%d] = %d, want %d", bkt, got, want[bkt])
+		}
+	}
+}
+
+func TestKernelCRC(t *testing.T) {
+	const n = 100
+	prog := KernelCRC(n)
+	m := fsim.New(prog)
+	runKernel(t, prog, m)
+	sum := uint64(5381)
+	for i := 0; i < n; i++ {
+		sum = (sum + sum<<5) ^ uint64(i*131+7)
+	}
+	if m.Regs[5] != sum {
+		t.Errorf("crc: r5 = %#x, want %#x", m.Regs[5], sum)
+	}
+}

@@ -1,0 +1,87 @@
+package workload
+
+// SPEC95 profiles. The DIE proposal the paper builds on (Ray, Hoe &
+// Falsafi [24]) was evaluated on a mix of SPEC95 and SPEC2000 programs,
+// reporting ~30% average IPC loss and up to 45% in the worst case — the
+// numbers the paper's introduction quotes as motivation. This second
+// suite models eight SPEC95 applications so that claim can be reproduced
+// independently of the main SPEC2000 suite (experiment "prior24").
+
+// SPEC95 returns eight SPEC95-like profiles.
+func SPEC95() []Profile {
+	return []Profile{
+		// go: position evaluation over small boards — integer,
+		// branch-dense, hard-to-predict, ALU-hungry.
+		{
+			Name: "go95", Seed: 201, Iters: 0, InnerIters: 4, Unroll: 6,
+			InvariantOps: 4, IntOps: 16, Loads: 3, Stores: 1,
+			CondBranches: 3, ArrayWords: 1 << 12, Stride: 0,
+			ValueRange: 512, ChainDepth: 2,
+		},
+		// m88ksim: CPU simulator main loop — highly repetitive decode
+		// over a small opcode alphabet.
+		{
+			Name: "m88ksim", Seed: 202, Iters: 0, InnerIters: 16, Unroll: 4,
+			InvariantOps: 10, IntOps: 8, Loads: 3, Stores: 1,
+			CondBranches: 2, ArrayWords: 1 << 11, Stride: 1,
+			ValueRange: 32, ChainDepth: 2,
+		},
+		// compress: LZW over a tiny alphabet — the bzip2 of SPEC95.
+		{
+			Name: "compress", Seed: 203, Iters: 0, InnerIters: 24, Unroll: 3,
+			InvariantOps: 12, IntOps: 15, MulOps: 1, Loads: 2, Stores: 1,
+			CondBranches: 2, ArrayWords: 1 << 12, Stride: 1,
+			ValueRange: 16, ChainDepth: 2,
+		},
+		// li: lisp interpreter — cons-cell chasing with calls.
+		{
+			Name: "li", Seed: 204, Iters: 0, InnerIters: 3, Unroll: 3,
+			InvariantOps: 3, IntOps: 6, Loads: 3, Stores: 1,
+			CondBranches: 3, ArrayWords: 1 << 14, Stride: -1,
+			ValueRange: 1 << 20, ChainDepth: 2, Calls: true,
+		},
+		// ijpeg: DCT/quantization — integer multiply dense, high ILP.
+		{
+			Name: "ijpeg", Seed: 205, Iters: 0, InnerIters: 12, Unroll: 4,
+			InvariantOps: 8, IntOps: 14, MulOps: 5, Loads: 3, Stores: 1,
+			CondBranches: 1, ArrayWords: 1 << 11, Stride: 1,
+			ValueRange: 64, ChainDepth: 1,
+		},
+		// perl: interpreter dispatch — branchy, call-heavy, moderate
+		// reuse on interpreter state.
+		{
+			Name: "perl", Seed: 206, Iters: 0, InnerIters: 6, Unroll: 6,
+			InvariantOps: 7, IntOps: 7, Loads: 3, Stores: 1,
+			CondBranches: 3, ArrayWords: 1 << 12, Stride: 0,
+			ValueRange: 256, ChainDepth: 2, Calls: true,
+		},
+		// swim: shallow-water FP stencils — wide, regular, FP-add/mul
+		// saturating.
+		{
+			Name: "swim", Seed: 207, Iters: 0, InnerIters: 10, Unroll: 3,
+			InvariantOps: 5, IntOps: 5, FPAdds: 9, FPMuls: 6,
+			Loads: 3, Stores: 1, CondBranches: 1,
+			ArrayWords: 1 << 12, Stride: 1,
+			ValueRange: 32, ChainDepth: 1,
+		},
+		// tomcatv: mesh generation — FP over larger arrays with longer
+		// recurrences.
+		{
+			Name: "tomcatv", Seed: 208, Iters: 0, InnerIters: 6, Unroll: 2,
+			InvariantOps: 4, IntOps: 4, FPAdds: 5, FPMuls: 3,
+			Loads: 4, Stores: 1, CondBranches: 1,
+			ArrayWords: 1 << 14, Stride: 2,
+			ValueRange: 48, ChainDepth: 3,
+		},
+	}
+}
+
+// ByName95 returns the named SPEC95 profile, reporting whether it exists.
+func ByName95(name string) (Profile, bool) {
+	for _, p := range SPEC95() {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Profile{}, false
+}

@@ -1,0 +1,490 @@
+// Package workload generates the benchmark programs driven through the
+// simulator. The paper evaluates 12 SPEC2000 applications on SimpleScalar;
+// SPEC binaries (and an Alpha toolchain) are unavailable here, so each
+// application is modeled by a deterministic synthetic program for our ISA
+// whose structural knobs — instruction mix, branch behaviour, working-set
+// size and access pattern, dependency chain depth, static code footprint
+// and data value locality — are set per application to match its published
+// character. The programs are real code executed functionally: instruction
+// reuse emerges from loops re-touching data whose values repeat, it is
+// never asserted. See DESIGN.md for the substitution rationale.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"repro/internal/isa"
+	"repro/internal/program"
+)
+
+// Profile is the parameter set of one synthetic application.
+type Profile struct {
+	Name string
+	Seed uint64
+
+	// Iters is the trip count of the main loop; the dynamic instruction
+	// count is roughly Iters * Unroll * (body size).
+	Iters int
+
+	// InnerIters nests an inner loop of this many iterations inside each
+	// outer iteration (1 = flat loop). Values loaded by the outer loop
+	// are invariant across the inner iterations, so instructions rooted
+	// at them repeat operands consecutively — the dominant source of
+	// instruction reuse in real programs (fixed matrices, loop bounds,
+	// rematerialized constants).
+	InnerIters int
+
+	// Unroll replicates the loop body with distinct PCs, controlling the
+	// static code footprint and hence IRB capacity pressure.
+	Unroll int
+
+	// Per-block operation counts (per unrolled body block).
+	InvariantOps int // integer ops rooted at outer-loop values
+	IntOps       int // single-cycle integer ALU operations rooted at loads
+	MulOps       int // integer multiplies
+	DivOps       int // integer divides
+	FPAdds       int // FP add/sub
+	FPMuls       int // FP multiplies
+	FPDivs       int // FP divide/sqrt (alternating)
+	Loads        int
+	Stores       int
+
+	// CondBranches is the number of data-dependent branches per block
+	// (in addition to the loop's backward branch).
+	CondBranches int
+
+	// Calls adds a call/return pair per block, exercising the RAS.
+	Calls bool
+
+	// AliasLeaf pads the code so the called leaf function's PCs alias
+	// the hot loop body in a 1024-entry direct-mapped IRB, creating
+	// genuine conflict misses (real programs get these from functions
+	// scattered across the address space). Requires Calls.
+	AliasLeaf bool
+
+	// ArrayWords is the per-array working set (two arrays are
+	// allocated); larger values push accesses out of the caches.
+	ArrayWords int
+
+	// Stride is the load stride in words; 0 selects pseudo-random
+	// indexing and -1 selects pointer chasing.
+	Stride int
+
+	// ValueRange bounds the data values stored in the arrays: loaded
+	// operands are drawn from [0, ValueRange), so small ranges make
+	// operand tuples repeat across iterations — the source of
+	// instruction reuse. Must be >= 1.
+	ValueRange uint64
+
+	// ChainDepth >= 1 links each block's integer operations into
+	// dependency chains of roughly this length, throttling ILP.
+	ChainDepth int
+}
+
+// Validate reports parameter errors.
+func (p Profile) Validate() error {
+	if p.Name == "" {
+		return fmt.Errorf("workload: empty profile name")
+	}
+	if p.Iters <= 0 || p.Unroll <= 0 {
+		return fmt.Errorf("workload %s: Iters/Unroll must be positive", p.Name)
+	}
+	if p.InnerIters < 1 {
+		return fmt.Errorf("workload %s: InnerIters must be >= 1", p.Name)
+	}
+	if p.ArrayWords < 16 || p.ArrayWords&(p.ArrayWords-1) != 0 {
+		return fmt.Errorf("workload %s: ArrayWords = %d, want power of two >= 16", p.Name, p.ArrayWords)
+	}
+	if p.ValueRange == 0 {
+		return fmt.Errorf("workload %s: ValueRange must be >= 1", p.Name)
+	}
+	if p.ChainDepth < 1 {
+		return fmt.Errorf("workload %s: ChainDepth must be >= 1", p.Name)
+	}
+	if p.Stride < -1 {
+		return fmt.Errorf("workload %s: Stride = %d", p.Name, p.Stride)
+	}
+	if p.Loads < 1 {
+		return fmt.Errorf("workload %s: need at least one load per block", p.Name)
+	}
+	return nil
+}
+
+// Register conventions used by the generator. r1..r7 hold loop state,
+// r8..r15 hold loaded values, scratch and the outer-loop invariants,
+// r16..r21 are persistent accumulators, r22..r27 chain temporaries, r28
+// the inner loop counter; f1..f6 are the loop-invariant FP pool, f8..f11
+// the FP chains, f14 the FP accumulator.
+const (
+	regIter   isa.Reg = 1 // remaining iterations
+	regBaseA  isa.Reg = 2
+	regBaseB  isa.Reg = 3
+	regIdx    isa.Reg = 4 // current byte offset into the arrays
+	regLCG    isa.Reg = 5 // pseudo-random state
+	regMask   isa.Reg = 6 // byte-offset mask (ArrayWords*8 - 8)
+	regThresh isa.Reg = 7 // branch threshold
+
+	regLoad0 isa.Reg = 8  // most recent loaded values rotate 8..11
+	regTmp   isa.Reg = 12 // scratch
+	regStVal isa.Reg = 13
+	regInner isa.Reg = 28 // inner loop counter
+	regOut0  isa.Reg = 14 // outer-loop loaded values: invariant across
+	regOut1  isa.Reg = 15 // the inner iterations
+
+	// Persistent accumulators: evolve every iteration (non-reusable).
+	regAccBase isa.Reg = 16
+	numAcc             = 6
+
+	// Chain temporaries: recomputed from loads each block (reusable).
+	regChainBase isa.Reg = 22
+	numChain             = 6
+
+	// Loop-invariant FP pool and FP chain/accumulator registers.
+	fpBase              = isa.FP0 + 1
+	numFP               = 6
+	fpChainBase isa.Reg = isa.FP0 + 8
+	numFPChain          = 4
+	fpAcc       isa.Reg = isa.FP0 + 14
+)
+
+// Generate builds the program for p. Generation is fully deterministic in
+// p (including Seed).
+func Generate(p Profile) (*program.Program, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	g := &gen{
+		p:   p,
+		rng: rand.New(rand.NewPCG(p.Seed, p.Seed^0x9e3779b97f4a7c15)),
+		b:   program.NewBuilder(p.Name),
+	}
+	g.prologue()
+	g.b.Label("outer_loop")
+	g.outerPrep()
+	g.innerPC = g.b.PC()
+	g.b.Label("inner_loop")
+	for u := 0; u < p.Unroll; u++ {
+		g.block(u)
+	}
+	g.b.EmitImm(isa.OpAddi, regInner, regInner, -1)
+	g.b.Branch(isa.OpBne, regInner, isa.ZeroReg, "inner_loop")
+	g.b.EmitImm(isa.OpAddi, regIter, regIter, -1)
+	g.b.Branch(isa.OpBne, regIter, isa.ZeroReg, "outer_loop")
+	g.b.Emit(isa.Instr{Op: isa.OpHalt})
+	g.epilogueFuncs()
+	return g.b.Build()
+}
+
+// MustGenerate is Generate that panics on error.
+func MustGenerate(p Profile) *program.Program {
+	prog, err := Generate(p)
+	if err != nil {
+		panic(err)
+	}
+	return prog
+}
+
+type gen struct {
+	p       Profile
+	rng     *rand.Rand
+	b       *program.Builder
+	nCalls  int
+	innerPC uint64 // PC of the inner loop head, for AliasLeaf padding
+}
+
+// prologue allocates and initializes the data arrays and loop registers.
+func (g *gen) prologue() {
+	p, b := g.p, g.b
+	// Array A: operand values with the profile's entropy. For pointer
+	// chasing it instead holds a random ring permutation of byte
+	// offsets, so every load feeds the next load's address.
+	var baseA uint64
+	if p.Stride == -1 {
+		perm := g.rng.Perm(p.ArrayWords)
+		next := make([]uint64, p.ArrayWords)
+		for i := 0; i < p.ArrayWords; i++ {
+			next[perm[i]] = uint64(perm[(i+1)%p.ArrayWords]) * 8
+		}
+		baseA = b.Array(p.ArrayWords, func(i int) uint64 { return next[i] })
+	} else {
+		baseA = b.Array(p.ArrayWords, func(i int) uint64 {
+			return g.rng.Uint64() % p.ValueRange
+		})
+	}
+	// Array B: FP payload (small magnitudes, quantized by ValueRange)
+	// and the store target.
+	baseB := b.Array(p.ArrayWords, func(i int) uint64 {
+		q := g.rng.Uint64() % p.ValueRange
+		return f2u(1.0 + float64(q%251)/16.0)
+	})
+
+	b.LoadConst(regIter, int64(p.Iters))
+	b.LoadConst(regBaseA, int64(baseA))
+	b.LoadConst(regBaseB, int64(baseB))
+	b.LoadConst(regIdx, 0)
+	b.LoadConst(regLCG, int64(g.rng.Uint64()&0x7fffffff))
+	b.LoadConst(regMask, int64(p.ArrayWords*8-8))
+	b.LoadConst(regThresh, int64(p.ValueRange/2))
+	// Seed the accumulators with distinct small constants.
+	for i := 0; i < numAcc; i++ {
+		b.LoadConst(regAccBase+isa.Reg(i), int64(i+1))
+	}
+	b.EmitOp(isa.OpCvtIF, fpBase, regAccBase, 0) // f1 = 1.0
+	for i := 1; i < numFP; i++ {
+		b.EmitOp(isa.OpCvtIF, fpBase+isa.Reg(i), regAccBase+isa.Reg(i%numAcc), 0)
+	}
+}
+
+// outerPrep runs once per outer iteration: it advances the outer position,
+// loads the values that stay invariant across the inner loop, and resets
+// the inner trip counter.
+func (g *gen) outerPrep() {
+	p, b := g.p, g.b
+	g.indexUpdate()
+	b.EmitImm(isa.OpLoad, regOut0, regIdxPlus(b, regBaseA), 0)
+	b.EmitImm(isa.OpLoad, regOut1, regIdxPlus(b, regBaseA), 8)
+	b.LoadConst(regInner, int64(p.InnerIters))
+}
+
+// invariantMix emits integer chains rooted at the outer-loop values: their
+// operands repeat on every inner iteration, so — like a real program's
+// loop-invariant address and bound computations — they are prime
+// instruction-reuse candidates.
+func (g *gen) invariantMix() {
+	p, b := g.p, g.b
+	intOps := []isa.Op{isa.OpAdd, isa.OpSub, isa.OpAnd, isa.OpOr, isa.OpXor, isa.OpSlt}
+	emitted := 0
+	for emitted < p.InvariantOps {
+		chainReg := regChainBase + isa.Reg(g.rng.IntN(numChain))
+		b.EmitOp(intOps[g.rng.IntN(len(intOps))], chainReg, regOut0, regOut1)
+		emitted++
+		for d := 1; d < p.ChainDepth && emitted < p.InvariantOps; d++ {
+			src := regOut0
+			if d%2 == 1 {
+				src = regOut1
+			}
+			b.EmitOp(intOps[g.rng.IntN(len(intOps))], chainReg, chainReg, src)
+			emitted++
+		}
+		if emitted < p.InvariantOps {
+			// An immediate op on an invariant value: also reusable.
+			b.EmitImm(isa.OpAddi, chainReg, chainReg, int32(g.rng.IntN(64)))
+			emitted++
+		}
+	}
+}
+
+// block emits one unrolled loop body: index update, loads, compute mix,
+// data-dependent branches, stores, and an optional call.
+func (g *gen) block(u int) {
+	p, b := g.p, g.b
+	g.indexUpdate()
+
+	// Loads rotate through regLoad0..regLoad0+3. Pointer-chase profiles
+	// keep array A exclusively for the chase: a block load of A[idx]
+	// would otherwise prefetch the next chase target and collapse the
+	// serial miss chain that makes these applications memory-bound.
+	for i := 0; i < p.Loads; i++ {
+		dst := regLoad0 + isa.Reg(i%4)
+		if i%2 == 0 && p.Stride != -1 {
+			b.EmitImm(isa.OpLoad, dst, regIdxPlus(b, regBaseA), 0)
+		} else {
+			b.EmitImm(isa.OpLoad, dst, regIdxPlus(b, regBaseB), int32(8*(i/2)))
+		}
+	}
+
+	g.invariantMix()
+	g.intMix()
+	g.fpMix()
+
+	for i := 0; i < p.CondBranches; i++ {
+		g.condBranch(u, i)
+	}
+
+	for i := 0; i < p.Stores; i++ {
+		// Store an accumulator back into array B at the current index.
+		src := regAccBase + isa.Reg(g.rng.IntN(numAcc))
+		b.EmitOp(isa.OpAdd, regTmp, regBaseB, regIdx)
+		b.Emit(isa.Instr{Op: isa.OpStore, Src1: regTmp, Src2: src, Imm: 0})
+	}
+
+	if p.Calls {
+		g.nCalls++
+		b.Call("leaf")
+	}
+}
+
+// regIdxPlus emits base+idx into regTmp and returns regTmp, the base
+// register for a subsequent load.
+func regIdxPlus(b *program.Builder, base isa.Reg) isa.Reg {
+	b.EmitOp(isa.OpAdd, regTmp, base, regIdx)
+	return regTmp
+}
+
+// indexUpdate advances regIdx according to the access pattern.
+func (g *gen) indexUpdate() {
+	p, b := g.p, g.b
+	switch {
+	case p.Stride == -1:
+		// Pointer chase: the loaded value is the next offset.
+		b.EmitOp(isa.OpAdd, regTmp, regBaseA, regIdx)
+		b.EmitImm(isa.OpLoad, regIdx, regTmp, 0)
+	case p.Stride == 0:
+		// LCG pseudo-random indexing.
+		b.LoadConst(regTmp, 1664525)
+		b.EmitOp(isa.OpMul, regLCG, regLCG, regTmp)
+		b.EmitImm(isa.OpAddi, regLCG, regLCG, 1013904223)
+		b.EmitOp(isa.OpAnd, regIdx, regLCG, regMask)
+	default:
+		b.EmitImm(isa.OpAddi, regIdx, regIdx, int32(p.Stride*8))
+		b.EmitOp(isa.OpAnd, regIdx, regIdx, regMask)
+	}
+}
+
+// intMix emits the block's integer operations as ChainDepth-long dependent
+// chains rooted at the loaded values — like real code, the computation is
+// a function of its inputs, so the same loaded operands recompute the same
+// chain and instruction reuse tracks the data's value locality. Each chain
+// ends with one fold into a persistent accumulator, which evolves every
+// iteration and is therefore the realistic non-reusable fraction.
+func (g *gen) intMix() {
+	p, b := g.p, g.b
+	intOps := []isa.Op{isa.OpAdd, isa.OpSub, isa.OpAnd, isa.OpOr, isa.OpXor, isa.OpShl, isa.OpSlt}
+	emitted := 0
+	for emitted < p.IntOps {
+		chainReg := regChainBase + isa.Reg(g.rng.IntN(numChain))
+		// Root: a pure function of two loaded values.
+		la := regLoad0 + isa.Reg(g.rng.IntN(4))
+		lb := regLoad0 + isa.Reg(g.rng.IntN(4))
+		b.EmitOp(intOps[g.rng.IntN(len(intOps))], chainReg, la, lb)
+		emitted++
+		for d := 1; d < p.ChainDepth && emitted < p.IntOps; d++ {
+			// Each link folds one of the chain's root loads, so
+			// the whole chain is a pure function of (la, lb) and
+			// repeats exactly when that pair of values does.
+			op := intOps[g.rng.IntN(len(intOps))]
+			src := la
+			if d%2 == 1 {
+				src = lb
+			}
+			b.EmitOp(op, chainReg, chainReg, src)
+			emitted++
+		}
+		if emitted < p.IntOps {
+			// The accumulator fold: never reusable.
+			acc := regAccBase + isa.Reg(g.rng.IntN(numAcc))
+			b.EmitOp(isa.OpAdd, acc, acc, chainReg)
+			emitted++
+		}
+	}
+	for i := 0; i < p.MulOps; i++ {
+		dst := regChainBase + isa.Reg(g.rng.IntN(numChain))
+		b.EmitOp(isa.OpMul, dst, regLoad0+isa.Reg(i%4), regLoad0+isa.Reg((i+1)%4))
+	}
+	for i := 0; i < p.DivOps; i++ {
+		dst := regChainBase + isa.Reg(g.rng.IntN(numChain))
+		// Divisor is a loaded value + 3: never zero, data-dependent.
+		b.EmitImm(isa.OpAddi, regTmp, regLoad0+isa.Reg(i%4), 3)
+		b.EmitOp(isa.OpDivu, dst, regLoad0+isa.Reg((i+2)%4), regTmp)
+	}
+}
+
+// fpMix emits the block's floating point operations, likewise rooted at
+// the loaded data: values are converted into the FP chain registers and
+// combined with the loop-invariant FP pool, with one accumulator fold.
+func (g *gen) fpMix() {
+	p, b := g.p, g.b
+	nFPOps := p.FPAdds + p.FPMuls + p.FPDivs
+	if nFPOps == 0 {
+		return
+	}
+	// Root half the FP chains in the outer-loop values (invariant
+	// across the inner loop, hence reusable) and half in this
+	// iteration's data.
+	b.EmitOp(isa.OpCvtIF, fpChainBase, regOut0, 0)
+	b.EmitOp(isa.OpCvtIF, fpChainBase+1, regOut1, 0)
+	b.EmitOp(isa.OpCvtIF, fpChainBase+2, regLoad0, 0)
+	b.EmitOp(isa.OpCvtIF, fpChainBase+3, regLoad0+1, 0)
+	// Every op writes back to its own chain register (d == s), so the
+	// invariant chains (0,1) stay pure functions of the outer values and
+	// the variant chains (2,3) of this iteration's loads.
+	for i := 0; i < p.FPAdds; i++ {
+		s := g.fpSource(i)
+		op := isa.OpFAdd
+		if i%3 == 1 {
+			op = isa.OpFSub
+		}
+		b.EmitOp(op, s, s, fpBase+isa.Reg(g.rng.IntN(numFP)))
+	}
+	for i := 0; i < p.FPMuls; i++ {
+		s := g.fpSource(i)
+		b.EmitOp(isa.OpFMul, s, s, fpBase+isa.Reg(g.rng.IntN(numFP)))
+	}
+	for i := 0; i < p.FPDivs; i++ {
+		s := g.fpSource(i)
+		if i%2 == 0 {
+			b.EmitOp(isa.OpFDiv, s, s, fpBase+isa.Reg(g.rng.IntN(numFP)))
+		} else {
+			b.EmitOp(isa.OpFAbs, regTmpFP, s, 0)
+			b.EmitOp(isa.OpFSqrt, s, regTmpFP, 0)
+		}
+	}
+	// One accumulator fold per block: the non-reusable tail.
+	b.EmitOp(isa.OpFAdd, fpAcc, fpAcc, fpChainBase)
+}
+
+// fpSource rotates through the FP chain registers, alternating between the
+// invariant (0,1) and variant (2,3) chains.
+func (g *gen) fpSource(i int) isa.Reg {
+	return fpChainBase + isa.Reg(i%numFPChain)
+}
+
+// regTmpFP is the FP scratch register.
+const regTmpFP = isa.FP0 + 15
+
+// condBranch emits one data-dependent branch over a short then-block. Its
+// predictability is governed by the loaded values' distribution against
+// the fixed threshold.
+func (g *gen) condBranch(u, i int) {
+	b := g.b
+	label := fmt.Sprintf("skip_%d_%d", u, i)
+	src := regLoad0 + isa.Reg(g.rng.IntN(4))
+	b.Branch(isa.OpBlt, src, regThresh, label)
+	acc := regAccBase + isa.Reg(g.rng.IntN(numAcc))
+	b.EmitOp(isa.OpAdd, acc, acc, src)
+	b.EmitImm(isa.OpAddi, acc, acc, 1)
+	b.Label(label)
+}
+
+// epilogueFuncs emits the leaf function used by Calls profiles. With
+// AliasLeaf it first pads the (never-executed) gap after the halt so the
+// leaf's PCs land exactly one IRB-set stride past the hot inner loop,
+// making the per-block calls evict loop-body entries on every iteration.
+func (g *gen) epilogueFuncs() {
+	if g.nCalls == 0 {
+		return
+	}
+	b := g.b
+	if g.p.AliasLeaf {
+		const irbSets = 1024
+		target := g.innerPC + 16
+		for b.PC()%irbSets != target%irbSets {
+			b.Emit(isa.Instr{Op: isa.OpNop})
+		}
+	}
+	b.Label("leaf")
+	// The leaf recomputes per-outer-iteration state from the invariant
+	// outer values (reusable work, like a real helper re-deriving
+	// bounds), then folds in the caller's latest load.
+	b.EmitOp(isa.OpAdd, regStVal, regOut0, regOut1)
+	b.EmitOp(isa.OpXor, regTmp, regOut0, regOut1)
+	b.EmitOp(isa.OpOr, regStVal, regStVal, regTmp)
+	b.EmitOp(isa.OpSlt, regTmp, regOut0, regOut1)
+	b.EmitImm(isa.OpAddi, regStVal, regStVal, 5)
+	b.EmitOp(isa.OpAdd, regStVal, regStVal, regLoad0)
+	b.Ret()
+}
+
+func f2u(f float64) uint64 { return math.Float64bits(f) }
