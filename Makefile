@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test test-short vet bench sweep examples clean
+.PHONY: all build test test-short race vet bench sweep examples clean
 
 all: vet test build
 
@@ -12,6 +12,11 @@ test:
 
 test-short:
 	$(GO) test -short ./...
+
+# Full suite under the race detector; the parallel sweep runner and the
+# experiment grids must stay race-clean.
+race:
+	$(GO) test -race ./...
 
 vet:
 	$(GO) vet ./...

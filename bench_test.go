@@ -176,6 +176,29 @@ func BenchmarkAblationFwd(b *testing.B) {
 	}
 }
 
+// BenchmarkGridSerial and BenchmarkGridParallel time the same headline
+// grid through the sweep runner with one worker and with every core;
+// their ratio is the wall-clock speedup recorded in EXPERIMENTS.md. On a
+// single-CPU machine the two are equivalent by construction.
+func BenchmarkGridSerial(b *testing.B) {
+	opts := benchOpts()
+	opts.Parallelism = 1
+	for i := 0; i < b.N; i++ {
+		if _, _, _, err := experiments.Headline(opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGridParallel(b *testing.B) {
+	opts := benchOpts() // Parallelism 0 = GOMAXPROCS workers
+	for i := 0; i < b.N; i++ {
+		if _, _, _, err := experiments.Headline(opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkSimulatorThroughput measures the simulator's own speed in
 // simulated instructions per wall-clock second, per execution mode.
 func BenchmarkSimulatorThroughput(b *testing.B) {

@@ -16,11 +16,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 
+	"repro/internal/cliutil"
 	"repro/internal/fsim"
 	"repro/internal/irb"
 	"repro/internal/isa"
+	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/workload"
 )
@@ -29,8 +30,8 @@ func main() {
 	entries := flag.Int("entries", 1024, "IRB entries")
 	assoc := flag.Int("assoc", 1, "IRB associativity")
 	victim := flag.Int("victim", 0, "victim buffer entries")
-	insns := flag.Uint64("insns", 300_000, "instructions per benchmark")
-	bench := flag.String("bench", "", "comma-separated benchmark subset")
+	insns := cliutil.Insns(flag.CommandLine, sim.DefaultInsns)
+	bench := cliutil.Bench(flag.CommandLine, "", "comma-separated benchmark subset")
 	flag.Parse()
 
 	if err := run(*entries, *assoc, *victim, *insns, *bench); err != nil {
@@ -40,16 +41,9 @@ func main() {
 }
 
 func run(entries, assoc, victim int, insns uint64, bench string) error {
-	profiles := workload.SPEC2000()
-	if bench != "" {
-		profiles = nil
-		for _, name := range strings.Split(bench, ",") {
-			p, ok := workload.ByName(name)
-			if !ok {
-				return fmt.Errorf("unknown benchmark %q", name)
-			}
-			profiles = append(profiles, p)
-		}
+	profiles, err := cliutil.Profiles(bench)
+	if err != nil {
+		return err
 	}
 	t := stats.NewTable(
 		fmt.Sprintf("Standalone reuse characterization (%d-entry %d-way IRB, %d victim)",

@@ -1,31 +1,42 @@
-// Command simdie runs one benchmark on one machine configuration and
-// prints the full statistics report — the equivalent of a single
-// sim-outorder invocation on the paper's platform.
+// Command simdie runs one or more benchmarks on one machine
+// configuration and prints the full statistics report per benchmark —
+// the equivalent of a sim-outorder invocation on the paper's platform.
+// A comma-separated -bench list (or -bench all for the whole suite)
+// fans the runs out across -j parallel workers; reports print in the
+// order the benchmarks were named regardless of completion order.
 //
 // Usage:
 //
 //	simdie -bench gzip -mode DIE-IRB
+//	simdie -bench gzip,gcc,mesa -mode DIE -j 4
+//	simdie -bench all -mode DIE-IRB
 //	simdie -bench art -mode DIE -2xruu -insns 1000000
 //	simdie -bench mesa -mode SIE -verify
 //	simdie -bench bzip2 -dump | head   # disassemble the workload
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
+	"repro/internal/cliutil"
 	"repro/internal/core"
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/workload"
 )
 
 func main() {
-	bench := flag.String("bench", "gzip", "benchmark name (one of the 12 SPEC2000 profiles)")
+	bench := cliutil.Bench(flag.CommandLine, "gzip",
+		"comma-separated benchmark names, or \"all\" for the SPEC2000 suite")
+	insns := cliutil.Insns(flag.CommandLine, sim.DefaultInsns)
+	verify := cliutil.Verify(flag.CommandLine)
+	jobs := cliutil.Jobs(flag.CommandLine)
 	mode := flag.String("mode", "DIE-IRB", "execution mode: SIE, DIE, DIE-IRB, SIE-IRB")
-	insns := flag.Uint64("insns", sim.DefaultInsns, "architected instructions to simulate")
-	verify := flag.Bool("verify", false, "verify against the functional oracle")
 	x2alu := flag.Bool("2xalu", false, "double all functional units")
 	x2ruu := flag.Bool("2xruu", false, "double RUU and LSQ capacity")
 	x2width := flag.Bool("2xwidths", false, "double all pipeline widths")
@@ -36,28 +47,21 @@ func main() {
 	trace := flag.Uint64("trace", 0, "print a pipeline trace for the first N cycles")
 	flag.Parse()
 
-	if err := run(*bench, *mode, *insns, *verify, *x2alu, *x2ruu, *x2width,
+	if err := run(*bench, *mode, *insns, *verify, *jobs, *x2alu, *x2ruu, *x2width,
 		*irbEntries, *irbAssoc, *irbVictim, *dump, *trace); err != nil {
 		fmt.Fprintln(os.Stderr, "simdie:", err)
 		os.Exit(1)
 	}
 }
 
-func run(bench, mode string, insns uint64, verify, x2alu, x2ruu, x2width bool,
+func run(bench, mode string, insns uint64, verify bool, jobs int, x2alu, x2ruu, x2width bool,
 	irbEntries, irbAssoc, irbVictim int, dump bool, trace uint64) error {
-	p, ok := workload.ByName(bench)
-	if !ok {
-		return fmt.Errorf("unknown benchmark %q (want one of the SPEC2000 profile names)", bench)
+	if bench == "all" {
+		bench = ""
 	}
-	if dump {
-		prog, err := workload.Generate(p.WithIters(insns))
-		if err != nil {
-			return err
-		}
-		for pc, in := range prog.Code {
-			fmt.Printf("%6d: %s\n", pc, in)
-		}
-		return nil
+	profiles, err := cliutil.Profiles(bench)
+	if err != nil {
+		return err
 	}
 
 	cfg := core.BaseSIE()
@@ -75,7 +79,21 @@ func run(bench, mode string, insns uint64, verify, x2alu, x2ruu, x2width bool,
 		cfg = cfg.WithDoubledWidths()
 	}
 
-	if trace > 0 {
+	if dump || trace > 0 {
+		if len(profiles) != 1 {
+			return fmt.Errorf("-dump and -trace need exactly one benchmark, got %d", len(profiles))
+		}
+		p := profiles[0]
+		if dump {
+			prog, err := workload.Generate(p.WithIters(insns))
+			if err != nil {
+				return err
+			}
+			for pc, in := range prog.Code {
+				fmt.Printf("%6d: %s\n", pc, in)
+			}
+			return nil
+		}
 		// Tracing needs direct core access; run outside the driver.
 		prog, err := workload.Generate(p.WithIters(insns + insns/3))
 		if err != nil {
@@ -90,12 +108,23 @@ func run(bench, mode string, insns uint64, verify, x2alu, x2ruu, x2width bool,
 		return c.Run()
 	}
 
-	r, err := sim.Run(mode, cfg, p, sim.Options{Insns: insns, Verify: verify})
-	if err != nil {
-		return err
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	batch := make([]runner.Job, len(profiles))
+	for i, p := range profiles {
+		batch[i] = runner.Job{
+			Name: mode, Config: cfg, Profile: p,
+			Opts: sim.Options{Insns: insns, Verify: verify},
+		}
 	}
-	report(r)
-	return nil
+	outs, err := runner.Run(ctx, batch, runner.Options{Parallelism: jobs})
+	for _, o := range outs {
+		if o.Err == nil {
+			report(o.Result)
+		}
+	}
+	return err
 }
 
 func report(r sim.Result) {

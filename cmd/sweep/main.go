@@ -1,57 +1,89 @@
 // Command sweep regenerates the paper's figures and tables (and this
-// reproduction's ablations) over the 12 SPEC2000-like workloads.
+// reproduction's ablations) over the 12 SPEC2000-like workloads. The
+// grid cells of each experiment run in parallel across -j workers
+// (default GOMAXPROCS); -j 1 reproduces the old serial sweep exactly,
+// and Ctrl-C cancels a sweep mid-grid.
 //
 // Usage:
 //
 //	sweep -exp all                     # every experiment
-//	sweep -exp fig2                    # one experiment
+//	sweep -exp fig2 -j 8               # one experiment, eight workers
 //	sweep -exp headline -insns 500000  # bigger instruction budget
 //	sweep -exp irbhit -bench gzip,mesa # subset of benchmarks
+//	sweep -exp fig2 -format csv        # csv or json instead of a table
+//	sweep -exp all -progress           # live cells-done/ETA on stderr
 //
 // Experiments: config, fig2, headline, irbhit, irbsize, conflict,
-// irbports, faults, ablation-dup, ablation-fwd, all.
+// irbports, faults, ablation-dup, ablation-fwd, scheduler, cluster,
+// prior24, reuse-sources, all.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
-	"strings"
+	"os/signal"
+	"time"
 
+	"repro/internal/cliutil"
 	"repro/internal/experiments"
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/stats"
 )
 
 func main() {
 	exp := flag.String("exp", "all", "experiment to run (see package doc)")
-	insns := flag.Uint64("insns", sim.DefaultInsns, "architected instructions per run")
-	bench := flag.String("bench", "", "comma-separated benchmark subset (default all 12)")
-	verify := flag.Bool("verify", false, "verify every run against the functional oracle")
-	csv := flag.Bool("csv", false, "emit comma-separated values instead of aligned tables")
+	insns := cliutil.Insns(flag.CommandLine, sim.DefaultInsns)
+	bench := cliutil.Bench(flag.CommandLine, "", "comma-separated benchmark subset (default all 12)")
+	verify := cliutil.Verify(flag.CommandLine)
+	jobs := cliutil.Jobs(flag.CommandLine)
+	format := cliutil.Format(flag.CommandLine)
+	csv := flag.Bool("csv", false, "deprecated: alias for -format csv")
+	progress := flag.Bool("progress", false, "report live per-cell progress on stderr")
 	flag.Parse()
-	emitCSV = *csv
-
-	opts := experiments.Options{Insns: *insns, Verify: *verify}
-	if *bench != "" {
-		opts.Benchmarks = strings.Split(*bench, ",")
+	if *csv {
+		*format = "csv"
 	}
 
-	if err := run(*exp, opts); err != nil {
+	// Ctrl-C cancels the sweep: in-flight simulations stop within a
+	// cycle and the completed cells' failures are still reported.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	opts := experiments.Options{
+		Insns:       *insns,
+		Verify:      *verify,
+		Benchmarks:  cliutil.SplitBenchmarks(*bench),
+		Parallelism: *jobs,
+		Context:     ctx,
+	}
+	if *progress {
+		opts.Progress = func(p runner.Progress) {
+			fmt.Fprintf(os.Stderr, "\r%4d/%d cells  %-40s eta %-10s",
+				p.Done, p.Total, p.Bench+"/"+p.Config, p.ETA.Round(time.Second))
+			if p.Done == p.Total {
+				fmt.Fprintln(os.Stderr)
+			}
+		}
+	}
+
+	if err := run(*exp, opts, *format); err != nil {
 		fmt.Fprintln(os.Stderr, "sweep:", err)
 		os.Exit(1)
 	}
 }
 
-type runner func(experiments.Options) (*stats.Table, error)
+type runnerFn func(experiments.Options) (*stats.Table, error)
 
 func runners() []struct {
 	name string
-	fn   runner
+	fn   runnerFn
 } {
 	return []struct {
 		name string
-		fn   runner
+		fn   runnerFn
 	}{
 		{"config", func(experiments.Options) (*stats.Table, error) {
 			return experiments.ConfigTable(), nil
@@ -111,16 +143,11 @@ func runners() []struct {
 	}
 }
 
-var emitCSV bool
-
-func render(t *stats.Table) string {
-	if emitCSV {
-		return t.CSV()
+func run(exp string, opts experiments.Options, format string) error {
+	// Validate the format before burning simulation time on the grid.
+	if _, err := cliutil.Render(stats.NewTable(""), format); err != nil {
+		return err
 	}
-	return t.String()
-}
-
-func run(exp string, opts experiments.Options) error {
 	for _, r := range runners() {
 		if exp != "all" && exp != r.name {
 			continue
@@ -129,7 +156,11 @@ func run(exp string, opts experiments.Options) error {
 		if err != nil {
 			return fmt.Errorf("%s: %w", r.name, err)
 		}
-		fmt.Printf("=== %s ===\n%s\n", r.name, render(t))
+		out, err := cliutil.Render(t, format)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("=== %s ===\n%s\n", r.name, out)
 		if exp == r.name {
 			return nil
 		}

@@ -2,7 +2,9 @@ package core
 
 import (
 	"container/heap"
+	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/bpred"
 	"repro/internal/cache"
@@ -11,6 +13,11 @@ import (
 	"repro/internal/isa"
 	"repro/internal/program"
 )
+
+// ErrStopped is returned by Run when RequestStop ended the simulation
+// before the program completed. Callers that stop a core in response to
+// context cancellation should translate it back into the context's error.
+var ErrStopped = errors.New("core: stopped")
 
 // FaultInjector lets the fault-injection harness corrupt values at the
 // three points the paper's Section 3.4 analyzes: functional unit outputs,
@@ -56,9 +63,11 @@ type Core struct {
 	// timing core against an independent functional run.
 	OnCommit func(rec *fsim.Retired)
 
-	cycle uint64
-	seq   uint64
-	done  bool
+	cycle    uint64
+	seq      uint64
+	done     bool
+	abortErr error
+	stopReq  atomic.Bool
 
 	// Fetch state.
 	fetchPC         uint64
@@ -169,10 +178,28 @@ func (c *Core) Mem() *cache.Hierarchy { return c.mem }
 // Cycle returns the current cycle number.
 func (c *Core) Cycle() uint64 { return c.cycle }
 
-// Run simulates until the program halts, MaxInsns commit, or an internal
-// limit trips. The final statistics are in c.Stats.
+// RequestStop asks a running simulation to stop at the next cycle
+// boundary, after which Run returns ErrStopped. It is the only Core
+// method safe to call from another goroutine; the simulation driver uses
+// it to implement context cancellation.
+func (c *Core) RequestStop() { c.stopReq.Store(true) }
+
+// Abort stops the simulation from inside a callback (such as OnCommit)
+// and makes Run return err. The current cycle still completes.
+func (c *Core) Abort(err error) {
+	c.abortErr = err
+	c.done = true
+}
+
+// Run simulates until the program halts, MaxInsns commit, an internal
+// limit trips, or the run is stopped via RequestStop or Abort. The final
+// statistics are in c.Stats.
 func (c *Core) Run() error {
 	for !c.done {
+		if c.stopReq.Load() {
+			c.Stats.Cycles = c.cycle
+			return ErrStopped
+		}
 		c.Tick()
 		if c.cfg.MaxCycles > 0 && c.cycle > c.cfg.MaxCycles {
 			return fmt.Errorf("core: %q exceeded %d cycles", c.prog.Name, c.cfg.MaxCycles)
@@ -183,7 +210,7 @@ func (c *Core) Run() error {
 		}
 	}
 	c.Stats.Cycles = c.cycle
-	return nil
+	return c.abortErr
 }
 
 // Tick advances the machine one cycle. Stages run commit-first so a result

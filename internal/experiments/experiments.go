@@ -8,10 +8,13 @@
 package experiments
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
 	"repro/internal/core"
 	"repro/internal/fault"
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/workload"
@@ -25,10 +28,29 @@ type Options struct {
 	Verify bool
 	// Benchmarks restricts the workload set (nil = all 12).
 	Benchmarks []string
+	// Parallelism is the worker count handed to the grid runner
+	// (0 = runtime.GOMAXPROCS(0), 1 = the old serial double loop).
+	Parallelism int
+	// Progress, when non-nil, observes every completed grid cell.
+	Progress func(runner.Progress)
+	// Context, when non-nil, cancels a sweep mid-grid; the experiment
+	// returns the context's error with whatever cells completed.
+	Context context.Context
 }
 
 func (o Options) simOpts() sim.Options {
 	return sim.Options{Insns: o.Insns, Verify: o.Verify}
+}
+
+func (o Options) ctx() context.Context {
+	if o.Context != nil {
+		return o.Context
+	}
+	return context.Background()
+}
+
+func (o Options) runnerOpts() runner.Options {
+	return runner.Options{Parallelism: o.Parallelism, Progress: o.Progress}
 }
 
 func (o Options) profiles() ([]workload.Profile, error) {
@@ -53,6 +75,24 @@ type Grid struct {
 	Benchmarks []string
 	Configs    []string
 	Results    [][]sim.Result // [bench][config]
+	// Errs records the per-cell simulation error, parallel to Results
+	// (nil on success). One failed cell no longer aborts a sweep: the
+	// other cells still run and the failures are reported together.
+	Errs [][]error
+}
+
+// Err joins every recorded per-cell error, labelled by cell, or returns
+// nil when the whole grid succeeded.
+func (g *Grid) Err() error {
+	var errs []error
+	for b, row := range g.Errs {
+		for c, err := range row {
+			if err != nil {
+				errs = append(errs, fmt.Errorf("%s on %s: %w", g.Benchmarks[b], g.Configs[c], err))
+			}
+		}
+	}
+	return errors.Join(errs...)
 }
 
 // IPC returns the IPC of (bench, config) by index.
@@ -67,29 +107,45 @@ func (g *Grid) ConfigIPCs(c int) []float64 {
 	return out
 }
 
-// runGrid simulates every benchmark on every configuration.
+// runGrid simulates every benchmark on every configuration through the
+// parallel runner.
 func runGrid(cfgs []sim.NamedConfig, opts Options) (*Grid, error) {
 	profiles, err := opts.profiles()
 	if err != nil {
 		return nil, err
 	}
+	return runGridProfiles(cfgs, profiles, opts)
+}
+
+// runGridProfiles fans the (profile × configuration) cells out across
+// the runner's worker pool and reassembles the grid in input order. All
+// cells run even if some fail; the returned error aggregates every
+// per-cell failure (and the context error, on cancellation) while the
+// grid keeps whatever completed.
+func runGridProfiles(cfgs []sim.NamedConfig, profiles []workload.Profile, opts Options) (*Grid, error) {
 	g := &Grid{}
 	for _, nc := range cfgs {
 		g.Configs = append(g.Configs, nc.Name)
 	}
+	jobs := make([]runner.Job, 0, len(profiles)*len(cfgs))
 	for _, p := range profiles {
 		g.Benchmarks = append(g.Benchmarks, p.Name)
-		row := make([]sim.Result, 0, len(cfgs))
 		for _, nc := range cfgs {
-			r, err := sim.Run(nc.Name, nc.Cfg, p, opts.simOpts())
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, r)
+			jobs = append(jobs, runner.Job{Name: nc.Name, Config: nc.Cfg, Profile: p, Opts: opts.simOpts()})
+		}
+	}
+	outs, err := runner.Run(opts.ctx(), jobs, opts.runnerOpts())
+	for b := range profiles {
+		row := make([]sim.Result, len(cfgs))
+		errRow := make([]error, len(cfgs))
+		for c := range cfgs {
+			o := outs[b*len(cfgs)+c]
+			row[c], errRow[c] = o.Result, o.Err
 		}
 		g.Results = append(g.Results, row)
+		g.Errs = append(g.Errs, errRow)
 	}
-	return g, nil
+	return g, err
 }
 
 // Fig2 reproduces the paper's Figure 2: percentage IPC loss with respect
@@ -98,7 +154,7 @@ func runGrid(cfgs []sim.NamedConfig, opts Options) (*Grid, error) {
 func Fig2(opts Options) (*Grid, *stats.Table, error) {
 	g, err := runGrid(sim.Fig2Configs(), opts)
 	if err != nil {
-		return nil, nil, err
+		return g, nil, err
 	}
 	headers := append([]string{"bench"}, g.Configs[1:]...)
 	t := stats.NewTable("Figure 2: % IPC loss vs SIE", headers...)
@@ -138,7 +194,7 @@ type HeadlineSummary struct {
 func Headline(opts Options) (*Grid, HeadlineSummary, *stats.Table, error) {
 	g, err := runGrid(sim.HeadlineConfigs(), opts)
 	if err != nil {
-		return nil, HeadlineSummary{}, nil, err
+		return g, HeadlineSummary{}, nil, err
 	}
 	t := stats.NewTable("Headline: IPC by configuration",
 		"bench", "SIE", "DIE", "DIE-IRB", "DIE-2xALU", "loss%", "IRB-loss%", "reuse")
@@ -167,7 +223,7 @@ func Headline(opts Options) (*Grid, HeadlineSummary, *stats.Table, error) {
 func IRBHit(opts Options) (*Grid, *stats.Table, error) {
 	g, err := runGrid([]sim.NamedConfig{{Name: "DIE-IRB", Cfg: core.BaseDIEIRB()}}, opts)
 	if err != nil {
-		return nil, nil, err
+		return g, nil, err
 	}
 	t := stats.NewTable("IRB effectiveness (base 1024-entry direct-mapped)",
 		"bench", "pc-hit", "reuse", "not-ready", "rd-denied", "wr-denied")
@@ -188,7 +244,7 @@ func IRBSize(opts Options) (*Grid, *stats.Table, error) {
 	sizes := []int{128, 256, 512, 1024, 2048, 4096}
 	g, err := runGrid(sim.IRBSizeConfigs(sizes), opts)
 	if err != nil {
-		return nil, nil, err
+		return g, nil, err
 	}
 	headers := append([]string{"bench"}, g.Configs...)
 	t := stats.NewTable("IRB size sensitivity: IPC", headers...)
@@ -201,7 +257,7 @@ func IRBSize(opts Options) (*Grid, *stats.Table, error) {
 func Conflict(opts Options) (*Grid, *stats.Table, error) {
 	g, err := runGrid(sim.ConflictConfigs(), opts)
 	if err != nil {
-		return nil, nil, err
+		return g, nil, err
 	}
 	headers := append([]string{"bench"}, g.Configs...)
 	t := stats.NewTable("Conflict-miss reduction: IPC (and PC-hit rate)", headers...)
@@ -221,7 +277,7 @@ func Conflict(opts Options) (*Grid, *stats.Table, error) {
 func Ports(opts Options) (*Grid, *stats.Table, error) {
 	g, err := runGrid(sim.PortConfigs([]int{1, 2, 4, 8}), opts)
 	if err != nil {
-		return nil, nil, err
+		return g, nil, err
 	}
 	headers := append([]string{"bench"}, g.Configs...)
 	t := stats.NewTable("IRB port sensitivity: IPC", headers...)
@@ -240,7 +296,7 @@ func AblationDup(opts Options) (*Grid, *stats.Table, error) {
 		{Name: "both-streams", Cfg: both},
 	}, opts)
 	if err != nil {
-		return nil, nil, err
+		return g, nil, err
 	}
 	t := stats.NewTable("Ablation A: IRB stream policy",
 		"bench", "dup-only IPC", "both IPC", "dup-only rd-denied", "both rd-denied")
@@ -265,7 +321,7 @@ func AblationFwd(opts Options) (*Grid, *stats.Table, error) {
 		{Name: "IRB-as-FU", Cfg: asFU},
 	}, opts)
 	if err != nil {
-		return nil, nil, err
+		return g, nil, err
 	}
 	t := stats.NewTable("Ablation B: IRB result forwarding",
 		"bench", "no-fwd IPC", "as-FU IPC", "as-FU penalty %")
@@ -346,22 +402,36 @@ func Faults(opts Options) ([]FaultRow, *stats.Table, error) {
 		{core.DIEIRB, core.BaseDIEIRB(), fault.IRBResult},
 		{core.DIEIRB, core.BaseDIEIRB(), fault.IRBOperand},
 	}
-	t := stats.NewTable("Fault injection: detection coverage of the check-&-retire comparison",
-		"mode", "site", "injected", "detected", "masked", "vanished", "coverage")
-	var rows []FaultRow
+	// Every (campaign × profile) cell runs through the parallel runner
+	// with its own injector; the campaign rows then aggregate the
+	// injector and core counters, which is order-independent.
+	var (
+		jobs []runner.Job
+		injs []*fault.Injector
+	)
 	for _, c := range campaigns {
-		row := FaultRow{Mode: c.mode, Site: c.site}
 		for _, p := range profiles {
 			inj := fault.MustNew(fault.Config{Site: c.site, Rate: 3e-4, Seed: p.Seed})
 			o := opts.simOpts()
 			o.Injector = inj
-			r, err := sim.Run(string(c.mode), c.cfg, p, o)
-			if err != nil {
-				return nil, nil, err
-			}
-			row.Injected += inj.Injected
-			row.Detected += r.Core.FaultsDetected
-			row.Masked += r.Core.FaultsMasked
+			jobs = append(jobs, runner.Job{Name: string(c.mode), Config: c.cfg, Profile: p, Opts: o})
+			injs = append(injs, inj)
+		}
+	}
+	outs, err := runner.Run(opts.ctx(), jobs, opts.runnerOpts())
+	if err != nil {
+		return nil, nil, err
+	}
+	t := stats.NewTable("Fault injection: detection coverage of the check-&-retire comparison",
+		"mode", "site", "injected", "detected", "masked", "vanished", "coverage")
+	var rows []FaultRow
+	for ci, c := range campaigns {
+		row := FaultRow{Mode: c.mode, Site: c.site}
+		for pi := range profiles {
+			i := ci*len(profiles) + pi
+			row.Injected += injs[i].Injected
+			row.Detected += outs[i].Result.Core.FaultsDetected
+			row.Masked += outs[i].Result.Core.FaultsMasked
 		}
 		row.Vanished = int64(row.Injected) - int64(row.Detected) - int64(row.Masked)
 		rows = append(rows, row)
@@ -403,7 +473,7 @@ func ConfigTable() *stats.Table {
 func Scheduler(opts Options) (*Grid, *stats.Table, error) {
 	g, err := runGrid(sim.SchedulerConfigs(), opts)
 	if err != nil {
-		return nil, nil, err
+		return g, nil, err
 	}
 	headers := append([]string{"bench"}, g.Configs...)
 	t := stats.NewTable("Section 3.3 schedulers: IPC (and duplicate reuse rate)", headers...)
@@ -426,7 +496,7 @@ func Scheduler(opts Options) (*Grid, *stats.Table, error) {
 func Cluster(opts Options) (*Grid, *stats.Table, error) {
 	g, err := runGrid(sim.ClusterConfigs(), opts)
 	if err != nil {
-		return nil, nil, err
+		return g, nil, err
 	}
 	headers := append([]string{"bench"}, g.Configs...)
 	t := stats.NewTable("Clustered alternative: IPC (cluster doubles every FU)", headers...)
@@ -443,22 +513,13 @@ func Prior24(opts Options) (*Grid, *stats.Table, error) {
 	if len(opts.Benchmarks) > 0 {
 		return nil, nil, fmt.Errorf("experiments: prior24 always runs the combined suites")
 	}
-	g := &Grid{Configs: []string{"SIE", "DIE"}}
 	cfgs := []sim.NamedConfig{
 		{Name: "SIE", Cfg: core.BaseSIE()},
 		{Name: "DIE", Cfg: core.BaseDIE()},
 	}
-	for _, p := range append(workload.SPEC95(), workload.SPEC2000()...) {
-		g.Benchmarks = append(g.Benchmarks, p.Name)
-		row := make([]sim.Result, 0, 2)
-		for _, nc := range cfgs {
-			r, err := sim.Run(nc.Name, nc.Cfg, p, opts.simOpts())
-			if err != nil {
-				return nil, nil, err
-			}
-			row = append(row, r)
-		}
-		g.Results = append(g.Results, row)
+	g, err := runGridProfiles(cfgs, append(workload.SPEC95(), workload.SPEC2000()...), opts)
+	if err != nil {
+		return g, nil, err
 	}
 	t := stats.NewTable("Prior work [24] claim, SPEC95+SPEC2000 combined: DIE loss vs SIE",
 		"bench", "SIE IPC", "DIE IPC", "loss%")
@@ -484,7 +545,7 @@ func Prior24(opts Options) (*Grid, *stats.Table, error) {
 func ReuseSources(opts Options) (*Grid, *stats.Table, error) {
 	g, err := runGrid(sim.ReuseSourceConfigs(), opts)
 	if err != nil {
-		return nil, nil, err
+		return g, nil, err
 	}
 	headers := append([]string{"bench"}, g.Configs...)
 	t := stats.NewTable("Reuse sources: IPC (and reuse rate)", headers...)

@@ -1,0 +1,206 @@
+// Package runner is the parallel sweep engine: it executes a batch of
+// independent (benchmark × configuration) simulation jobs across a pool
+// of workers. Every cell of an experiment grid is a deterministic,
+// self-contained sim.RunContext call (seeded PCG, no shared mutable
+// state), so the grid is embarrassingly parallel; the runner adds the
+// machinery the serial double loop lacked — context cancellation,
+// per-job error capture, deterministic result ordering regardless of
+// completion order, live progress reporting, and cost-aware dispatch so
+// the widest machine configurations do not all land on one worker at
+// the tail of the sweep.
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Job is one simulation cell: a workload profile on a named machine
+// configuration with per-run options.
+type Job struct {
+	Name    string // configuration display name (sim.Result.Config)
+	Config  core.Config
+	Profile workload.Profile
+	Opts    sim.Options
+}
+
+// Cost estimates the relative wall-clock weight of the job for
+// longest-processing-time dispatch. The model is deliberately coarse: it
+// only has to rank a doubled-width verified DIE cell above a narrow SIE
+// cell so stragglers start early, not predict runtimes.
+func (j Job) Cost() float64 {
+	insns := j.Opts.Insns
+	if insns == 0 {
+		insns = sim.DefaultInsns
+	}
+	w := float64(insns) + float64(j.Opts.FastForward)/4
+	switch j.Config.Mode {
+	case core.DIE:
+		w *= 1.9 // two copies per architected instruction
+	case core.DIEIRB:
+		w *= 2.1 // two copies plus IRB lookups and updates
+	case core.SIEIRB:
+		w *= 1.2
+	}
+	// Wider machines and windows do more per-cycle bookkeeping.
+	w *= 1 + float64(j.Config.IssueWidth)/32
+	w *= 1 + float64(j.Config.RUUSize)/512
+	if j.Opts.Verify {
+		w *= 1.15 // the oracle re-executes every committed instruction
+	}
+	return w
+}
+
+// Outcome is the terminal state of one job: its Result on success, or
+// the error that failed the cell. A cancelled sweep leaves the jobs that
+// never ran with Err set to the context's error.
+type Outcome struct {
+	Job    Job
+	Result sim.Result
+	Err    error
+}
+
+// Progress is a snapshot delivered after each completed cell.
+type Progress struct {
+	Done, Total int
+	// Bench and Config identify the cell that just finished.
+	Bench, Config string
+	Elapsed       time.Duration
+	// ETA linearly extrapolates the remaining wall-clock time from the
+	// average per-cell time so far (zero once the sweep is done).
+	ETA time.Duration
+}
+
+// Options configure a batch run.
+type Options struct {
+	// Parallelism is the worker count; <= 0 selects
+	// runtime.GOMAXPROCS(0). 1 runs the jobs serially in input order,
+	// reproducing the pre-runner serial sweep bit-for-bit.
+	Parallelism int
+	// Progress, when non-nil, is invoked after every completed cell.
+	// Calls are serialized by the runner, so the callback needs no
+	// locking of its own.
+	Progress func(Progress)
+}
+
+// errNotRun marks outcomes whose job was never dispatched (the sweep was
+// cancelled first); Run rewrites it to the context's error.
+var errNotRun = errors.New("runner: job not run")
+
+// Run executes every job and returns one Outcome per job, in job order
+// regardless of completion order. A failed cell never aborts the batch:
+// its error is recorded in its Outcome and the returned error joins all
+// per-cell failures (nil when every cell succeeded). When ctx is
+// cancelled the in-flight simulations stop within a cycle, the remaining
+// jobs are skipped, and Run returns the completed prefix of outcomes
+// alongside the context's error.
+func Run(ctx context.Context, jobs []Job, opts Options) ([]Outcome, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	workers := opts.Parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	outs := make([]Outcome, len(jobs))
+	for i := range jobs {
+		outs[i] = Outcome{Job: jobs[i], Err: errNotRun}
+	}
+	if len(jobs) == 0 {
+		return outs, ctx.Err()
+	}
+
+	// Dispatch order: heaviest cells first (LPT) so the widest configs
+	// never start last and stretch the tail. One worker keeps the input
+	// order — with no concurrency there is no tail to balance, and the
+	// serial sweep stays exactly the old double loop.
+	order := make([]int, len(jobs))
+	for i := range order {
+		order[i] = i
+	}
+	if workers > 1 {
+		sort.SliceStable(order, func(a, b int) bool {
+			return jobs[order[a]].Cost() > jobs[order[b]].Cost()
+		})
+	}
+
+	var (
+		start = time.Now()
+		mu    sync.Mutex
+		done  int
+	)
+	report := func(i int) {
+		mu.Lock()
+		defer mu.Unlock()
+		done++
+		if opts.Progress == nil {
+			return
+		}
+		p := Progress{
+			Done:    done,
+			Total:   len(jobs),
+			Bench:   jobs[i].Profile.Name,
+			Config:  jobs[i].Name,
+			Elapsed: time.Since(start),
+		}
+		if left := len(jobs) - done; left > 0 {
+			p.ETA = p.Elapsed / time.Duration(done) * time.Duration(left)
+		}
+		opts.Progress(p)
+	}
+
+	feed := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range feed {
+				j := jobs[i]
+				r, err := sim.RunContext(ctx, j.Name, j.Config, j.Profile, j.Opts)
+				outs[i].Result, outs[i].Err = r, err
+				report(i)
+			}
+		}()
+	}
+dispatch:
+	for _, i := range order {
+		select {
+		case feed <- i:
+		case <-ctx.Done():
+			break dispatch
+		}
+	}
+	close(feed)
+	wg.Wait()
+
+	var errs []error
+	if cerr := ctx.Err(); cerr != nil {
+		errs = append(errs, cerr)
+	}
+	for i := range outs {
+		if errors.Is(outs[i].Err, errNotRun) {
+			outs[i].Err = ctx.Err()
+			continue
+		}
+		// Cells that stopped because the sweep was cancelled are not
+		// failures of their own; the context error above covers them.
+		if err := outs[i].Err; err != nil && !errors.Is(err, context.Canceled) &&
+			!errors.Is(err, context.DeadlineExceeded) {
+			errs = append(errs, fmt.Errorf("%s on %s: %w", jobs[i].Profile.Name, jobs[i].Name, err))
+		}
+	}
+	return outs, errors.Join(errs...)
+}

@@ -7,6 +7,8 @@
 package sim
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
 	"repro/internal/bpred"
@@ -25,7 +27,8 @@ type Options struct {
 	Insns uint64
 	// Verify cross-checks every committed instruction against an
 	// independent in-order functional execution. Costs ~15% runtime;
-	// tests keep it on, large sweeps may disable it.
+	// tests keep it on, large sweeps may disable it. A mismatch surfaces
+	// as a *DivergenceError.
 	Verify bool
 	// Injector, when non-nil, is installed as the core's fault injector.
 	Injector core.FaultInjector
@@ -34,7 +37,41 @@ type Options struct {
 	// way SimpleScalar's -fastfwd does. Caches and predictors start
 	// cold at the measurement point.
 	FastForward uint64
+	// Seed, when non-zero, perturbs the workload generator: it is XORed
+	// into the profile's own seed, so a single sweep-level seed still
+	// gives every benchmark a distinct program. The zero value keeps the
+	// profile's fixed seed and is byte-identical to the behaviour the
+	// recorded EXPERIMENTS.md numbers were measured with.
+	Seed uint64
 }
+
+// DivergenceError reports that a committed instruction did not match the
+// independent functional oracle (or that the oracle itself could not
+// step). It is returned — not panicked — by Run/RunContext so callers,
+// including the parallel sweep runner, can handle verification failure
+// as an ordinary per-run error value.
+type DivergenceError struct {
+	Bench  string // workload profile name
+	Config string // configuration display name
+	Seq    uint64 // architected sequence number of the divergent commit
+	// Got is the record the timing core retired; Want is the oracle's.
+	// Both are zero when OracleErr is set.
+	Got, Want fsim.Retired
+	// OracleErr is non-nil when the oracle failed to produce a record at
+	// all (e.g. it halted before the timing core did).
+	OracleErr error
+}
+
+func (e *DivergenceError) Error() string {
+	if e.OracleErr != nil {
+		return fmt.Sprintf("sim: %s on %s: oracle failed at seq %d: %v",
+			e.Bench, e.Config, e.Seq, e.OracleErr)
+	}
+	return fmt.Sprintf("sim: %s on %s diverged from functional execution at seq %d:\n got %+v\nwant %+v",
+		e.Bench, e.Config, e.Seq, e.Got, e.Want)
+}
+
+func (e *DivergenceError) Unwrap() error { return e.OracleErr }
 
 // DefaultInsns is the per-benchmark instruction budget used by the
 // experiment harness; large enough for the caches, predictor and IRB to
@@ -76,10 +113,27 @@ func (r Result) PCHitRate() float64 {
 	return float64(r.IRB.PCHits) / float64(r.IRB.Lookups)
 }
 
-// Run simulates profile p on configuration cfg.
+// Run simulates profile p on configuration cfg. It is RunContext with a
+// background context.
 func Run(name string, cfg core.Config, p workload.Profile, opts Options) (Result, error) {
+	return RunContext(context.Background(), name, cfg, p, opts)
+}
+
+// RunContext simulates profile p on configuration cfg, stopping early
+// with ctx.Err() if the context is cancelled mid-run. Verification
+// failures are returned as *DivergenceError values.
+func RunContext(ctx context.Context, name string, cfg core.Config, p workload.Profile, opts Options) (Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
 	if opts.Insns == 0 {
 		opts.Insns = DefaultInsns
+	}
+	if opts.Seed != 0 {
+		p.Seed ^= opts.Seed
 	}
 	// Size the program to outlast the instruction budget with margin.
 	prog, err := workload.Generate(p.WithIters(opts.FastForward + opts.Insns + opts.Insns/3))
@@ -112,19 +166,40 @@ func Run(name string, cfg core.Config, p workload.Profile, opts Options) (Result
 				return Result{}, ferr
 			}
 		}
+		var diverged bool
 		c.OnCommit = func(rec *fsim.Retired) {
+			if diverged {
+				return
+			}
 			want, oerr := oracle.Step()
 			if oerr != nil {
-				panic(fmt.Sprintf("sim: oracle: %v", oerr))
+				diverged = true
+				c.Abort(&DivergenceError{Bench: p.Name, Config: name, Seq: rec.Seq, OracleErr: oerr})
+				return
 			}
 			if rec.Seq != want.Seq || rec.PC != want.PC || rec.Result != want.Result ||
 				rec.NextPC != want.NextPC || rec.Addr != want.Addr {
-				panic(fmt.Sprintf("sim: %s/%s diverged from functional execution at seq %d:\n got %+v\nwant %+v",
-					p.Name, cfg.Mode, want.Seq, rec, want))
+				diverged = true
+				c.Abort(&DivergenceError{
+					Bench: p.Name, Config: name, Seq: want.Seq, Got: *rec, Want: want,
+				})
 			}
 		}
 	}
+	if ctx.Done() != nil {
+		// Propagate cancellation into the core's cycle loop so a long
+		// run stops within one cycle of the context ending.
+		stop := context.AfterFunc(ctx, c.RequestStop)
+		defer stop()
+	}
 	if err := c.Run(); err != nil {
+		var div *DivergenceError
+		if errors.As(err, &div) {
+			return Result{}, div
+		}
+		if errors.Is(err, core.ErrStopped) && ctx.Err() != nil {
+			return Result{}, ctx.Err()
+		}
 		return Result{}, fmt.Errorf("sim: %s on %s: %w", p.Name, name, err)
 	}
 	if c.Stats.Committed < opts.Insns {

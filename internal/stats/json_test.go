@@ -1,0 +1,50 @@
+package stats
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestTableJSON(t *testing.T) {
+	tbl := NewTable("speedup", "bench", "ipc")
+	tbl.AddRow("gzip", 1.25)
+	tbl.AddRow("mesa", 0.5)
+
+	out := tbl.JSON()
+	if !strings.HasSuffix(out, "\n") {
+		t.Error("JSON output lacks a trailing newline")
+	}
+	var decoded struct {
+		Title   string     `json:"title"`
+		Headers []string   `json:"headers"`
+		Rows    [][]string `json:"rows"`
+	}
+	if err := json.Unmarshal([]byte(out), &decoded); err != nil {
+		t.Fatalf("output does not parse: %v\n%s", err, out)
+	}
+	if decoded.Title != "speedup" {
+		t.Errorf("title = %q", decoded.Title)
+	}
+	if len(decoded.Headers) != 2 || decoded.Headers[0] != "bench" {
+		t.Errorf("headers = %v", decoded.Headers)
+	}
+	if len(decoded.Rows) != 2 || decoded.Rows[0][0] != "gzip" {
+		t.Errorf("rows = %v", decoded.Rows)
+	}
+	// Cells must be the same formatted strings the text renderers use.
+	if decoded.Rows[1][1] != tbl.rows[1][1] {
+		t.Errorf("json cell %q != table cell %q", decoded.Rows[1][1], tbl.rows[1][1])
+	}
+}
+
+func TestTableJSONEmpty(t *testing.T) {
+	out := NewTable("").JSON()
+	var decoded map[string]any
+	if err := json.Unmarshal([]byte(out), &decoded); err != nil {
+		t.Fatalf("empty table JSON does not parse: %v\n%s", err, out)
+	}
+	if _, ok := decoded["title"]; ok {
+		t.Error("empty title should be omitted")
+	}
+}

@@ -5,6 +5,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"fmt"
 	"strings"
 )
@@ -113,6 +114,29 @@ func (t *Table) String() string {
 		line(r)
 	}
 	return b.String()
+}
+
+// JSON renders the table as an indented JSON object with "title",
+// "headers" and "rows" fields, for machine consumption by tooling that
+// wants structure rather than CSV's positional columns.
+func (t *Table) JSON() string {
+	obj := struct {
+		Title   string     `json:"title,omitempty"`
+		Headers []string   `json:"headers"`
+		Rows    [][]string `json:"rows"`
+	}{t.title, t.headers, t.rows}
+	if obj.Headers == nil {
+		obj.Headers = []string{}
+	}
+	if obj.Rows == nil {
+		obj.Rows = [][]string{}
+	}
+	b, err := json.MarshalIndent(obj, "", "  ")
+	if err != nil {
+		// Unreachable: the value is built from plain strings.
+		return fmt.Sprintf("{%q: %q}", "error", err.Error())
+	}
+	return string(b) + "\n"
 }
 
 // CSV renders the table as comma-separated values (headers first) for
