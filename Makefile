@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: all build test test-short race vet bench sweep examples clean
+.PHONY: all build test test-short race vet lint bench sweep examples clean
 
-all: vet test build
+all: vet lint test build
 
 build:
 	$(GO) build ./...
@@ -20,6 +20,12 @@ race:
 
 vet:
 	$(GO) vet ./...
+
+# Repository lint passes (internal/lint/...) plus the static workload
+# analyzer over every benchmark and kernel; both exit nonzero on findings.
+lint:
+	$(GO) run ./cmd/repolint
+	$(GO) run ./cmd/irblint
 
 # One testing.B benchmark per paper figure/table plus simulator
 # micro-benchmarks; writes the record the repository ships with.

@@ -219,7 +219,10 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 // BenchmarkFunctionalSim measures the golden-model interpreter alone.
 func BenchmarkFunctionalSim(b *testing.B) {
 	p, _ := workload.ByName("gzip")
-	prog := workload.MustGenerate(p.WithIters(1_000_000))
+	prog, err := workload.Generate(p.WithIters(1_000_000))
+	if err != nil {
+		b.Fatal(err)
+	}
 	b.ResetTimer()
 	var total uint64
 	for i := 0; i < b.N; i++ {
@@ -235,7 +238,10 @@ func BenchmarkFunctionalSim(b *testing.B) {
 
 // BenchmarkIRBLookup measures the reuse buffer microarchitecture model.
 func BenchmarkIRBLookup(b *testing.B) {
-	buf := irb.MustNew(irb.Default())
+	buf, err := irb.New(irb.Default())
+	if err != nil {
+		b.Fatal(err)
+	}
 	for pc := uint64(0); pc < 2048; pc++ {
 		buf.Insert(pc, pc, irb.Entry{Src1: pc, Src2: pc, Result: pc * 2})
 	}

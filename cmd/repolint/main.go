@@ -1,0 +1,42 @@
+// Command repolint runs the repository's own lint passes — currently the
+// nopanic pass, which forbids panic calls in library code unless they are
+// annotated as internal invariants (see internal/lint/nopanic). It exits
+// nonzero when any finding fires, so `make lint` and CI can gate on it.
+//
+// Usage:
+//
+//	repolint            # lint the whole repository
+//	repolint ./internal # lint a subtree
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/lint/nopanic"
+)
+
+func main() {
+	flag.Parse()
+	roots := flag.Args()
+	if len(roots) == 0 {
+		roots = []string{"."}
+	}
+
+	bad := false
+	for _, root := range roots {
+		findings, err := nopanic.CheckDir(root)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "repolint:", err)
+			os.Exit(2)
+		}
+		for _, f := range findings {
+			fmt.Println(f)
+			bad = true
+		}
+	}
+	if bad {
+		os.Exit(1)
+	}
+}

@@ -15,7 +15,7 @@
 //
 // Experiments: config, fig2, headline, irbhit, irbsize, conflict,
 // irbports, faults, ablation-dup, ablation-fwd, scheduler, cluster,
-// prior24, reuse-sources, all.
+// prior24, reuse-sources, reuse-prediction, all.
 package main
 
 import (
@@ -138,6 +138,10 @@ func runners() []struct {
 		}},
 		{"reuse-sources", func(o experiments.Options) (*stats.Table, error) {
 			_, t, err := experiments.ReuseSources(o)
+			return t, err
+		}},
+		{"reuse-prediction", func(o experiments.Options) (*stats.Table, error) {
+			_, _, t, err := experiments.ReusePrediction(o)
 			return t, err
 		}},
 	}

@@ -28,7 +28,10 @@ func main() {
 
 	fmt.Println("site         injected  detected  masked  outcome")
 	for _, site := range fault.Sites() {
-		inj := fault.MustNew(fault.Config{Site: site, Rate: 5e-4, Seed: 42})
+		inj, err := fault.New(fault.Config{Site: site, Rate: 5e-4, Seed: 42})
+		if err != nil {
+			log.Fatal(err)
+		}
 		r, err := sim.Run("DIE-IRB", core.BaseDIEIRB(), profile, sim.Options{
 			Insns:    150_000,
 			Injector: inj,

@@ -1,0 +1,340 @@
+// Package analysis is the static program analysis layer over
+// program.Program: basic-block CFG construction with reachability and
+// natural-loop detection, def-use chains and per-register liveness,
+// well-formedness diagnostics beyond Program.Validate, and a static
+// predictor for the IRB reuse rate and per-class ALU port pressure that
+// the timing core otherwise measures only dynamically (cross-validated
+// against sim.Result.ReuseRate by the experiments package).
+//
+// The layer serves three consumers: cmd/irblint (human and JSON reports),
+// the sim.RunContext preflight (rejecting ill-formed programs with a
+// structured *Diagnostic error before cycle 0), and the experiments
+// cross-validation grid.
+package analysis
+
+import (
+	"sort"
+
+	"repro/internal/isa"
+	"repro/internal/program"
+)
+
+// Block is one basic block: the half-open instruction-index range
+// [Start, End) with its CFG edges and loop annotations.
+type Block struct {
+	ID         int
+	Start, End uint64
+	Succs      []int
+	Preds      []int
+
+	// Reachable reports whether the block is reachable from the entry
+	// point along CFG edges (including call and return-summary edges).
+	Reachable bool
+
+	// LoopDepth is the number of natural loops containing the block;
+	// 0 means straight-line code executed at most once per visit.
+	LoopDepth int
+
+	// LoopHead reports whether the block is the header of a natural loop.
+	LoopHead bool
+
+	// loop is the ID of the innermost loop containing the block, -1 when
+	// the block is outside every loop.
+	loop int
+}
+
+// Loop is one natural loop: the header block and the set of member blocks.
+type Loop struct {
+	ID     int
+	Header int
+	Blocks []int // ascending block IDs, header included
+	Depth  int   // 1 for outermost
+}
+
+// CFG is the control flow graph of a program.
+type CFG struct {
+	Prog    *program.Program
+	Blocks  []*Block
+	Loops   []Loop
+	blockOf []int // instruction index -> block ID
+	entry   int
+}
+
+// Entry returns the block containing the program's entry point.
+func (g *CFG) Entry() *Block { return g.Blocks[g.entry] }
+
+// BlockAt returns the block containing the instruction at pc.
+func (g *CFG) BlockAt(pc uint64) *Block { return g.Blocks[g.blockOf[pc]] }
+
+// InnermostLoop returns the innermost loop containing the block, or nil.
+func (g *CFG) InnermostLoop(b *Block) *Loop {
+	if b.loop < 0 {
+		return nil
+	}
+	return &g.Loops[b.loop]
+}
+
+// BuildCFG constructs the control flow graph of p. The program must have a
+// non-empty code segment with in-range direct targets (Program.Validate);
+// BuildCFG tolerates anything Validate accepts.
+//
+// Interprocedural edges: a CALL has an edge to its target only, and a
+// conventional return (JALR through LinkReg discarding the link) has edges
+// to every return point (pc+1 of every CALL) in the program. Return points
+// are thus reachable through the callee body, which keeps dataflow precise
+// — definitions inside the callee reach the code after the call, and code
+// after a call to a non-returning function is correctly unreachable.
+// Indirect JALR jumps that are not conventional returns get no successors.
+func BuildCFG(p *program.Program) *CFG {
+	n := uint64(len(p.Code))
+
+	// Leaders: the entry, every direct target, and every instruction
+	// following a block terminator.
+	leader := make([]bool, n)
+	leader[p.Entry] = true
+	if n > 0 {
+		leader[0] = true
+	}
+	var returnPoints []uint64
+	for pc := uint64(0); pc < n; pc++ {
+		in := p.Code[pc]
+		if t, ok := in.StaticTarget(pc); ok && t < n {
+			leader[t] = true
+		}
+		if in.EndsBlock() && pc+1 < n {
+			leader[pc+1] = true
+		}
+		if in.Op == isa.OpCall && pc+1 < n {
+			returnPoints = append(returnPoints, pc+1)
+		}
+	}
+
+	g := &CFG{Prog: p, blockOf: make([]int, n)}
+	for pc := uint64(0); pc < n; pc++ {
+		if leader[pc] {
+			g.Blocks = append(g.Blocks, &Block{ID: len(g.Blocks), Start: pc, loop: -1})
+		}
+		g.blockOf[pc] = len(g.Blocks) - 1
+	}
+	for i, b := range g.Blocks {
+		if i+1 < len(g.Blocks) {
+			b.End = g.Blocks[i+1].Start
+		} else {
+			b.End = n
+		}
+	}
+	g.entry = g.blockOf[p.Entry]
+
+	// Edges.
+	addEdge := func(from *Block, toPC uint64) {
+		if toPC >= n {
+			return
+		}
+		to := g.Blocks[g.blockOf[toPC]]
+		for _, s := range from.Succs {
+			if s == to.ID {
+				return
+			}
+		}
+		from.Succs = append(from.Succs, to.ID)
+		to.Preds = append(to.Preds, from.ID)
+	}
+	for _, b := range g.Blocks {
+		last := p.Code[b.End-1]
+		if t, ok := last.StaticTarget(b.End - 1); ok {
+			addEdge(b, t)
+		}
+		if last.FallsThrough() {
+			// Ordinary fallthrough or a not-taken branch. A CALL's
+			// return point is instead reached via the callee's
+			// return edges below.
+			addEdge(b, b.End)
+		}
+		if last.IsReturn() {
+			for _, rp := range returnPoints {
+				addEdge(b, rp)
+			}
+		}
+	}
+
+	g.markReachable()
+	g.findLoops()
+	return g
+}
+
+// markReachable flags every block reachable from the entry block.
+func (g *CFG) markReachable() {
+	stack := []int{g.entry}
+	g.Blocks[g.entry].Reachable = true
+	for len(stack) > 0 {
+		b := g.Blocks[stack[len(stack)-1]]
+		stack = stack[:len(stack)-1]
+		for _, s := range b.Succs {
+			if !g.Blocks[s].Reachable {
+				g.Blocks[s].Reachable = true
+				stack = append(stack, s)
+			}
+		}
+	}
+}
+
+// findLoops computes dominators over the reachable subgraph and collects
+// the natural loop of every back edge, merging loops that share a header.
+func (g *CFG) findLoops() {
+	rpo := g.reversePostorder()
+	idom := g.dominators(rpo)
+
+	dominates := func(a, b int) bool {
+		// Walk b's dominator chain; chains are short.
+		for b >= 0 {
+			if a == b {
+				return true
+			}
+			if b == g.entry {
+				return false
+			}
+			b = idom[b]
+		}
+		return false
+	}
+
+	// Natural loop of each back edge tail->head, merged per header.
+	bodies := make(map[int]map[int]bool)
+	for _, b := range g.Blocks {
+		if !b.Reachable {
+			continue
+		}
+		for _, h := range b.Succs {
+			if !dominates(h, b.ID) {
+				continue
+			}
+			body := bodies[h]
+			if body == nil {
+				body = map[int]bool{h: true}
+				bodies[h] = body
+			}
+			// Walk predecessors back from the tail to the header.
+			stack := []int{b.ID}
+			for len(stack) > 0 {
+				x := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				if body[x] {
+					continue
+				}
+				body[x] = true
+				for _, pr := range g.Blocks[x].Preds {
+					if g.Blocks[pr].Reachable {
+						stack = append(stack, pr)
+					}
+				}
+			}
+		}
+	}
+
+	headers := make([]int, 0, len(bodies))
+	for h := range bodies {
+		headers = append(headers, h)
+	}
+	sort.Ints(headers)
+	for _, h := range headers {
+		body := bodies[h]
+		members := make([]int, 0, len(body))
+		for id := range body {
+			members = append(members, id)
+		}
+		sort.Ints(members)
+		l := Loop{ID: len(g.Loops), Header: h, Blocks: members}
+		g.Loops = append(g.Loops, l)
+		g.Blocks[h].LoopHead = true
+		for _, id := range members {
+			g.Blocks[id].LoopDepth++
+		}
+	}
+	// Depth per loop = depth of its header; the innermost loop of a block
+	// is the containing loop with the smallest body.
+	for i := range g.Loops {
+		g.Loops[i].Depth = g.Blocks[g.Loops[i].Header].LoopDepth
+	}
+	for i := range g.Loops {
+		l := &g.Loops[i]
+		for _, id := range l.Blocks {
+			b := g.Blocks[id]
+			if b.loop < 0 || len(l.Blocks) < len(g.Loops[b.loop].Blocks) {
+				b.loop = l.ID
+			}
+		}
+	}
+}
+
+// reversePostorder returns the reachable blocks in reverse postorder.
+func (g *CFG) reversePostorder() []int {
+	seen := make([]bool, len(g.Blocks))
+	var post []int
+	var dfs func(int)
+	dfs = func(id int) {
+		seen[id] = true
+		for _, s := range g.Blocks[id].Succs {
+			if !seen[s] {
+				dfs(s)
+			}
+		}
+		post = append(post, id)
+	}
+	dfs(g.entry)
+	for i, j := 0, len(post)-1; i < j; i, j = i+1, j-1 {
+		post[i], post[j] = post[j], post[i]
+	}
+	return post
+}
+
+// dominators computes immediate dominators with the Cooper–Harvey–Kennedy
+// iterative algorithm over the given reverse postorder.
+func (g *CFG) dominators(rpo []int) []int {
+	order := make([]int, len(g.Blocks)) // block ID -> RPO index
+	for i := range order {
+		order[i] = -1
+	}
+	for i, id := range rpo {
+		order[id] = i
+	}
+	idom := make([]int, len(g.Blocks))
+	for i := range idom {
+		idom[i] = -1
+	}
+	idom[g.entry] = g.entry
+	intersect := func(a, b int) int {
+		for a != b {
+			for order[a] > order[b] {
+				a = idom[a]
+			}
+			for order[b] > order[a] {
+				b = idom[b]
+			}
+		}
+		return a
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, id := range rpo {
+			if id == g.entry {
+				continue
+			}
+			newIdom := -1
+			for _, pr := range g.Blocks[id].Preds {
+				if order[pr] < 0 || idom[pr] < 0 {
+					continue
+				}
+				if newIdom < 0 {
+					newIdom = pr
+				} else {
+					newIdom = intersect(newIdom, pr)
+				}
+			}
+			if newIdom >= 0 && idom[id] != newIdom {
+				idom[id] = newIdom
+				changed = true
+			}
+		}
+	}
+	return idom
+}

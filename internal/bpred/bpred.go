@@ -144,15 +144,6 @@ func New(cfg Config) (*Predictor, error) {
 	return p, nil
 }
 
-// MustNew is New that panics on configuration errors.
-func MustNew(cfg Config) *Predictor {
-	p, err := New(cfg)
-	if err != nil {
-		panic(err)
-	}
-	return p
-}
-
 // Predict returns the predicted next PC for the control-transfer
 // instruction in at pc. For non-control instructions it returns pc+1.
 // Predict also performs the RAS push/pop side effects of calls and

@@ -54,7 +54,7 @@ func TestBimodalLearnsBias(t *testing.T) {
 	for _, kind := range []Kind{Bimodal, Gshare, Combined} {
 		cfg := Default()
 		cfg.Kind = kind
-		p := MustNew(cfg)
+		p := mustNew(cfg)
 		outcomes := make([]bool, 100)
 		for i := range outcomes {
 			outcomes[i] = true
@@ -74,12 +74,12 @@ func TestGshareLearnsPattern(t *testing.T) {
 	}
 	cfgG := Default()
 	cfgG.Kind = Gshare
-	g := MustNew(cfgG)
+	g := mustNew(cfgG)
 	gGot := trainLoop(g, 10, branchAt(5), pat)
 
 	cfgB := Default()
 	cfgB.Kind = Bimodal
-	b := MustNew(cfgB)
+	b := mustNew(cfgB)
 	bGot := trainLoop(b, 10, branchAt(5), pat)
 
 	if gGot <= bGot {
@@ -95,7 +95,7 @@ func TestCombinedTracksBetterComponent(t *testing.T) {
 	for i := range pat {
 		pat[i] = i%2 == 0
 	}
-	c := MustNew(Default())
+	c := mustNew(Default())
 	if got := trainLoop(c, 10, branchAt(5), pat); got < 150 {
 		t.Errorf("combined predictor learned only %d/200 of alternating pattern", got)
 	}
@@ -104,7 +104,7 @@ func TestCombinedTracksBetterComponent(t *testing.T) {
 func TestStaticTaken(t *testing.T) {
 	cfg := Default()
 	cfg.Kind = Taken
-	p := MustNew(cfg)
+	p := mustNew(cfg)
 	in := branchAt(7)
 	if got := p.Predict(100, in); got != 107 {
 		t.Errorf("taken predictor: next = %d, want 107", got)
@@ -112,14 +112,14 @@ func TestStaticTaken(t *testing.T) {
 }
 
 func TestPredictNonControl(t *testing.T) {
-	p := MustNew(Default())
+	p := mustNew(Default())
 	if got := p.Predict(5, isa.Instr{Op: isa.OpAdd, Dest: 1, Src1: 2, Src2: 3}); got != 6 {
 		t.Errorf("non-control next = %d, want 6", got)
 	}
 }
 
 func TestDirectJumpAndCall(t *testing.T) {
-	p := MustNew(Default())
+	p := mustNew(Default())
 	j := isa.Instr{Op: isa.OpJump, Imm: -10}
 	if got := p.Predict(50, j); got != 40 {
 		t.Errorf("jump predicted %d, want 40", got)
@@ -131,7 +131,7 @@ func TestDirectJumpAndCall(t *testing.T) {
 }
 
 func TestRASPredictsReturns(t *testing.T) {
-	p := MustNew(Default())
+	p := mustNew(Default())
 	call := isa.Instr{Op: isa.OpCall, Dest: isa.LinkReg, Imm: 100}
 	ret := isa.Instr{Op: isa.OpJalr, Dest: isa.ZeroReg, Src1: isa.LinkReg}
 	p.Predict(10, call) // pushes 11
@@ -151,7 +151,7 @@ func TestRASPredictsReturns(t *testing.T) {
 func TestRASWrapsAround(t *testing.T) {
 	cfg := Default()
 	cfg.RASSize = 2
-	p := MustNew(cfg)
+	p := mustNew(cfg)
 	call := isa.Instr{Op: isa.OpCall, Dest: isa.LinkReg, Imm: 100}
 	ret := isa.Instr{Op: isa.OpJalr, Dest: isa.ZeroReg, Src1: isa.LinkReg}
 	p.Predict(10, call)
@@ -166,7 +166,7 @@ func TestRASWrapsAround(t *testing.T) {
 }
 
 func TestBTBIndirectJumps(t *testing.T) {
-	p := MustNew(Default())
+	p := mustNew(Default())
 	jr := isa.Instr{Op: isa.OpJalr, Dest: isa.ZeroReg, Src1: 5}
 	// Cold BTB: falls through.
 	if got := p.Predict(10, jr); got != 11 {
@@ -211,7 +211,7 @@ func TestBTBLRUReplacement(t *testing.T) {
 }
 
 func TestStatsCounting(t *testing.T) {
-	p := MustNew(Default())
+	p := mustNew(Default())
 	in := branchAt(5)
 	pred := p.Predict(10, in)
 	p.Update(10, in, true, 15, pred)
@@ -234,4 +234,13 @@ func TestSaturatingCounters(t *testing.T) {
 	if satInc(1) != 2 || satDec(2) != 1 {
 		t.Error("mid-range counter updates wrong")
 	}
+}
+
+// mustNew is the test-side New that panics on configuration errors.
+func mustNew(cfg Config) *Predictor {
+	p, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return p
 }

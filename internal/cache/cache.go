@@ -173,15 +173,6 @@ func NewHierarchy(cfg HierarchyConfig) (*Hierarchy, error) {
 	return &Hierarchy{cfg: cfg, L1I: l1i, L1D: l1d, L2: l2}, nil
 }
 
-// MustNewHierarchy is NewHierarchy that panics on configuration errors.
-func MustNewHierarchy(cfg HierarchyConfig) *Hierarchy {
-	h, err := NewHierarchy(cfg)
-	if err != nil {
-		panic(err)
-	}
-	return h
-}
-
 // AccessI returns the latency of fetching the instruction block at addr.
 func (h *Hierarchy) AccessI(addr uint64) int {
 	return h.through(h.L1I, addr, false)

@@ -89,7 +89,7 @@ func TestProbeDoesNotDisturb(t *testing.T) {
 }
 
 func TestHierarchyLatencies(t *testing.T) {
-	h := MustNewHierarchy(HierarchyConfig{
+	h := mustNewHierarchy(HierarchyConfig{
 		L1I:    Config{Sets: 4, Assoc: 1, BlockBytes: 32, HitLat: 1},
 		L1D:    Config{Sets: 4, Assoc: 1, BlockBytes: 32, HitLat: 1},
 		L2:     Config{Sets: 16, Assoc: 2, BlockBytes: 64, HitLat: 6},
@@ -111,7 +111,7 @@ func TestHierarchyLatencies(t *testing.T) {
 }
 
 func TestHierarchySeparatesIAndD(t *testing.T) {
-	h := MustNewHierarchy(DefaultHierarchy())
+	h := mustNewHierarchy(DefaultHierarchy())
 	h.AccessI(0x2000)
 	if h.L1D.Stats.Accesses != 0 {
 		t.Error("instruction access touched L1D")
@@ -184,4 +184,14 @@ func TestNoConflictWithinAssocProperty(t *testing.T) {
 	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
 		t.Error(err)
 	}
+}
+
+// mustNewHierarchy is the test-side NewHierarchy that panics on
+// configuration errors.
+func mustNewHierarchy(cfg HierarchyConfig) *Hierarchy {
+	h, err := NewHierarchy(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return h
 }

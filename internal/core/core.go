@@ -158,7 +158,9 @@ func NewAt(cfg Config, m *fsim.Machine) (*Core, error) {
 		c.fusDup = newFUPool(cfg.FUs)
 	}
 	if cfg.Mode.usesIRB() {
-		c.reuse = irb.MustNew(cfg.IRB)
+		if c.reuse, err = irb.New(cfg.IRB); err != nil {
+			return nil, err
+		}
 	}
 	return c, nil
 }
@@ -299,10 +301,12 @@ func (c *Core) dispatch() {
 				return
 			}
 			if fe.pc != c.front.PC() {
+				//nopanic:invariant fetch and the functional front advance in lockstep by construction
 				panic(fmt.Sprintf("core: dispatch pc %d != front pc %d", fe.pc, c.front.PC()))
 			}
 			r, err := c.front.StepCorrect()
 			if err != nil {
+				//nopanic:invariant the oracle already executed this instruction without error
 				panic(err)
 			}
 			rec = r
@@ -342,6 +346,7 @@ func (c *Core) dispatch() {
 		// when the first copy of the pair resolves.
 		if !wrong && fe.predNext != rec.NextPC {
 			if !fe.in.Op.Info().IsCtrl() {
+				//nopanic:invariant only control ops can be flagged mispredicted at fetch
 				panic(fmt.Sprintf("core: non-control mispredict at pc %d", fe.pc))
 			}
 			primary.mispred = true
@@ -715,6 +720,7 @@ func (c *Core) writeback() {
 // pipeline (callers iterating structures must then stop).
 func (c *Core) completeUop(u *uop) bool {
 	if u.state == uDone {
+		//nopanic:invariant a uop completes exactly once by the scheduler's bookkeeping
 		panic("core: double completion")
 	}
 	u.state = uDone
@@ -850,6 +856,7 @@ func (c *Core) commit() {
 			return
 		}
 		if head.wrongPath {
+			//nopanic:invariant squash removes wrong-path uops before they reach commit
 			panic("core: wrong-path uop at commit")
 		}
 		var dupU *uop
@@ -859,6 +866,7 @@ func (c *Core) commit() {
 				return
 			}
 			if dupU.pair != head {
+				//nopanic:invariant DIE modes allocate master/shadow pairs atomically
 				panic("core: unpaired uops at commit")
 			}
 			// Check & retire: compare the two copies' outcome
@@ -900,6 +908,7 @@ func (c *Core) retire(u, dupU *uop) {
 
 	if u.memAccess {
 		if c.lsq.len() == 0 || c.lsq.at(0) != u {
+			//nopanic:invariant LSQ entries retire in the same order the RUU allocated them
 			panic("core: LSQ head mismatch at commit")
 		}
 		c.lsq.popHead()

@@ -248,6 +248,7 @@ func (r *ring) free() int { return len(r.buf) - r.size }
 
 func (r *ring) push(u *uop) {
 	if r.size == len(r.buf) {
+		//nopanic:invariant callers check hasSpace before push
 		panic("core: ring overflow")
 	}
 	r.buf[(r.head+r.size)%len(r.buf)] = u
@@ -258,6 +259,7 @@ func (r *ring) at(i int) *uop { return r.buf[(r.head+i)%len(r.buf)] }
 
 func (r *ring) popHead() *uop {
 	if r.size == 0 {
+		//nopanic:invariant callers check emptiness before pop
 		panic("core: ring underflow")
 	}
 	u := r.buf[r.head]

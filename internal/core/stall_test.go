@@ -120,7 +120,11 @@ func TestDetectedFaultStallsCommit(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	faulty.SetInjector(fault.MustNew(fault.Config{Site: fault.FU, Rate: 5e-3, Seed: 9}))
+	inj, err := fault.New(fault.Config{Site: fault.FU, Rate: 5e-3, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	faulty.SetInjector(inj)
 	if err := faulty.Run(); err != nil {
 		t.Fatal(err)
 	}

@@ -12,6 +12,7 @@ import (
 	"errors"
 	"fmt"
 
+	"repro/internal/analysis"
 	"repro/internal/core"
 	"repro/internal/fault"
 	"repro/internal/runner"
@@ -411,7 +412,10 @@ func Faults(opts Options) ([]FaultRow, *stats.Table, error) {
 	)
 	for _, c := range campaigns {
 		for _, p := range profiles {
-			inj := fault.MustNew(fault.Config{Site: c.site, Rate: 3e-4, Seed: p.Seed})
+			inj, err := fault.New(fault.Config{Site: c.site, Rate: 3e-4, Seed: p.Seed})
+			if err != nil {
+				return nil, nil, err
+			}
 			o := opts.simOpts()
 			o.Injector = inj
 			jobs = append(jobs, runner.Job{Name: string(c.mode), Config: c.cfg, Profile: p, Opts: o})
@@ -559,4 +563,58 @@ func ReuseSources(opts Options) (*Grid, *stats.Table, error) {
 	}
 	avgRow(t, g)
 	return g, t, nil
+}
+
+// PredictionRow pairs the static predictor's estimate for one benchmark
+// with the reuse rate the timing core measured.
+type PredictionRow struct {
+	Bench     string
+	Predicted float64 // analysis.Prediction.ReuseRate on the exact program run
+	Measured  float64 // sim.Result.ReuseRate on the base DIE-IRB machine
+	HotInstrs int     // static reuse-eligible in-loop instructions
+	Conflict  float64 // predicted hot instructions per occupied IRB set
+}
+
+// ReusePrediction cross-validates the static IRB-reuse predictor
+// (internal/analysis) against the measured duplicate-stream reuse rate of
+// the base DIE-IRB machine. Each benchmark's program is analyzed exactly
+// as generated for its run (sim.ProgramFor), then simulated; the returned
+// coefficient is the Spearman rank correlation between the predicted and
+// measured columns — the predictor's contract is ordering programs by
+// reuse potential, not matching absolute rates.
+func ReusePrediction(opts Options) ([]PredictionRow, float64, *stats.Table, error) {
+	profiles, err := opts.profiles()
+	if err != nil {
+		return nil, 0, nil, err
+	}
+	cfgs := []sim.NamedConfig{{Name: "DIE-IRB", Cfg: core.BaseDIEIRB()}}
+	g, err := runGridProfiles(cfgs, profiles, opts)
+	if err != nil {
+		return nil, 0, nil, err
+	}
+	t := stats.NewTable("Static reuse prediction vs measured (base DIE-IRB)",
+		"bench", "predicted", "measured", "hot-instrs", "conflict")
+	rows := make([]PredictionRow, 0, len(profiles))
+	var preds, meas []float64
+	for b, p := range profiles {
+		prog, err := sim.ProgramFor(p, opts.simOpts())
+		if err != nil {
+			return nil, 0, nil, err
+		}
+		pred := analysis.Analyze(prog).Prediction
+		row := PredictionRow{
+			Bench:     p.Name,
+			Predicted: pred.ReuseRate,
+			Measured:  g.Results[b][0].ReuseRate(),
+			HotInstrs: pred.HotInstrs,
+			Conflict:  pred.ConflictRatio,
+		}
+		rows = append(rows, row)
+		preds = append(preds, row.Predicted)
+		meas = append(meas, row.Measured)
+		t.AddRow(row.Bench, row.Predicted, row.Measured, row.HotInstrs, row.Conflict)
+	}
+	rho := stats.Spearman(preds, meas)
+	t.AddRow("SPEARMAN", "", "", "", rho)
+	return rows, rho, t, nil
 }

@@ -334,3 +334,30 @@ func TestReuseSources(t *testing.T) {
 		t.Errorf("chaining IPC %.3f below plain SIE-IRB %.3f", chain.IPC, sie.IPC)
 	}
 }
+
+func TestReusePredictionCrossValidates(t *testing.T) {
+	// The acceptance bar for the static predictor: across the full
+	// benchmark grid, the predicted reuse rate must rank the benchmarks
+	// essentially the way the timing core measures them.
+	rows, rho, tbl, err := ReusePrediction(Options{Insns: 100_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 12 {
+		t.Fatalf("got %d rows, want the full 12-benchmark grid", len(rows))
+	}
+	if rho < 0.7 {
+		t.Errorf("Spearman rank correlation %.3f, want >= 0.7\n%s", rho, tbl)
+	}
+	for _, r := range rows {
+		if r.Predicted < 0 || r.Predicted > 1 {
+			t.Errorf("%s: predicted reuse %.3f outside [0,1]", r.Bench, r.Predicted)
+		}
+		if r.Measured <= 0 {
+			t.Errorf("%s: measured reuse %.3f not positive", r.Bench, r.Measured)
+		}
+	}
+	if !strings.Contains(tbl.String(), "SPEARMAN") {
+		t.Error("table missing SPEARMAN summary row")
+	}
+}

@@ -89,15 +89,6 @@ func New(cfg Config) (*Injector, error) {
 	}, nil
 }
 
-// MustNew is New that panics on configuration errors.
-func MustNew(cfg Config) *Injector {
-	i, err := New(cfg)
-	if err != nil {
-		panic(err)
-	}
-	return i
-}
-
 func (i *Injector) fire() bool {
 	if i.cfg.MaxFaults > 0 && i.Injected >= i.cfg.MaxFaults {
 		return false

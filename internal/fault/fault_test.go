@@ -29,7 +29,7 @@ func TestSitesComplete(t *testing.T) {
 }
 
 func TestFUInjectionFlipsExactlyOneBit(t *testing.T) {
-	inj := MustNew(Config{Site: FU, Rate: 1, Seed: 7})
+	inj := mustNew(Config{Site: FU, Rate: 1, Seed: 7})
 	sig := uint64(0x1234)
 	got := inj.FUResult(1, 10, false, sig)
 	if got == sig {
@@ -45,7 +45,7 @@ func TestFUInjectionFlipsExactlyOneBit(t *testing.T) {
 }
 
 func TestSiteScoping(t *testing.T) {
-	inj := MustNew(Config{Site: Forward, Rate: 1, Seed: 7})
+	inj := mustNew(Config{Site: Forward, Rate: 1, Seed: 7})
 	if got := inj.FUResult(1, 10, false, 42); got != 42 {
 		t.Error("forward-site injector corrupted an FU result")
 	}
@@ -55,7 +55,7 @@ func TestSiteScoping(t *testing.T) {
 }
 
 func TestMaxFaultsCap(t *testing.T) {
-	inj := MustNew(Config{Site: FU, Rate: 1, Seed: 7, MaxFaults: 3})
+	inj := mustNew(Config{Site: FU, Rate: 1, Seed: 7, MaxFaults: 3})
 	for i := 0; i < 10; i++ {
 		inj.FUResult(uint64(i), 10, false, 0)
 	}
@@ -66,7 +66,7 @@ func TestMaxFaultsCap(t *testing.T) {
 
 func TestDeterministicCampaign(t *testing.T) {
 	run := func() []uint64 {
-		inj := MustNew(Config{Site: FU, Rate: 0.5, Seed: 99})
+		inj := mustNew(Config{Site: FU, Rate: 0.5, Seed: 99})
 		out := make([]uint64, 20)
 		for i := range out {
 			out[i] = inj.FUResult(uint64(i), 5, false, 1000)
@@ -82,10 +82,13 @@ func TestDeterministicCampaign(t *testing.T) {
 }
 
 func TestIRBInjection(t *testing.T) {
-	buf := irb.MustNew(irb.Config{Entries: 64, Assoc: 1, ReadPorts: 4, WritePorts: 2, LookupLat: 3})
+	buf, err := irb.New(irb.Config{Entries: 64, Assoc: 1, ReadPorts: 4, WritePorts: 2, LookupLat: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
 	buf.Insert(1, 7, irb.Entry{Src1: 1, Src2: 2, Result: 3})
 
-	res := MustNew(Config{Site: IRBResult, Rate: 1, Seed: 3})
+	res := mustNew(Config{Site: IRBResult, Rate: 1, Seed: 3})
 	res.AfterIRBInsert(7, buf)
 	if e, _ := buf.Probe(7); e.Result == 3 {
 		t.Error("IRBResult injector left result intact")
@@ -95,7 +98,7 @@ func TestIRBInjection(t *testing.T) {
 	}
 
 	buf.Insert(2, 7, irb.Entry{Src1: 1, Src2: 2, Result: 3})
-	op := MustNew(Config{Site: IRBOperand, Rate: 1, Seed: 3})
+	op := mustNew(Config{Site: IRBOperand, Rate: 1, Seed: 3})
 	op.AfterIRBInsert(7, buf)
 	e, _ := buf.Probe(7)
 	if e.Src1 == 1 && e.Src2 == 2 {
@@ -104,4 +107,13 @@ func TestIRBInjection(t *testing.T) {
 	if e.Result != 3 {
 		t.Error("IRBOperand injector touched the result")
 	}
+}
+
+// mustNew is the test-side New that panics on configuration errors.
+func mustNew(cfg Config) *Injector {
+	i, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return i
 }

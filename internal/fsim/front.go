@@ -41,6 +41,7 @@ func (f *Front) Halted() bool { return f.M.Halted }
 // called while in speculative mode.
 func (f *Front) StepCorrect() (Retired, error) {
 	if f.spec {
+		//nopanic:invariant the core exits speculative mode before stepping the oracle
 		panic("fsim: StepCorrect during speculative mode")
 	}
 	return f.M.Step()
@@ -51,6 +52,7 @@ func (f *Front) StepCorrect() (Retired, error) {
 // actual next PC; fetch then proceeds down the predicted (wrong) path.
 func (f *Front) EnterSpec() {
 	if f.spec {
+		//nopanic:invariant the core tracks a single outstanding speculation region
 		panic("fsim: nested EnterSpec")
 	}
 	f.spec = true
@@ -70,6 +72,7 @@ func (f *Front) Squash() {
 // follows the branch predictor, not the computed next PC.
 func (f *Front) StepSpecAt(pc uint64) Retired {
 	if !f.spec {
+		//nopanic:invariant callers pair StepSpecAt with EnterSpec
 		panic("fsim: StepSpecAt outside speculative mode")
 	}
 	in := f.M.Prog.Fetch(pc)

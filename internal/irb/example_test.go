@@ -11,7 +11,10 @@ import (
 // operands passes the reuse test and can skip the functional units; a
 // recurrence with different operands is a reuse miss.
 func Example() {
-	buf := irb.MustNew(irb.Default())
+	buf, err := irb.New(irb.Default())
+	if err != nil {
+		panic(err)
+	}
 	const pc = 0x42
 
 	if _, hit := buf.Lookup(1, pc); !hit {

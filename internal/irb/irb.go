@@ -166,15 +166,6 @@ func New(cfg Config) (*IRB, error) {
 	return b, nil
 }
 
-// MustNew is New that panics on configuration errors.
-func MustNew(cfg Config) *IRB {
-	b, err := New(cfg)
-	if err != nil {
-		panic(err)
-	}
-	return b
-}
-
 // Config returns the buffer's configuration.
 func (b *IRB) Config() Config { return b.cfg }
 

@@ -34,7 +34,7 @@ func TestConfigValidate(t *testing.T) {
 }
 
 func TestInsertLookupHit(t *testing.T) {
-	b := MustNew(unlimited(16, 1, 0))
+	b := mustNew(unlimited(16, 1, 0))
 	e := Entry{Src1: 10, Src2: 20, Result: 30}
 	if !b.Insert(1, 100, e) {
 		t.Fatal("insert rejected")
@@ -62,7 +62,7 @@ func TestReuseTest(t *testing.T) {
 }
 
 func TestDirectMappedConflict(t *testing.T) {
-	b := MustNew(unlimited(16, 1, 0))
+	b := mustNew(unlimited(16, 1, 0))
 	// pc 5 and pc 21 collide in a 16-set direct-mapped array.
 	b.Insert(1, 5, Entry{Result: 1})
 	b.Insert(2, 21, Entry{Result: 2})
@@ -78,7 +78,7 @@ func TestDirectMappedConflict(t *testing.T) {
 }
 
 func TestAssociativityRemovesConflict(t *testing.T) {
-	b := MustNew(unlimited(16, 2, 0)) // 8 sets x 2 ways
+	b := mustNew(unlimited(16, 2, 0)) // 8 sets x 2 ways
 	// pc 5 and pc 13 collide in set 5 but coexist in a 2-way array.
 	b.Insert(1, 5, Entry{Result: 1})
 	b.Insert(2, 13, Entry{Result: 2})
@@ -91,7 +91,7 @@ func TestAssociativityRemovesConflict(t *testing.T) {
 }
 
 func TestLRUWithinSet(t *testing.T) {
-	b := MustNew(unlimited(16, 2, 0)) // 8 sets x 2 ways
+	b := mustNew(unlimited(16, 2, 0)) // 8 sets x 2 ways
 	b.Insert(1, 5, Entry{Result: 1})
 	b.Insert(2, 13, Entry{Result: 2})
 	b.Lookup(3, 5)                    // pc 5 most recent
@@ -105,7 +105,7 @@ func TestLRUWithinSet(t *testing.T) {
 }
 
 func TestVictimBufferRecoversConflicts(t *testing.T) {
-	b := MustNew(unlimited(16, 1, 4))
+	b := mustNew(unlimited(16, 1, 4))
 	b.Insert(1, 5, Entry{Result: 1})
 	b.Insert(2, 21, Entry{Result: 2}) // evicts pc 5 into victim buffer
 	e, hit := b.Lookup(3, 5)
@@ -125,7 +125,7 @@ func TestVictimBufferRecoversConflicts(t *testing.T) {
 }
 
 func TestVictimBufferCapacity(t *testing.T) {
-	b := MustNew(unlimited(16, 1, 2))
+	b := mustNew(unlimited(16, 1, 2))
 	// Fill set 5 repeatedly: pcs 5, 21, 37, 53 all collide.
 	for i, pc := range []uint64{5, 21, 37, 53} {
 		b.Insert(uint64(i+1), pc, Entry{Result: uint64(pc)})
@@ -142,7 +142,7 @@ func TestVictimBufferCapacity(t *testing.T) {
 
 func TestReadPortExhaustion(t *testing.T) {
 	cfg := Config{Entries: 64, Assoc: 1, ReadPorts: 2, WritePorts: 1, RWPorts: 1, LookupLat: 3}
-	b := MustNew(cfg)
+	b := mustNew(cfg)
 	// One insert per cycle so the write ports never throttle the setup.
 	for pc := uint64(0); pc < 8; pc++ {
 		b.Insert(pc, pc, Entry{Result: pc})
@@ -168,7 +168,7 @@ func TestReadPortExhaustion(t *testing.T) {
 
 func TestWritePortExhaustionDropsUpdates(t *testing.T) {
 	cfg := Config{Entries: 64, Assoc: 1, ReadPorts: 1, WritePorts: 2, RWPorts: 0, LookupLat: 3}
-	b := MustNew(cfg)
+	b := mustNew(cfg)
 	accepted := 0
 	for pc := uint64(0); pc < 5; pc++ {
 		if b.Insert(7, pc, Entry{Result: pc}) {
@@ -185,7 +185,7 @@ func TestWritePortExhaustionDropsUpdates(t *testing.T) {
 
 func TestRWPortsSharedBetweenReadsAndWrites(t *testing.T) {
 	cfg := Config{Entries: 64, Assoc: 1, ReadPorts: 1, WritePorts: 1, RWPorts: 2, LookupLat: 3}
-	b := MustNew(cfg)
+	b := mustNew(cfg)
 	// Same cycle: 2 reads (1 dedicated + 1 RW), then 3 writes
 	// (1 dedicated + 1 remaining RW + 1 denied).
 	b.Lookup(9, 0)
@@ -199,7 +199,7 @@ func TestRWPortsSharedBetweenReadsAndWrites(t *testing.T) {
 }
 
 func TestProbeDoesNotDisturb(t *testing.T) {
-	b := MustNew(unlimited(16, 1, 0))
+	b := mustNew(unlimited(16, 1, 0))
 	b.Insert(1, 7, Entry{Result: 9})
 	before := b.Stats
 	if e, ok := b.Probe(7); !ok || e.Result != 9 {
@@ -214,7 +214,7 @@ func TestProbeDoesNotDisturb(t *testing.T) {
 }
 
 func TestCorruptResult(t *testing.T) {
-	b := MustNew(unlimited(16, 1, 4))
+	b := mustNew(unlimited(16, 1, 4))
 	b.Insert(1, 7, Entry{Result: 0})
 	if !b.CorruptResult(7, 5) {
 		t.Fatal("CorruptResult missed present entry")
@@ -233,7 +233,7 @@ func TestCorruptResult(t *testing.T) {
 }
 
 func TestUpdateExistingEntryInPlace(t *testing.T) {
-	b := MustNew(unlimited(16, 1, 0))
+	b := mustNew(unlimited(16, 1, 0))
 	b.Insert(1, 5, Entry{Src1: 1, Result: 2})
 	b.Insert(2, 5, Entry{Src1: 3, Result: 4})
 	if b.Stats.Evictions != 0 {
@@ -248,7 +248,7 @@ func TestUpdateExistingEntryInPlace(t *testing.T) {
 // found by lookup with exactly the inserted payload.
 func TestInsertLookupProperty(t *testing.T) {
 	f := func(pc uint64, s1, s2, res uint64, taken bool) bool {
-		b := MustNew(unlimited(256, 1, 0))
+		b := mustNew(unlimited(256, 1, 0))
 		pc &= 1<<30 - 1
 		e := Entry{Src1: s1, Src2: s2, Result: res, Taken: taken}
 		b.Insert(1, pc, e)
@@ -264,7 +264,7 @@ func TestInsertLookupProperty(t *testing.T) {
 // eviction of the looked-up pc always hits (single-conflict recovery).
 func TestVictimRecoveryProperty(t *testing.T) {
 	f := func(pcRaw uint16) bool {
-		b := MustNew(unlimited(64, 1, 8))
+		b := mustNew(unlimited(64, 1, 8))
 		pc := uint64(pcRaw)
 		b.Insert(1, pc, Entry{Result: 1})
 		b.Insert(2, pc+64, Entry{Result: 2}) // collides with pc
@@ -285,7 +285,7 @@ func TestPortBoundProperty(t *testing.T) {
 			ReadPorts: int(r%4) + 1, WritePorts: int(w%4) + 1, RWPorts: int(rw % 4),
 			LookupLat: 3,
 		}
-		b := MustNew(cfg)
+		b := mustNew(cfg)
 		for pc := uint64(0); pc < 32; pc++ {
 			b.Insert(uint64(pc), pc, Entry{})
 		}
@@ -313,14 +313,14 @@ func TestMatchesVersions(t *testing.T) {
 }
 
 func TestConfigAccessor(t *testing.T) {
-	b := MustNew(Default())
+	b := mustNew(Default())
 	if got := b.Config(); got != Default() {
 		t.Errorf("Config() = %+v", got)
 	}
 }
 
 func TestProbeFindsVictimEntries(t *testing.T) {
-	b := MustNew(unlimited(16, 1, 4))
+	b := mustNew(unlimited(16, 1, 4))
 	b.Insert(1, 5, Entry{Result: 1})
 	b.Insert(2, 21, Entry{Result: 2}) // spills pc 5 to the victim buffer
 	if e, ok := b.Probe(5); !ok || e.Result != 1 {
@@ -329,7 +329,7 @@ func TestProbeFindsVictimEntries(t *testing.T) {
 }
 
 func TestCorruptOperandMainArray(t *testing.T) {
-	b := MustNew(unlimited(16, 1, 0))
+	b := mustNew(unlimited(16, 1, 0))
 	b.Insert(1, 5, Entry{Src1: 0, Src2: 0})
 	if !b.CorruptOperand(5, true, 3) {
 		t.Fatal("CorruptOperand missed present entry")
@@ -349,7 +349,7 @@ func TestCorruptOperandMainArray(t *testing.T) {
 }
 
 func TestCorruptOperandVictim(t *testing.T) {
-	b := MustNew(unlimited(16, 1, 4))
+	b := mustNew(unlimited(16, 1, 4))
 	b.Insert(1, 5, Entry{})
 	b.Insert(2, 21, Entry{}) // pc 5 now in the victim buffer
 	if !b.CorruptOperand(5, true, 2) {
@@ -358,4 +358,13 @@ func TestCorruptOperandVictim(t *testing.T) {
 	if e, _ := b.Probe(5); e.Src1 != 1<<2 {
 		t.Errorf("victim Src1 = %#x", e.Src1)
 	}
+}
+
+// mustNew is the test-side New that panics on configuration errors.
+func mustNew(cfg Config) *IRB {
+	b, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return b
 }

@@ -239,6 +239,7 @@ var opInfos = [NumOps]OpInfo{
 // opcode, which always indicates a generator or decoder bug.
 func (op Op) Info() *OpInfo {
 	if int(op) >= NumOps {
+		//nopanic:invariant decode table covers every defined opcode; an unknown op is memory corruption
 		panic(fmt.Sprintf("isa: undefined opcode %d", op))
 	}
 	return &opInfos[op]

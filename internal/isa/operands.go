@@ -1,0 +1,70 @@
+package isa
+
+// Static operand and control-flow metadata accessors. These answer, for a
+// decoded instruction, the questions a static analyzer asks — which
+// registers are read and written, where direct control transfers land, and
+// whether execution can continue at pc+1 — without the caller re-deriving
+// them from OpInfo flag combinations.
+
+// SrcRegs returns the registers the instruction reads, in (src1, src2)
+// order, and how many of the two slots are meaningful. ZeroReg appears
+// like any other register; callers that care about its hardwired-zero
+// semantics filter it themselves.
+func (in Instr) SrcRegs() (regs [2]Reg, n int) {
+	oi := in.Op.Info()
+	if oi.UsesSrc1 {
+		regs[n] = in.Src1
+		n++
+	}
+	if oi.UsesSrc2 {
+		regs[n] = in.Src2
+		n++
+	}
+	return regs, n
+}
+
+// DestReg returns the register the instruction writes and whether it
+// writes one at all. Writes to ZeroReg are architecturally discarded; this
+// reports the encoded destination regardless.
+func (in Instr) DestReg() (Reg, bool) {
+	if !in.Op.Info().HasDest {
+		return 0, false
+	}
+	return in.Dest, true
+}
+
+// StaticTarget returns the instruction-index target of a direct control
+// transfer at pc, and whether the instruction has one. Indirect jumps
+// (JALR) and non-control instructions report false.
+func (in Instr) StaticTarget(pc uint64) (uint64, bool) {
+	oi := in.Op.Info()
+	if !oi.IsCtrl() || oi.IsIndirect {
+		return 0, false
+	}
+	return uint64(int64(pc) + int64(in.Imm)), true
+}
+
+// FallsThrough reports whether execution can continue at pc+1 after this
+// instruction: true for ordinary operations and not-taken conditional
+// branches, false for unconditional transfers (jump, call, jalr) and HALT.
+// A CALL does return to pc+1 eventually; CFG builders model that through
+// the callee's return edges, not as an architectural fallthrough.
+func (in Instr) FallsThrough() bool {
+	oi := in.Op.Info()
+	if in.Op == OpHalt {
+		return false
+	}
+	return !oi.IsJump
+}
+
+// IsReturn reports whether the instruction is the conventional function
+// return: a JALR through LinkReg that discards the new link value.
+func (in Instr) IsReturn() bool {
+	return in.Op == OpJalr && in.Src1 == LinkReg && in.Dest == ZeroReg
+}
+
+// EndsBlock reports whether the instruction terminates a basic block: any
+// control transfer or HALT.
+func (in Instr) EndsBlock() bool {
+	return in.Op.Info().IsCtrl() || in.Op == OpHalt
+}

@@ -1,0 +1,176 @@
+// Package nopanic is a repository lint pass that forbids panic calls in
+// library code. The simulator's packages are APIs: configuration and input
+// errors must surface as returned errors so callers (the CLIs, the
+// experiments grid, external embedders) can handle them, not as process
+// aborts. A panic is allowed only when it asserts an internal invariant
+// that no caller input can trigger, and the author says so explicitly by
+// annotating the statement with a
+//
+//	//nopanic:invariant <reason>
+//
+// comment on the panic's own line or the line directly above it. Test
+// files are exempt: a panic in a test is just a failed test.
+//
+// The pass is stdlib-only (go/ast + go/parser), so it runs offline inside
+// cmd/repolint and `make lint` without the x/tools analysis framework.
+package nopanic
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Marker is the comment directive that allowlists a panic.
+const Marker = "//nopanic:invariant"
+
+// Finding is one disallowed panic call.
+type Finding struct {
+	Pos  token.Position // file:line:col of the panic call
+	Func string         // enclosing function, for the report
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: panic in %s (return an error, or annotate with %s)",
+		f.Pos, f.Func, Marker)
+}
+
+// CheckDir walks every non-test .go file under root (skipping testdata
+// trees) and returns the disallowed panic calls, ordered by position.
+func CheckDir(root string) ([]Finding, error) {
+	var files []string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if d.Name() == "testdata" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(path, ".go") && !strings.HasSuffix(path, "_test.go") {
+			files = append(files, path)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(files)
+
+	var out []Finding
+	for _, path := range files {
+		fs, err := CheckFile(path)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, fs...)
+	}
+	return out, nil
+}
+
+// CheckFile parses one Go source file and returns its disallowed panics.
+func CheckFile(path string) ([]Finding, error) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+	if err != nil {
+		return nil, fmt.Errorf("nopanic: %w", err)
+	}
+
+	// Lines carrying the allowlist marker; a panic on line L is allowed
+	// when L or L-1 is marked.
+	marked := map[int]bool{}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if strings.HasPrefix(c.Text, Marker) {
+				marked[fset.Position(c.Pos()).Line] = true
+			}
+		}
+	}
+
+	var out []Finding
+	for _, decl := range f.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if ok && fd.Body != nil {
+			out = append(out, checkFunc(fset, fd, marked)...)
+		}
+	}
+	return out, nil
+}
+
+// checkFunc reports the unannotated panic calls in one function body,
+// honouring local shadowing of the panic builtin.
+func checkFunc(fset *token.FileSet, fd *ast.FuncDecl, marked map[int]bool) []Finding {
+	name := fd.Name.Name
+	if fd.Recv != nil && len(fd.Recv.List) == 1 {
+		name = recvType(fd.Recv.List[0].Type) + "." + name
+	}
+	shadowed := paramsShadowPanic(fd)
+
+	var out []Finding
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if shadowed {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			// A local `panic := ...` shadows the builtin for the rest
+			// of the function; stop flagging rather than chase scopes.
+			for _, lhs := range n.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok && id.Name == "panic" {
+					shadowed = true
+				}
+			}
+		case *ast.CallExpr:
+			id, ok := n.Fun.(*ast.Ident)
+			if !ok || id.Name != "panic" {
+				return true
+			}
+			pos := fset.Position(n.Pos())
+			if marked[pos.Line] || marked[pos.Line-1] {
+				return true
+			}
+			out = append(out, Finding{Pos: pos, Func: name})
+		}
+		return true
+	})
+	return out
+}
+
+// paramsShadowPanic reports whether a parameter or named result rebinds
+// the panic identifier.
+func paramsShadowPanic(fd *ast.FuncDecl) bool {
+	check := func(fl *ast.FieldList) bool {
+		if fl == nil {
+			return false
+		}
+		for _, f := range fl.List {
+			for _, n := range f.Names {
+				if n.Name == "panic" {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	return check(fd.Type.Params) || check(fd.Type.Results) || check(fd.Recv)
+}
+
+// recvType renders a receiver type expression as a short name.
+func recvType(e ast.Expr) string {
+	switch t := e.(type) {
+	case *ast.Ident:
+		return t.Name
+	case *ast.StarExpr:
+		return recvType(t.X)
+	case *ast.IndexExpr:
+		return recvType(t.X)
+	}
+	return "?"
+}

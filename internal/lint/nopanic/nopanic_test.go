@@ -1,0 +1,88 @@
+package nopanic
+
+import (
+	"go/parser"
+	"go/token"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestTestdataWantComments checks CheckFile against the `// want` comments
+// in the testdata file, analysistest-style: every line annotated with a
+// want comment must produce a finding whose text matches the quoted
+// fragment, and no other line may produce one.
+func TestTestdataWantComments(t *testing.T) {
+	path := filepath.Join("testdata", "src", "a", "a.go")
+
+	wants := map[int]string{} // line -> expected fragment
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+			if !strings.HasPrefix(text, "want ") {
+				continue
+			}
+			frag := strings.Trim(strings.TrimPrefix(text, "want "), "`\"")
+			wants[fset.Position(c.Pos()).Line] = frag
+		}
+	}
+	if len(wants) == 0 {
+		t.Fatal("testdata has no want comments")
+	}
+
+	findings, err := CheckFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[int]string{}
+	for _, fd := range findings {
+		got[fd.Pos.Line] = fd.String()
+	}
+
+	for line, frag := range wants {
+		msg, ok := got[line]
+		if !ok {
+			t.Errorf("line %d: want finding matching %q, got none", line, frag)
+			continue
+		}
+		if !strings.Contains(msg, frag) {
+			t.Errorf("line %d: finding %q does not match %q", line, msg, frag)
+		}
+	}
+	for line, msg := range got {
+		if _, ok := wants[line]; !ok {
+			t.Errorf("line %d: unexpected finding %q", line, msg)
+		}
+	}
+}
+
+// TestCheckDirSkipsTestsAndTestdata ensures the directory walk exempts
+// _test.go files and testdata trees: checking this package's own source
+// directory must not report the panics in its testdata inputs, and the
+// analyzer source itself is clean.
+func TestCheckDirSkipsTestsAndTestdata(t *testing.T) {
+	findings, err := CheckDir(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		t.Errorf("unexpected finding: %s", f)
+	}
+}
+
+// TestInternalTreeIsClean is the repository's own gate: every panic left
+// in the library packages must carry the invariant annotation.
+func TestInternalTreeIsClean(t *testing.T) {
+	findings, err := CheckDir(filepath.Join("..", "..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+}

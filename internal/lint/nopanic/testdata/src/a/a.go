@@ -1,0 +1,50 @@
+// Package a is lint-test input: every line expecting a nopanic finding
+// carries a `// want` comment, in the style of x/tools analysistest.
+package a
+
+import "fmt"
+
+func Exported(x int) {
+	if x < 0 {
+		panic("negative") // want `panic in Exported`
+	}
+}
+
+func unexported() {
+	panic(fmt.Sprintf("boom")) // want `panic in unexported`
+}
+
+type T struct{}
+
+func (t *T) Method() {
+	panic("method") // want `panic in T.Method`
+}
+
+func AnnotatedSameLine(x int) {
+	if x < 0 {
+		panic("impossible") //nopanic:invariant callers validate x
+	}
+}
+
+func AnnotatedLineAbove(x int) {
+	if x < 0 {
+		//nopanic:invariant callers validate x
+		panic("impossible")
+	}
+}
+
+func NestedClosure() {
+	f := func() {
+		panic("closure") // want `panic in NestedClosure`
+	}
+	f()
+}
+
+func ShadowedBuiltin() {
+	panic := func(string) {}
+	panic("not the builtin")
+}
+
+func NotAPanic() {
+	fmt.Println("panic(\"in a string literal\")")
+}

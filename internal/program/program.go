@@ -106,6 +106,7 @@ func (b *Builder) PC() uint64 { return uint64(len(b.code)) }
 // always bugs.
 func (b *Builder) Label(name string) {
 	if _, dup := b.labels[name]; dup {
+		//nopanic:invariant generator code is the only caller and duplicate labels are always bugs
 		panic(fmt.Sprintf("program: duplicate label %q", name))
 	}
 	b.labels[name] = b.PC()
@@ -208,6 +209,7 @@ func (b *Builder) Build() (*Program, error) {
 func (b *Builder) MustBuild() *Program {
 	p, err := b.Build()
 	if err != nil {
+		//nopanic:invariant callers assert statically-correct programs; see the doc comment
 		panic(err)
 	}
 	return p

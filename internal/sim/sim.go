@@ -11,11 +11,13 @@ import (
 	"errors"
 	"fmt"
 
+	"repro/internal/analysis"
 	"repro/internal/bpred"
 	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/fsim"
 	"repro/internal/irb"
+	"repro/internal/program"
 	"repro/internal/workload"
 )
 
@@ -43,6 +45,13 @@ type Options struct {
 	// profile's fixed seed and is byte-identical to the behaviour the
 	// recorded EXPERIMENTS.md numbers were measured with.
 	Seed uint64
+	// Program, when non-nil, runs this exact pre-built program instead of
+	// generating one from the profile — the path kernels and externally
+	// assembled programs take. The profile's workload knobs (and Seed) are
+	// ignored and the program's own name is reported as the benchmark.
+	// The instruction budget still caps the run, but a program that halts
+	// before exhausting it is not an error in this mode.
+	Program *program.Program
 }
 
 // DivergenceError reports that a committed instruction did not match the
@@ -113,6 +122,24 @@ func (r Result) PCHitRate() float64 {
 	return float64(r.IRB.PCHits) / float64(r.IRB.Lookups)
 }
 
+// ProgramFor returns the exact program RunContext would execute for p and
+// opts: the Options.Program override when set, otherwise the generated
+// workload sized to outlast the instruction budget with margin. Static
+// tooling (cmd/irblint, the experiments cross-validation) uses it to
+// analyze precisely what a run measures.
+func ProgramFor(p workload.Profile, opts Options) (*program.Program, error) {
+	if opts.Program != nil {
+		return opts.Program, nil
+	}
+	if opts.Insns == 0 {
+		opts.Insns = DefaultInsns
+	}
+	if opts.Seed != 0 {
+		p.Seed ^= opts.Seed
+	}
+	return workload.Generate(p.WithIters(opts.FastForward + opts.Insns + opts.Insns/3))
+}
+
 // Run simulates profile p on configuration cfg. It is RunContext with a
 // background context.
 func Run(name string, cfg core.Config, p workload.Profile, opts Options) (Result, error) {
@@ -132,13 +159,18 @@ func RunContext(ctx context.Context, name string, cfg core.Config, p workload.Pr
 	if opts.Insns == 0 {
 		opts.Insns = DefaultInsns
 	}
-	if opts.Seed != 0 {
-		p.Seed ^= opts.Seed
-	}
-	// Size the program to outlast the instruction budget with margin.
-	prog, err := workload.Generate(p.WithIters(opts.FastForward + opts.Insns + opts.Insns/3))
+	prog, err := ProgramFor(p, opts)
 	if err != nil {
 		return Result{}, err
+	}
+	if opts.Program != nil {
+		p.Name = prog.Name
+	}
+	// Preflight: reject ill-formed programs with a structured diagnostic
+	// before spending any cycles on them. The first finding is available
+	// via errors.As(err, &(*analysis.Diagnostic)).
+	if err := analysis.Check(prog); err != nil {
+		return Result{}, fmt.Errorf("sim: preflight rejected %s: %w", prog.Name, err)
 	}
 	cfg.MaxInsns = opts.Insns
 	m := fsim.New(prog)
@@ -202,7 +234,7 @@ func RunContext(ctx context.Context, name string, cfg core.Config, p workload.Pr
 		}
 		return Result{}, fmt.Errorf("sim: %s on %s: %w", p.Name, name, err)
 	}
-	if c.Stats.Committed < opts.Insns {
+	if opts.Program == nil && c.Stats.Committed < opts.Insns {
 		return Result{}, fmt.Errorf("sim: %s on %s committed only %d/%d instructions (program too short)",
 			p.Name, name, c.Stats.Committed, opts.Insns)
 	}

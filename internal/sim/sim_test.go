@@ -1,11 +1,15 @@
 package sim
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
+	"repro/internal/analysis"
 	"repro/internal/core"
 	"repro/internal/fault"
+	"repro/internal/isa"
+	"repro/internal/program"
 	"repro/internal/workload"
 )
 
@@ -78,7 +82,10 @@ func TestIRBStatsPresentOnlyWithIRB(t *testing.T) {
 
 func TestRunWithInjector(t *testing.T) {
 	p := gzipProfile(t)
-	inj := fault.MustNew(fault.Config{Site: fault.FU, Rate: 1e-3, Seed: 5})
+	inj, err := fault.New(fault.Config{Site: fault.FU, Rate: 1e-3, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
 	r, err := Run("DIE", core.BaseDIE(), p, Options{Insns: 50_000, Injector: inj})
 	if err != nil {
 		t.Fatal(err)
@@ -179,5 +186,91 @@ func TestFastForwardDeterministic(t *testing.T) {
 	}
 	if a.Core != b.Core {
 		t.Error("fast-forwarded runs are not deterministic")
+	}
+}
+
+func TestPreflightRejectsBrokenProgram(t *testing.T) {
+	// r2 is read but never written: the analysis preflight must reject
+	// the program with a structured diagnostic before cycle 0 — no panic.
+	b := program.NewBuilder("broken")
+	b.EmitOp(isa.OpAdd, 1, 2, isa.ZeroReg)
+	b.Emit(isa.Instr{Op: isa.OpHalt})
+	prog, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Run("DIE-IRB", core.BaseDIEIRB(), workload.Profile{}, Options{
+		Insns: 10_000, Program: prog,
+	})
+	if err == nil {
+		t.Fatal("Run accepted an ill-formed program")
+	}
+	var d *analysis.Diagnostic
+	if !errors.As(err, &d) {
+		t.Fatalf("error %v does not carry *analysis.Diagnostic", err)
+	}
+	if d.Kind != analysis.KindReadBeforeWrite {
+		t.Errorf("kind = %s, want %s", d.Kind, analysis.KindReadBeforeWrite)
+	}
+	if !strings.Contains(err.Error(), "preflight") {
+		t.Errorf("error %q does not mention the preflight", err)
+	}
+}
+
+func TestRunProgramOverride(t *testing.T) {
+	// A hand-written kernel runs verified through the full timing core; it
+	// halts well before the budget, which Program mode permits.
+	prog, _ := workload.KernelHistogram(512)
+	r, err := Run("DIE-IRB", core.BaseDIEIRB(), workload.Profile{}, Options{
+		Insns: 200_000, Verify: true, Program: prog,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Bench != "histogram" {
+		t.Errorf("bench = %q, want histogram", r.Bench)
+	}
+	if r.Core.Committed == 0 || r.IPC <= 0 {
+		t.Errorf("kernel did not execute: %+v", r.Core)
+	}
+}
+
+func TestProgramForMatchesRunContext(t *testing.T) {
+	// The program ProgramFor hands static tooling must be the exact
+	// program a run would execute: same options, same bytes.
+	p := gzipProfile(t)
+	opts := Options{Insns: 30_000, Seed: 99}
+	a, err := ProgramFor(p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := ProgramFor(p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Code) != len(b2.Code) {
+		t.Fatalf("ProgramFor not deterministic: %d vs %d instrs", len(a.Code), len(b2.Code))
+	}
+	for i := range a.Code {
+		if a.Code[i] != b2.Code[i] {
+			t.Fatalf("ProgramFor not deterministic at pc %d", i)
+		}
+	}
+	unseeded, err := ProgramFor(p, Options{Insns: 30_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := len(unseeded.Code) == len(a.Code)
+	if same {
+		same = false
+		for i := range a.Code {
+			if a.Code[i] != unseeded.Code[i] {
+				same = true // any difference proves the seed was applied
+				break
+			}
+		}
+		if !same {
+			t.Error("Seed option did not perturb the generated program")
+		}
 	}
 }

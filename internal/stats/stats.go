@@ -7,6 +7,8 @@ package stats
 import (
 	"encoding/json"
 	"fmt"
+	"math"
+	"sort"
 	"strings"
 )
 
@@ -150,4 +152,50 @@ func (t *Table) CSV() string {
 		b.WriteByte('\n')
 	}
 	return b.String()
+}
+
+// Spearman returns the Spearman rank correlation coefficient between xs
+// and ys (tied values get their average rank). It returns 0 when the
+// slices differ in length, have fewer than two points, or either side is
+// constant — the coefficient is undefined there, and 0 is the conservative
+// "no demonstrated correlation" answer for threshold checks.
+func Spearman(xs, ys []float64) float64 {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		return 0
+	}
+	rx, ry := ranks(xs), ranks(ys)
+	mx, my := Mean(rx), Mean(ry)
+	var num, dx, dy float64
+	for i := range rx {
+		a, b := rx[i]-mx, ry[i]-my
+		num += a * b
+		dx += a * a
+		dy += b * b
+	}
+	if dx == 0 || dy == 0 {
+		return 0
+	}
+	return num / math.Sqrt(dx*dy)
+}
+
+// ranks returns the 1-based ranks of xs, averaging ties.
+func ranks(xs []float64) []float64 {
+	idx := make([]int, len(xs))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return xs[idx[a]] < xs[idx[b]] })
+	out := make([]float64, len(xs))
+	for i := 0; i < len(idx); {
+		j := i
+		for j+1 < len(idx) && xs[idx[j+1]] == xs[idx[i]] {
+			j++
+		}
+		avg := float64(i+j+2) / 2 // mean of 1-based ranks i+1..j+1
+		for k := i; k <= j; k++ {
+			out[idx[k]] = avg
+		}
+		i = j + 1
+	}
+	return out
 }

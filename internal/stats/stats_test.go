@@ -91,3 +91,26 @@ func TestRecoveredEndpointsProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestSpearman(t *testing.T) {
+	perfect := []float64{1, 2, 3, 4, 5}
+	mono := []float64{10, 20, 35, 70, 1000} // monotone, nonlinear
+	if got := Spearman(perfect, mono); got != 1 {
+		t.Errorf("Spearman(monotone) = %v, want 1", got)
+	}
+	rev := []float64{5, 4, 3, 2, 1}
+	if got := Spearman(perfect, rev); got != -1 {
+		t.Errorf("Spearman(reversed) = %v, want -1", got)
+	}
+	if got := Spearman(perfect, []float64{7, 7, 7, 7, 7}); got != 0 {
+		t.Errorf("Spearman(constant) = %v, want 0", got)
+	}
+	if got := Spearman(perfect, perfect[:3]); got != 0 {
+		t.Errorf("Spearman(length mismatch) = %v, want 0", got)
+	}
+	// Ties get average ranks: still a strong but imperfect correlation.
+	tied := []float64{1, 2, 2, 3, 4}
+	if got := Spearman(perfect, tied); got < 0.9 || got > 1 {
+		t.Errorf("Spearman(ties) = %v, want in (0.9, 1]", got)
+	}
+}

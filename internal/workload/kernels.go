@@ -11,6 +11,16 @@ import (
 // useful both as simulator acceptance tests and as realistic small
 // workloads for the examples.
 
+// Kernels returns every built-in kernel at a small representative size, in
+// a stable order — the set that analysis sweeps and cmd/irblint iterate.
+func Kernels() []*program.Program {
+	mm, _ := KernelMatMul(8)
+	bs, _ := KernelBubbleSort(64)
+	mc, _ := KernelMemcpy(256)
+	hg, _ := KernelHistogram(512)
+	return []*program.Program{mm, bs, KernelFib(90), mc, hg, KernelCRC(512)}
+}
+
 // KernelMatMul builds an n x n integer matrix multiply C = A*B with
 // A[i][j] = i+j and B[i][j] = i*2+j. The result matrix starts at the
 // returned address, row-major.

@@ -177,15 +177,6 @@ func Generate(p Profile) (*program.Program, error) {
 	return g.b.Build()
 }
 
-// MustGenerate is Generate that panics on error.
-func MustGenerate(p Profile) *program.Program {
-	prog, err := Generate(p)
-	if err != nil {
-		panic(err)
-	}
-	return prog
-}
-
 type gen struct {
 	p       Profile
 	rng     *rand.Rand
@@ -231,6 +222,16 @@ func (g *gen) prologue() {
 	for i := 0; i < numAcc; i++ {
 		b.LoadConst(regAccBase+isa.Reg(i), int64(i+1))
 	}
+	// Zero the load-rotation registers and the FP accumulator explicitly:
+	// blocks with few loads read the unrotated slots, and the first FP fold
+	// reads the accumulator, before anything has written them. The machine
+	// resets registers to zero so the values are unchanged; the writes make
+	// the program well-formed under liveness analysis (no read of a
+	// never-written register).
+	for i := 0; i < 4; i++ {
+		b.LoadConst(regLoad0+isa.Reg(i), 0)
+	}
+	b.EmitOp(isa.OpCvtIF, fpAcc, isa.ZeroReg, 0)
 	b.EmitOp(isa.OpCvtIF, fpBase, regAccBase, 0) // f1 = 1.0
 	for i := 1; i < numFP; i++ {
 		b.EmitOp(isa.OpCvtIF, fpBase+isa.Reg(i), regAccBase+isa.Reg(i%numAcc), 0)

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/fsim"
 	"repro/internal/isa"
+	"repro/internal/program"
 )
 
 func testProfile() Profile {
@@ -64,8 +65,8 @@ func TestByName(t *testing.T) {
 
 func TestGenerateDeterministic(t *testing.T) {
 	p := testProfile()
-	a := MustGenerate(p)
-	b := MustGenerate(p)
+	a := mustGenerate(p)
+	b := mustGenerate(p)
 	if len(a.Code) != len(b.Code) {
 		t.Fatalf("code lengths differ: %d vs %d", len(a.Code), len(b.Code))
 	}
@@ -84,9 +85,9 @@ func TestGenerateDeterministic(t *testing.T) {
 
 func TestSeedChangesProgram(t *testing.T) {
 	p := testProfile()
-	a := MustGenerate(p)
+	a := mustGenerate(p)
 	p.Seed++
-	b := MustGenerate(p)
+	b := mustGenerate(p)
 	same := len(a.Code) == len(b.Code)
 	if same {
 		identical := true
@@ -129,7 +130,7 @@ func TestValidateRejectsBadProfiles(t *testing.T) {
 func TestInstructionMixTracksProfile(t *testing.T) {
 	counts := func(name string) map[isa.FUClass]int {
 		p, _ := ByName(name)
-		prog := MustGenerate(p.WithIters(1000))
+		prog := mustGenerate(p.WithIters(1000))
 		m := map[isa.FUClass]int{}
 		for _, in := range prog.Code {
 			m[in.Op.Info().Class]++
@@ -151,7 +152,7 @@ func TestValueLocalityDrivesOperandRepetition(t *testing.T) {
 	repRate := func(valueRange uint64) float64 {
 		p := testProfile()
 		p.ValueRange = valueRange
-		prog := MustGenerate(p.WithIters(40_000))
+		prog := mustGenerate(p.WithIters(40_000))
 		m := fsim.New(prog)
 		seen := map[[3]uint64]bool{}
 		var repeats, total int
@@ -188,7 +189,7 @@ func TestValueLocalityDrivesOperandRepetition(t *testing.T) {
 
 func TestWithIters(t *testing.T) {
 	p := testProfile()
-	prog := MustGenerate(p)
+	prog := mustGenerate(p)
 	m := fsim.New(prog)
 	n, err := m.Run(10_000_000)
 	if err != nil {
@@ -205,8 +206,8 @@ func TestWorkingSetTracksArrayWords(t *testing.T) {
 	large := testProfile()
 	large.ArrayWords = 1 << 14
 	// The data segment footprint should scale with ArrayWords.
-	ps := MustGenerate(small)
-	pl := MustGenerate(large)
+	ps := mustGenerate(small)
+	pl := mustGenerate(large)
 	if len(pl.Data) <= len(ps.Data) {
 		t.Errorf("working set did not grow: %d vs %d words", len(ps.Data), len(pl.Data))
 	}
@@ -241,4 +242,13 @@ func TestSPEC95Suite(t *testing.T) {
 	if _, ok := ByName95("gzip"); ok {
 		t.Error("ByName95 found a SPEC2000 profile")
 	}
+}
+
+// mustGenerate is the test-side Generate that panics on error.
+func mustGenerate(p Profile) *program.Program {
+	prog, err := Generate(p)
+	if err != nil {
+		panic(err)
+	}
+	return prog
 }
