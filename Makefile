@@ -28,9 +28,12 @@ lint:
 	$(GO) run ./cmd/irblint
 
 # One testing.B benchmark per paper figure/table plus simulator
-# micro-benchmarks; writes the record the repository ships with.
+# micro-benchmarks, then the engineering-performance record
+# (BENCH_<date>.json: insns/s per mode with and without trace replay,
+# grid wall-clock serial vs parallel, allocs/op).
 bench:
 	$(GO) test -bench=. -benchmem . | tee bench_output.txt
+	$(GO) run ./cmd/bench
 
 # Regenerate every experiment at full scale (~20 min on one core).
 sweep:

@@ -200,11 +200,38 @@ func BenchmarkGridParallel(b *testing.B) {
 }
 
 // BenchmarkSimulatorThroughput measures the simulator's own speed in
-// simulated instructions per wall-clock second, per execution mode.
+// simulated instructions per wall-clock second, per execution mode, on
+// the grid hot path: one trace captured up front (as the sweep harness
+// does) and replayed by every timed run, so the numbers reflect the
+// timing core itself, not workload generation.
 func BenchmarkSimulatorThroughput(b *testing.B) {
+	p, _ := workload.ByName("gzip")
+	const insns = 50_000
+	tr, err := sim.CaptureTrace(p, sim.Options{Insns: insns})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, nc := range sim.HeadlineConfigs() {
+		b.Run(nc.Name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := sim.Run(nc.Name, nc.Cfg, p, sim.Options{Insns: insns, Trace: tr}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(insns)*float64(b.N)/b.Elapsed().Seconds(), "insns/s")
+		})
+	}
+}
+
+// BenchmarkSimulatorThroughputDirect is the same measurement without the
+// shared trace: every run generates and interprets its own program. The
+// gap to BenchmarkSimulatorThroughput is what trace replay saves per cell.
+func BenchmarkSimulatorThroughputDirect(b *testing.B) {
 	p, _ := workload.ByName("gzip")
 	for _, nc := range sim.HeadlineConfigs() {
 		b.Run(nc.Name, func(b *testing.B) {
+			b.ReportAllocs()
 			const insns = 50_000
 			for i := 0; i < b.N; i++ {
 				if _, err := sim.Run(nc.Name, nc.Cfg, p, sim.Options{Insns: insns}); err != nil {
@@ -216,24 +243,45 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 	}
 }
 
-// BenchmarkFunctionalSim measures the golden-model interpreter alone.
+// BenchmarkFunctionalSim measures the golden-model interpreter alone, and
+// the trace-replay fast path that substitutes for it on grid runs.
 func BenchmarkFunctionalSim(b *testing.B) {
 	p, _ := workload.ByName("gzip")
 	prog, err := workload.Generate(p.WithIters(1_000_000))
 	if err != nil {
 		b.Fatal(err)
 	}
-	b.ResetTimer()
-	var total uint64
-	for i := 0; i < b.N; i++ {
-		m := fsim.New(prog)
-		n, err := m.Run(200_000)
+	b.Run("interpret", func(b *testing.B) {
+		b.ReportAllocs()
+		var total uint64
+		for i := 0; i < b.N; i++ {
+			m := fsim.New(prog)
+			n, err := m.Run(200_000)
+			if err != nil {
+				b.Fatal(err)
+			}
+			total += n
+		}
+		b.ReportMetric(float64(total)/b.Elapsed().Seconds(), "insns/s")
+	})
+	b.Run("replay", func(b *testing.B) {
+		tr, err := fsim.Capture(prog, 200_000)
 		if err != nil {
 			b.Fatal(err)
 		}
-		total += n
-	}
-	b.ReportMetric(float64(total)/b.Elapsed().Seconds(), "insns/s")
+		b.ResetTimer()
+		b.ReportAllocs()
+		var total uint64
+		for i := 0; i < b.N; i++ {
+			m := fsim.NewReplay(tr)
+			n, err := m.Run(200_000)
+			if err != nil {
+				b.Fatal(err)
+			}
+			total += n
+		}
+		b.ReportMetric(float64(total)/b.Elapsed().Seconds(), "insns/s")
+	})
 }
 
 // BenchmarkIRBLookup measures the reuse buffer microarchitecture model.
@@ -246,6 +294,7 @@ func BenchmarkIRBLookup(b *testing.B) {
 		buf.Insert(pc, pc, irb.Entry{Src1: pc, Src2: pc, Result: pc * 2})
 	}
 	b.ResetTimer()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		buf.Lookup(uint64(i), uint64(i)%2048)
 	}

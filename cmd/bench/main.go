@@ -1,0 +1,195 @@
+// Command bench measures the simulator's engineering performance — wall
+// clock and allocation behaviour, not model fidelity — and writes a
+// machine-readable JSON record for longitudinal tracking. Each run emits
+// BENCH_<date>.json (override with -out) containing simulated
+// instructions per second for every headline configuration with and
+// without trace replay, the headline grid's serial and parallel
+// wall-clock, the functional interpreter's and replay fast path's
+// throughput, and allocations per operation for each measurement.
+//
+// Usage:
+//
+//	go run ./cmd/bench                       # full measurement, BENCH_<date>.json
+//	go run ./cmd/bench -short -out ci.json   # reduced sizes for CI smoke
+//	go run ./cmd/bench -notes "post-refactor"
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/fsim"
+	"repro/internal/irb"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Result is one benchmark's measurement.
+type Result struct {
+	Name        string             `json:"name"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	AllocsPerOp int64              `json:"allocs_per_op"`
+	BytesPerOp  int64              `json:"bytes_per_op"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Record is the file-level envelope.
+type Record struct {
+	Date      string   `json:"date"`
+	GoVersion string   `json:"go_version"`
+	GOOS      string   `json:"goos"`
+	GOARCH    string   `json:"goarch"`
+	CPUs      int      `json:"cpus"`
+	Short     bool     `json:"short,omitempty"`
+	Notes     string   `json:"notes,omitempty"`
+	Results   []Result `json:"results"`
+}
+
+func main() {
+	out := flag.String("out", "", "output path (default BENCH_<date>.json)")
+	short := flag.Bool("short", false, "reduced instruction budgets for CI smoke runs")
+	notes := flag.String("notes", "", "free-form note embedded in the record")
+	flag.Parse()
+
+	rec := Record{
+		Date:      time.Now().Format("2006-01-02"),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		CPUs:      runtime.NumCPU(),
+		Short:     *short,
+		Notes:     *notes,
+	}
+	path := *out
+	if path == "" {
+		path = "BENCH_" + rec.Date + ".json"
+	}
+
+	insns := uint64(50_000)
+	benches := []string{"bzip2", "mesa", "ammp"}
+	fsimSteps := uint64(200_000)
+	if *short {
+		insns, benches, fsimSteps = 10_000, []string{"bzip2"}, 50_000
+	}
+
+	measure := func(name string, metric string, denom float64, fn func(b *testing.B)) {
+		r := testing.Benchmark(fn)
+		res := Result{
+			Name:        name,
+			NsPerOp:     float64(r.NsPerOp()),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		}
+		if metric != "" && r.NsPerOp() > 0 {
+			// Rate metric: work units per second of one operation.
+			res.Metrics = map[string]float64{metric: denom / (float64(r.NsPerOp()) / 1e9)}
+		}
+		rec.Results = append(rec.Results, res)
+		fmt.Fprintf(os.Stderr, "%-40s %12.0f ns/op %10d allocs/op\n", name, res.NsPerOp, res.AllocsPerOp)
+	}
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+
+	gzip, ok := workload.ByName("gzip")
+	if !ok {
+		fail(fmt.Errorf("gzip profile missing"))
+	}
+	tr, err := sim.CaptureTrace(gzip, sim.Options{Insns: insns})
+	if err != nil {
+		fail(err)
+	}
+	for _, nc := range sim.HeadlineConfigs() {
+		nc := nc
+		measure("SimulatorThroughput/"+nc.Name, "insns_per_s", float64(insns), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := sim.Run(nc.Name, nc.Cfg, gzip, sim.Options{Insns: insns, Trace: tr}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		measure("SimulatorThroughputDirect/"+nc.Name, "insns_per_s", float64(insns), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := sim.Run(nc.Name, nc.Cfg, gzip, sim.Options{Insns: insns}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+
+	grid := func(name string, opts experiments.Options) {
+		measure(name, "", 0, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, _, _, err := experiments.Headline(opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	gridOpts := experiments.Options{Insns: insns, Benchmarks: benches}
+	serial := gridOpts
+	serial.Parallelism = 1
+	grid("GridSerial", serial)
+	grid("GridParallel", gridOpts)
+	noReplay := gridOpts
+	noReplay.DisableReplay = true
+	grid("GridParallelNoReplay", noReplay)
+
+	prog, err := workload.Generate(gzip.WithIters(1_000_000))
+	if err != nil {
+		fail(err)
+	}
+	measure("FunctionalSim/interpret", "insns_per_s", float64(fsimSteps), func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := fsim.New(prog).Run(fsimSteps); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	ftr, err := fsim.Capture(prog, fsimSteps)
+	if err != nil {
+		fail(err)
+	}
+	measure("FunctionalSim/replay", "insns_per_s", float64(fsimSteps), func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := fsim.NewReplay(ftr).Run(fsimSteps); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	buf, err := irb.New(irb.Default())
+	if err != nil {
+		fail(err)
+	}
+	for pc := uint64(0); pc < 2048; pc++ {
+		buf.Insert(pc, pc, irb.Entry{Src1: pc, Src2: pc, Result: pc * 2})
+	}
+	measure("IRBLookup", "", 0, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			buf.Lookup(uint64(i), uint64(i)%2048)
+		}
+	})
+
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		fail(err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		fail(err)
+	}
+	fmt.Println(path)
+}

@@ -12,6 +12,8 @@
 //	sweep -exp irbhit -bench gzip,mesa # subset of benchmarks
 //	sweep -exp fig2 -format csv        # csv or json instead of a table
 //	sweep -exp all -progress           # live cells-done/ETA on stderr
+//	sweep -exp headline -trace-replay=off  # per-cell interpretation
+//	sweep -exp all -cpuprofile cpu.pprof   # profile the sweep
 //
 // Experiments: config, fig2, headline, irbhit, irbsize, conflict,
 // irbports, faults, ablation-dup, ablation-fwd, scheduler, cluster,
@@ -24,6 +26,8 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"repro/internal/cliutil"
@@ -42,9 +46,17 @@ func main() {
 	format := cliutil.Format(flag.CommandLine)
 	csv := flag.Bool("csv", false, "deprecated: alias for -format csv")
 	progress := flag.Bool("progress", false, "report live per-cell progress on stderr")
+	traceReplay := flag.String("trace-replay", "on",
+		"on: capture each benchmark's functional trace once and replay it in every cell; off: interpret per cell")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
+	memprofile := flag.String("memprofile", "", "write a post-sweep heap profile to this file")
 	flag.Parse()
 	if *csv {
 		*format = "csv"
+	}
+	if *traceReplay != "on" && *traceReplay != "off" {
+		fmt.Fprintf(os.Stderr, "sweep: -trace-replay must be on or off, got %q\n", *traceReplay)
+		os.Exit(1)
 	}
 
 	// Ctrl-C cancels the sweep: in-flight simulations stop within a
@@ -53,11 +65,12 @@ func main() {
 	defer stop()
 
 	opts := experiments.Options{
-		Insns:       *insns,
-		Verify:      *verify,
-		Benchmarks:  cliutil.SplitBenchmarks(*bench),
-		Parallelism: *jobs,
-		Context:     ctx,
+		Insns:         *insns,
+		Verify:        *verify,
+		Benchmarks:    cliutil.SplitBenchmarks(*bench),
+		Parallelism:   *jobs,
+		Context:       ctx,
+		DisableReplay: *traceReplay == "off",
 	}
 	if *progress {
 		opts.Progress = func(p runner.Progress) {
@@ -69,9 +82,37 @@ func main() {
 		}
 	}
 
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sweep:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "sweep:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
 	if err := run(*exp, opts, *format); err != nil {
 		fmt.Fprintln(os.Stderr, "sweep:", err)
 		os.Exit(1)
+	}
+
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sweep:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		runtime.GC() // report live post-sweep heap, not transient garbage
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "sweep:", err)
+			os.Exit(1)
+		}
 	}
 }
 

@@ -1,9 +1,9 @@
 package core
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/bpred"
@@ -45,6 +45,24 @@ type fetchEntry struct {
 	cycle    uint64
 }
 
+// uopChunk is how many uops the arena grows by when the free list runs
+// dry. The steady-state population is bounded by the RUU size, so a
+// handful of chunks serve an entire run.
+const uopChunk = 128
+
+// scratch is the recyclable allocation-heavy state of a core: the uop
+// arena's free list and the event-heap and waiting-list backing arrays.
+// Cores draw one from a package pool at construction and Release returns
+// it when the run ends, so a grid's many sequential cells reuse the same
+// uop slots and consumers arrays instead of re-warming fresh ones.
+type scratch struct {
+	events  eventQueue
+	waiting []waitRef
+	free    []*uop
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(scratch) }}
+
 // Core is one simulated processor executing one program.
 type Core struct {
 	cfg    Config
@@ -71,7 +89,7 @@ type Core struct {
 
 	// Fetch state.
 	fetchPC         uint64
-	fq              []fetchEntry
+	fq              *fetchQueue
 	fetchStallUntil uint64
 	curFetchBlock   uint64
 	fetchStopped    bool // halt fetched; wait for redirect or commit
@@ -80,7 +98,18 @@ type Core struct {
 	lsq    *ring
 	fus    *fuPool // single pool, or cluster 0 when Clustered
 	fusDup *fuPool // cluster 1 (duplicate stream) when Clustered
-	events eventQueue
+
+	// events, waiting and freeUops live in sc but are mirrored here as
+	// direct fields for the hot loop; Release writes them back.
+	sc       *scratch
+	events   eventQueue
+	freeUops []*uop
+	freeFn   func(*uop) // c.freeUop, bound once (method values allocate)
+
+	// waiting is the age-ordered list of dispatched-but-unissued uops
+	// that selectIssue scans — the issue window's candidates — replacing
+	// a full sweep of the RUU every cycle.
+	waiting []waitRef
 
 	// regVer counts architected-register writes entering the pipeline,
 	// for the name-based reuse test. Wrong-path bumps are never undone:
@@ -91,8 +120,8 @@ type Core struct {
 	// DIE-IRB the duplicate stream reads prodP — duplicates are woken by
 	// primary results (the paper's forwarding property) — so prodD is
 	// maintained only in plain DIE mode.
-	prodP [isa.NumRegs]*uop
-	prodD [isa.NumRegs]*uop
+	prodP [isa.NumRegs]prodRef
+	prodD [isa.NumRegs]prodRef
 
 	lastCommitCycle  uint64
 	commitStallUntil uint64 // fault-recovery penalty
@@ -149,7 +178,13 @@ func NewAt(cfg Config, m *fsim.Machine) (*Core, error) {
 		curFetchBlock: ^uint64(0),
 		ruu:           newRing(cfg.RUUSize),
 		lsq:           newRing(cfg.LSQSize),
+		fq:            newFetchQueue(cfg.FetchQueue),
 	}
+	c.sc = scratchPool.Get().(*scratch)
+	c.events = c.sc.events
+	c.waiting = c.sc.waiting
+	c.freeUops = c.sc.free
+	c.freeFn = c.freeUop
 	c.fus = newFUPool(cfg.FUs)
 	if cfg.Clustered {
 		// Each cluster owns a full copy of the functional unit mix —
@@ -163,6 +198,56 @@ func NewAt(cfg Config, m *fsim.Machine) (*Core, error) {
 		}
 	}
 	return c, nil
+}
+
+// Release returns the core's recyclable buffers (the uop arena, event
+// heap and waiting list) to the package pool for the next run. The sim
+// driver calls it when a run's statistics have been extracted; the core
+// must not be ticked afterwards. Release is idempotent and optional —
+// a core that is never released just leaves its buffers to the GC.
+func (c *Core) Release() {
+	sc := c.sc
+	if sc == nil {
+		return
+	}
+	c.sc = nil
+	// Drop uop references held beyond the slices' logical lengths so the
+	// pooled backing arrays do not pin a finished run's pipeline state.
+	clear(c.events)
+	clear(c.waiting)
+	sc.events = c.events[:0]
+	sc.waiting = c.waiting[:0]
+	sc.free = c.freeUops
+	c.events, c.waiting, c.freeUops = nil, nil, nil
+	scratchPool.Put(sc)
+}
+
+// allocUop returns a reset uop from the free list, growing the arena by a
+// chunk when it runs dry. A recycled uop keeps its generation counter
+// (bumped at free) and its consumers backing array, so the steady-state
+// dispatch path allocates nothing.
+func (c *Core) allocUop() *uop {
+	if n := len(c.freeUops); n > 0 {
+		u := c.freeUops[n-1]
+		c.freeUops = c.freeUops[:n-1]
+		gen, cons := u.gen, u.consumers[:0]
+		*u = uop{gen: gen, consumers: cons}
+		return u
+	}
+	chunk := make([]uop, uopChunk)
+	for i := range chunk[1:] {
+		c.freeUops = append(c.freeUops, &chunk[1+i])
+	}
+	return &chunk[0]
+}
+
+// freeUop recycles u at commit or squash. Bumping the generation
+// invalidates every stale reference still held by the event heap,
+// consumer links, rename tables and the waiting list.
+func (c *Core) freeUop(u *uop) {
+	u.gen++
+	u.pair = nil
+	c.freeUops = append(c.freeUops, u)
 }
 
 // SetInjector installs a fault injector; call before Run.
@@ -208,7 +293,7 @@ func (c *Core) Run() error {
 		}
 		if c.cycle-c.lastCommitCycle > deadlockWindow {
 			return fmt.Errorf("core: %q deadlocked at cycle %d (ruu=%d lsq=%d fq=%d committed=%d)",
-				c.prog.Name, c.cycle, c.ruu.len(), c.lsq.len(), len(c.fq), c.Stats.Committed)
+				c.prog.Name, c.cycle, c.ruu.len(), c.lsq.len(), c.fq.len(), c.Stats.Committed)
 		}
 	}
 	c.Stats.Cycles = c.cycle
@@ -234,7 +319,7 @@ func (c *Core) fetch() {
 	if c.done || c.fetchStopped || c.cycle < c.fetchStallUntil {
 		return
 	}
-	for budget := c.cfg.FetchWidth; budget > 0 && len(c.fq) < c.cfg.FetchQueue; budget-- {
+	for budget := c.cfg.FetchWidth; budget > 0 && !c.fq.full(); budget-- {
 		addr := c.fetchPC * isa.InstrBytes
 		block := addr / uint64(c.cfg.Cache.L1I.BlockBytes)
 		if block != c.curFetchBlock {
@@ -249,7 +334,7 @@ func (c *Core) fetch() {
 		}
 		in := c.prog.Fetch(c.fetchPC)
 		predNext := c.pred.Predict(c.fetchPC, in)
-		c.fq = append(c.fq, fetchEntry{pc: c.fetchPC, in: in, predNext: predNext, cycle: c.cycle})
+		c.fq.push(fetchEntry{pc: c.fetchPC, in: in, predNext: predNext, cycle: c.cycle})
 		c.Stats.Fetched++
 		if in.Op == isa.OpHalt {
 			c.fetchStopped = true
@@ -272,11 +357,11 @@ func (c *Core) dispatch() {
 		need = 2
 	}
 	slots := c.cfg.DecodeWidth
-	if len(c.fq) == 0 {
+	if c.fq.len() == 0 {
 		c.Stats.FetchQEmpty++
 	}
-	for slots >= need && len(c.fq) > 0 {
-		fe := c.fq[0]
+	for slots >= need && c.fq.len() > 0 {
+		fe := *c.fq.front()
 		if c.ruu.free() < need {
 			c.Stats.RUUFullStalls++
 			return
@@ -297,7 +382,7 @@ func (c *Core) dispatch() {
 				// Nothing after a correct-path halt is
 				// dispatchable; the queue can only hold stale
 				// entries if fetch raced a redirect.
-				c.fq = c.fq[:0]
+				c.fq.clear()
 				return
 			}
 			if fe.pc != c.front.PC() {
@@ -314,7 +399,7 @@ func (c *Core) dispatch() {
 			rec = c.front.StepSpecAt(fe.pc)
 			wrong = true
 		}
-		c.fq = c.fq[1:]
+		c.fq.popFront()
 		slots -= need
 
 		primary := c.newUop(&fe, rec, wrong, false)
@@ -331,6 +416,12 @@ func (c *Core) dispatch() {
 		}
 		if dupU != nil {
 			c.ruu.push(dupU)
+		}
+		if primary.state == uWaiting {
+			c.waiting = append(c.waiting, waitRef{primary, primary.gen})
+		}
+		if dupU != nil && dupU.state == uWaiting {
+			c.waiting = append(c.waiting, waitRef{dupU, dupU.gen})
 		}
 
 		c.wireAndRename(primary, dupU)
@@ -362,18 +453,17 @@ func (c *Core) dispatch() {
 // injection and starting the IRB lookup where the mode calls for it.
 func (c *Core) newUop(fe *fetchEntry, rec fsim.Retired, wrong, dup bool) *uop {
 	c.seq++
-	u := &uop{
-		seq:           c.seq,
-		rec:           rec,
-		dup:           dup,
-		wrongPath:     wrong,
-		dispatchCycle: c.cycle,
-		fetchCycle:    fe.cycle,
-		predNext:      fe.predNext,
-		readyAt:       c.cycle + 1,
-		src1c:         rec.Src1,
-		src2c:         rec.Src2,
-	}
+	u := c.allocUop()
+	u.seq = c.seq
+	u.rec = rec
+	u.dup = dup
+	u.wrongPath = wrong
+	u.dispatchCycle = c.cycle
+	u.fetchCycle = fe.cycle
+	u.predNext = fe.predNext
+	u.readyAt = c.cycle + 1
+	u.src1c = rec.Src1
+	u.src2c = rec.Src2
 	c.Stats.Dispatched++
 	if wrong {
 		c.Stats.WrongPath++
@@ -447,34 +537,36 @@ func (c *Core) wireAndRename(primary, dupU *uop) {
 	in := primary.rec.Instr
 	if in.Op.Info().HasDest && in.Dest != isa.ZeroReg {
 		c.regVer[in.Dest]++
-		c.prodP[in.Dest] = primary
+		c.prodP[in.Dest] = prodRef{primary, primary.gen}
 		if dupU != nil && c.cfg.Mode == DIE {
 			if in.Op.Info().IsLoad {
 				// The memory access happens once, by the primary;
 				// the duplicate only recomputes the address. Both
 				// streams' consumers therefore receive the loaded
 				// value when that single access completes.
-				c.prodD[in.Dest] = primary
+				c.prodD[in.Dest] = prodRef{primary, primary.gen}
 			} else {
-				c.prodD[in.Dest] = dupU
+				c.prodD[in.Dest] = prodRef{dupU, dupU.gen}
 			}
 		}
 	}
 }
 
 // wireSources registers u as a consumer of the pending producers of its
-// source registers.
-func (c *Core) wireSources(u *uop, table *[isa.NumRegs]*uop) {
+// source registers. A rename slot whose generation is stale refers to a
+// producer that already left the pipeline (committed and recycled), which
+// the old pointer-table code read as the uDone state.
+func (c *Core) wireSources(u *uop, table *[isa.NumRegs]prodRef) {
 	oi := u.rec.Instr.Op.Info()
 	add := func(r isa.Reg) {
 		if r == isa.ZeroReg {
 			return
 		}
 		p := table[r]
-		if p == nil || p.state == uDone || p.state == uSquashed {
+		if !p.live() || p.u.state == uDone || p.u.state == uSquashed {
 			return
 		}
-		p.consumers = append(p.consumers, u)
+		p.u.consumers = append(p.u.consumers, consumerLink{u, u.gen})
 		u.waitCount++
 	}
 	if oi.UsesSrc1 {
@@ -515,65 +607,31 @@ func (c *Core) selectIssue() {
 	// never displace ready primary work. The reuse test itself runs in
 	// the first pass regardless — it is overlapped with wakeup and
 	// consumes neither an issue slot nor a functional unit.
+	//
+	// Each pass scans the age-ordered waiting list — only the uops still
+	// in uWaiting, not the whole RUU — compacting it in place: entries
+	// that issued, completed by reuse, or went stale (squashed and
+	// recycled, detectable by the generation tag) are dropped.
 	for pass := 0; pass < 2; pass++ {
-		for i := 0; i < c.ruu.len(); i++ {
-			u := c.ruu.at(i)
-			if u.state != uWaiting || u.waitCount > 0 || u.readyAt+selDelay > c.cycle {
+		w := c.waiting[:0]
+		for k := 0; k < len(c.waiting); k++ {
+			ref := c.waiting[k]
+			u := ref.u
+			if u.gen != ref.gen || u.state != uWaiting {
 				continue
 			}
-
-			if pass == 0 && u.irbPCHit && !u.irbTested && c.cycle >= u.irbReady {
-				u.irbTested = true
-				if c.reuseTest(u) {
-					u.reuseHit = true
-					c.Stats.IRBReuseHits++
-					if c.tracer != nil {
-						c.tracer.ReuseHit(c.cycle, u.seq, &u.rec)
-					}
-					u.outSig = irbOutSig(&u.rec, u.irbEntry)
-					if c.completeUop(u) {
-						// Recovery squashed everything younger.
-						return
-					}
-					continue
-				}
-				c.Stats.IRBReuseMiss++
+			recovered := c.trySelect(u, pass, &slots, selDelay)
+			if u.state == uWaiting {
+				w = append(w, ref)
 			}
-			if u.dup != (pass == 1) {
-				continue
-			}
-
-			if slots == 0 {
-				c.Stats.ReadyNotIssued++
-				continue
-			}
-			op := u.rec.Instr.Op
-			if !c.allocFU(u, op) {
-				c.Stats.ReadyNotIssued++
-				continue
-			}
-			slots--
-			c.Stats.IssueSlotsUsed++
-			c.Stats.Issued[fuBucket(op)]++
-			if u.dup {
-				c.Stats.DupFUExec++
-			}
-			if u.irbPCHit && !u.irbTested {
-				c.Stats.IRBNotReady++
-			}
-			if c.tracer != nil {
-				c.tracer.Issue(c.cycle, u.seq, u.dup, &u.rec)
-			}
-			u.state = uIssued
-			if op.Info().IsMem() {
-				// Address generation: one IntALU cycle; the
-				// memory access (primary copy only) follows via
-				// the LSQ.
-				c.events.schedule(c.cycle+1, evAddrDone, u)
-			} else {
-				c.events.schedule(c.cycle+uint64(op.Info().Latency), evExecDone, u)
+			if recovered {
+				// Recovery already rebuilt c.waiting from the
+				// surviving window; the compaction in flight here
+				// is stale and must not be written back.
+				return
 			}
 		}
+		c.waiting = w
 		if !c.cfg.Mode.dual() {
 			break
 		}
@@ -582,6 +640,65 @@ func (c *Core) selectIssue() {
 			slots = c.cfg.IssueWidth / 2
 		}
 	}
+}
+
+// trySelect runs the per-candidate body of the issue loop: the overlapped
+// IRB reuse test on the first pass, then the pass's slot and functional
+// unit arbitration. It reports whether a reuse completion resolved a
+// mispredicted branch and triggered recovery, in which case the caller's
+// scan state is invalid and it must return immediately.
+func (c *Core) trySelect(u *uop, pass int, slots *int, selDelay uint64) bool {
+	if u.waitCount > 0 || u.readyAt+selDelay > c.cycle {
+		return false
+	}
+
+	if pass == 0 && u.irbPCHit && !u.irbTested && c.cycle >= u.irbReady {
+		u.irbTested = true
+		if c.reuseTest(u) {
+			u.reuseHit = true
+			c.Stats.IRBReuseHits++
+			if c.tracer != nil {
+				c.tracer.ReuseHit(c.cycle, u.seq, &u.rec)
+			}
+			u.outSig = irbOutSig(&u.rec, u.irbEntry)
+			return c.completeUop(u)
+		}
+		c.Stats.IRBReuseMiss++
+	}
+	if u.dup != (pass == 1) {
+		return false
+	}
+
+	if *slots == 0 {
+		c.Stats.ReadyNotIssued++
+		return false
+	}
+	op := u.rec.Instr.Op
+	if !c.allocFU(u, op) {
+		c.Stats.ReadyNotIssued++
+		return false
+	}
+	(*slots)--
+	c.Stats.IssueSlotsUsed++
+	c.Stats.Issued[fuBucket(op)]++
+	if u.dup {
+		c.Stats.DupFUExec++
+	}
+	if u.irbPCHit && !u.irbTested {
+		c.Stats.IRBNotReady++
+	}
+	if c.tracer != nil {
+		c.tracer.Issue(c.cycle, u.seq, u.dup, &u.rec)
+	}
+	u.state = uIssued
+	if op.Info().IsMem() {
+		// Address generation: one IntALU cycle; the memory access
+		// (primary copy only) follows via the LSQ.
+		c.events.schedule(c.cycle+1, evAddrDone, u)
+	} else {
+		c.events.schedule(c.cycle+uint64(op.Info().Latency), evExecDone, u)
+	}
+	return false
 }
 
 // reuseTest runs the configured reuse test for a PC-hitting duplicate:
@@ -676,9 +793,11 @@ func (c *Core) forwardingStore(loadIdx int, addr uint64) bool {
 // consumers and may trigger branch-misprediction recovery.
 func (c *Core) writeback() {
 	for len(c.events) > 0 && c.events[0].cycle <= c.cycle {
-		e := heap.Pop(&c.events).(event)
+		e := c.events.pop()
 		u := e.u
-		if u.state == uSquashed {
+		if u.gen != e.gen || u.state == uSquashed {
+			// The uop was squashed (and possibly recycled into a new
+			// instruction) after this event was scheduled.
 			continue
 		}
 		switch e.kind {
@@ -735,8 +854,9 @@ func (c *Core) completeUop(u *uop) bool {
 		// hardware lets dependent reuse tests cascade within a cycle.
 		wake++
 	}
-	for _, consumer := range u.consumers {
-		if consumer.state == uSquashed {
+	for _, link := range u.consumers {
+		consumer := link.u
+		if consumer.gen != link.gen || consumer.state == uSquashed {
 			continue
 		}
 		consumer.waitCount--
@@ -749,7 +869,7 @@ func (c *Core) completeUop(u *uop) bool {
 			consumer.readyAt = at
 		}
 	}
-	u.consumers = nil
+	u.consumers = u.consumers[:0]
 
 	// Branch resolution: the first copy of a mispredicted correct-path
 	// control transfer to resolve triggers recovery (the paper exploits
@@ -778,16 +898,27 @@ func (c *Core) recover(u *uop) {
 	if c.cfg.IRBSquashReuse && c.reuse != nil {
 		c.harvestSquashed(maxSeq)
 	}
-	killed := c.ruu.squashYoungerThan(maxSeq)
+	// The LSQ only marks (its entries alias RUU entries); the RUU squash
+	// recycles each killed uop into the free list.
+	c.lsq.squashYoungerThan(maxSeq, nil)
+	killed := c.ruu.squashYoungerThan(maxSeq, c.freeFn)
 	c.Stats.Squashed += uint64(killed)
-	c.lsq.squashYoungerThan(maxSeq)
 	if c.tracer != nil {
 		c.tracer.Squash(c.cycle, killed)
 	}
 	c.rebuildRename()
+	// Rebuild the waiting list from the surviving window: the squashed
+	// suffix is gone, and when recovery fired from inside selectIssue a
+	// compaction was in flight over the old list.
+	c.waiting = c.waiting[:0]
+	for i := 0; i < c.ruu.len(); i++ {
+		if s := c.ruu.at(i); s.state == uWaiting {
+			c.waiting = append(c.waiting, waitRef{s, s.gen})
+		}
+	}
 	c.front.Squash()
 	c.fetchPC = c.front.PC()
-	c.fq = c.fq[:0]
+	c.fq.clear()
 	c.fetchStopped = false
 	c.curFetchBlock = ^uint64(0)
 	if c.fetchStallUntil > c.cycle {
@@ -829,12 +960,12 @@ func (c *Core) rebuildRename() {
 			continue
 		}
 		if !u.dup {
-			c.prodP[in.Dest] = u
+			c.prodP[in.Dest] = prodRef{u, u.gen}
 		} else if c.cfg.Mode == DIE {
 			if in.Op.Info().IsLoad {
-				c.prodD[in.Dest] = u.pair
+				c.prodD[in.Dest] = prodRef{u.pair, u.pair.gen}
 			} else {
-				c.prodD[in.Dest] = u
+				c.prodD[in.Dest] = prodRef{u, u.gen}
 			}
 		}
 	}
@@ -886,6 +1017,12 @@ func (c *Core) commit() {
 		c.ruu.popHead()
 		if dupU != nil {
 			c.ruu.popHead()
+		}
+		// Retired pairs return to the free list; any rename-table slot
+		// still naming them goes stale via the generation bump.
+		c.freeUop(head)
+		if dupU != nil {
+			c.freeUop(dupU)
 		}
 		if c.done {
 			return

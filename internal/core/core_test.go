@@ -331,11 +331,15 @@ func TestRingSquash(t *testing.T) {
 	for i := uint64(1); i <= 5; i++ {
 		r.push(mk(i))
 	}
-	if n := r.squashYoungerThan(3); n != 2 {
+	var freed int
+	if n := r.squashYoungerThan(3, func(*uop) { freed++ }); n != 2 {
 		t.Errorf("squashed %d, want 2", n)
 	}
 	if r.len() != 3 {
 		t.Errorf("len = %d, want 3", r.len())
+	}
+	if freed != 2 {
+		t.Errorf("free callback ran %d times, want 2", freed)
 	}
 	u := r.popHead()
 	if u.seq != 1 {

@@ -1,8 +1,6 @@
 package core
 
 import (
-	"container/heap"
-
 	"repro/internal/fsim"
 	"repro/internal/irb"
 	"repro/internal/isa"
@@ -21,8 +19,15 @@ const (
 // uop is one in-flight instruction copy. In DIE modes every architected
 // instruction dispatches as a pair of uops (primary and duplicate) sharing
 // one fsim.Retired record; the pair is compared at commit.
+//
+// uops are recycled through the core's free list rather than allocated per
+// instruction. gen counts recyclings: every reference that can outlive the
+// uop (completion events, consumer links, waiting-list entries, rename
+// table slots) carries the gen it was created under and is dropped when
+// the counts no longer match.
 type uop struct {
 	seq  uint64 // global dispatch order
+	gen  uint32 // recycling generation (bumped on free)
 	rec  fsim.Retired
 	dup  bool
 	pair *uop // other member of the DIE pair (nil in SIE)
@@ -34,7 +39,7 @@ type uop struct {
 	// the earliest cycle the uop can be selected once waitCount is zero.
 	waitCount int
 	readyAt   uint64
-	consumers []*uop
+	consumers []consumerLink
 
 	dispatchCycle uint64
 	fetchCycle    uint64
@@ -69,6 +74,33 @@ type uop struct {
 	outSig       uint64
 	corrupted    bool // an injector touched this copy (accounting only)
 }
+
+// consumerLink records one waiting consumer and the generation it was
+// wired under; a consumer that was squashed and recycled before its
+// producer completed is recognized by the mismatch and skipped.
+type consumerLink struct {
+	u   *uop
+	gen uint32
+}
+
+// waitRef is one entry of the age-ordered waiting list selectIssue scans.
+// Entries are dropped lazily: a stale generation means the uop was
+// squashed and its slot reissued.
+type waitRef struct {
+	u   *uop
+	gen uint32
+}
+
+// prodRef is a rename-table slot: the latest producer of a register plus
+// the generation it had when installed, so a producer that committed (or
+// was squashed) and got recycled reads as absent.
+type prodRef struct {
+	u   *uop
+	gen uint32
+}
+
+// live reports whether the slot still refers to the uop it was set to.
+func (p prodRef) live() bool { return p.u != nil && p.u.gen == p.gen }
 
 // outSignature computes the canonical outcome signature of an instruction
 // copy from its (possibly corrupted) operand values: ALU result for value-
@@ -199,11 +231,15 @@ func (p *fuPool) alloc(cl isa.FUClass, cycle uint64, occ int) bool {
 	return false
 }
 
-// event is a scheduled pipeline completion.
+// event is a scheduled pipeline completion. gen snapshots the uop's
+// recycling generation at scheduling time: a popped event whose gen no
+// longer matches the uop's refers to a slot that was squashed and reissued
+// and is dropped.
 type event struct {
 	cycle uint64
 	kind  eventKind
 	u     *uop
+	gen   uint32
 }
 
 type eventKind uint8
@@ -214,23 +250,53 @@ const (
 	evLoadDone                  // memory access finished: complete + wake
 )
 
-// eventQueue is a min-heap of events by cycle.
+// eventQueue is a min-heap of events by cycle, hand-specialized so push
+// and pop move concrete event values instead of boxing them through
+// container/heap's interface (whose Pop allocates on every call). The sift
+// loops mirror container/heap's up/down exactly, so the pop order among
+// equal-cycle events — which completion order, and therefore wakeup order,
+// depends on — is unchanged.
 type eventQueue []event
 
-func (q eventQueue) Len() int           { return len(q) }
-func (q eventQueue) Less(i, j int) bool { return q[i].cycle < q[j].cycle }
-func (q eventQueue) Swap(i, j int)      { q[i], q[j] = q[j], q[i] }
-func (q *eventQueue) Push(x any)        { *q = append(*q, x.(event)) }
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	*q = old[:n-1]
+func (q *eventQueue) push(e event) {
+	h := append(*q, e)
+	*q = h
+	for j := len(h) - 1; j > 0; {
+		i := (j - 1) / 2
+		if h[i].cycle <= h[j].cycle {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		j = i
+	}
+}
+
+func (q *eventQueue) pop() event {
+	h := *q
+	n := len(h) - 1
+	h[0], h[n] = h[n], h[0]
+	for i := 0; ; {
+		j := 2*i + 1
+		if j >= n {
+			break
+		}
+		if r := j + 1; r < n && h[r].cycle < h[j].cycle {
+			j = r
+		}
+		if h[i].cycle <= h[j].cycle {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		i = j
+	}
+	e := h[n]
+	h[n] = event{}
+	*q = h[:n]
 	return e
 }
 
 func (q *eventQueue) schedule(cycle uint64, kind eventKind, u *uop) {
-	heap.Push(q, event{cycle: cycle, kind: kind, u: u})
+	q.push(event{cycle: cycle, kind: kind, u: u, gen: u.gen})
 }
 
 // ring is a bounded FIFO of uops used for the RUU and the LSQ. Entries
@@ -246,16 +312,27 @@ func (r *ring) len() int  { return r.size }
 func (r *ring) cap() int  { return len(r.buf) }
 func (r *ring) free() int { return len(r.buf) - r.size }
 
+// idx maps a logical position (0 = head) to a buffer index. The wrap is a
+// compare-and-subtract instead of the modulo division that dominated the
+// issue-scan profile.
+func (r *ring) idx(i int) int {
+	i += r.head
+	if i >= len(r.buf) {
+		i -= len(r.buf)
+	}
+	return i
+}
+
 func (r *ring) push(u *uop) {
 	if r.size == len(r.buf) {
 		//nopanic:invariant callers check hasSpace before push
 		panic("core: ring overflow")
 	}
-	r.buf[(r.head+r.size)%len(r.buf)] = u
+	r.buf[r.idx(r.size)] = u
 	r.size++
 }
 
-func (r *ring) at(i int) *uop { return r.buf[(r.head+i)%len(r.buf)] }
+func (r *ring) at(i int) *uop { return r.buf[r.idx(i)] }
 
 func (r *ring) popHead() *uop {
 	if r.size == 0 {
@@ -264,17 +341,22 @@ func (r *ring) popHead() *uop {
 	}
 	u := r.buf[r.head]
 	r.buf[r.head] = nil
-	r.head = (r.head + 1) % len(r.buf)
+	r.head++
+	if r.head == len(r.buf) {
+		r.head = 0
+	}
 	r.size--
 	return u
 }
 
 // squashYoungerThan removes all entries with seq greater than maxSeq,
-// marking them squashed, and returns how many were removed.
-func (r *ring) squashYoungerThan(maxSeq uint64) int {
+// marking them squashed, and returns how many were removed. When free is
+// non-nil every removed uop is recycled through it; the LSQ passes nil
+// because its entries alias the RUU's, which owns the recycling.
+func (r *ring) squashYoungerThan(maxSeq uint64, free func(*uop)) int {
 	n := 0
 	for r.size > 0 {
-		i := (r.head + r.size - 1) % len(r.buf)
+		i := r.idx(r.size - 1)
 		u := r.buf[i]
 		if u.seq <= maxSeq {
 			break
@@ -283,6 +365,61 @@ func (r *ring) squashYoungerThan(maxSeq uint64) int {
 		r.buf[i] = nil
 		r.size--
 		n++
+		if free != nil {
+			free(u)
+		}
 	}
 	return n
 }
+
+// fetchQueue is the bounded fetch-to-dispatch FIFO. Its backing array is
+// allocated once and reused; the previous slice-append queue reallocated
+// on every refill after the slice-off-the-front drain emptied it.
+type fetchQueue struct {
+	buf        []fetchEntry
+	head, size int
+}
+
+func newFetchQueue(capacity int) *fetchQueue {
+	return &fetchQueue{buf: make([]fetchEntry, capacity)}
+}
+
+func (q *fetchQueue) len() int   { return q.size }
+func (q *fetchQueue) full() bool { return q.size == len(q.buf) }
+
+func (q *fetchQueue) push(e fetchEntry) {
+	if q.size == len(q.buf) {
+		//nopanic:invariant fetch checks full before push
+		panic("core: fetch queue overflow")
+	}
+	i := q.head + q.size
+	if i >= len(q.buf) {
+		i -= len(q.buf)
+	}
+	q.buf[i] = e
+	q.size++
+}
+
+// front returns the oldest entry in place; the caller copies what it needs
+// before popFront.
+func (q *fetchQueue) front() *fetchEntry {
+	if q.size == 0 {
+		//nopanic:invariant dispatch checks emptiness before front
+		panic("core: fetch queue underflow")
+	}
+	return &q.buf[q.head]
+}
+
+func (q *fetchQueue) popFront() {
+	if q.size == 0 {
+		//nopanic:invariant dispatch checks emptiness before pop
+		panic("core: fetch queue underflow")
+	}
+	q.head++
+	if q.head == len(q.buf) {
+		q.head = 0
+	}
+	q.size--
+}
+
+func (q *fetchQueue) clear() { q.head, q.size = 0, 0 }

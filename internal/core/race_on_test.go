@@ -1,0 +1,8 @@
+//go:build race
+
+package core
+
+// raceEnabled reports the race detector is active, under which sync.Pool
+// deliberately drops items to shake out races — pool-reuse assertions
+// cannot hold there.
+const raceEnabled = true

@@ -37,6 +37,12 @@ type Options struct {
 	// Context, when non-nil, cancels a sweep mid-grid; the experiment
 	// returns the context's error with whatever cells completed.
 	Context context.Context
+	// DisableReplay turns off the trace-replay fast path: every cell
+	// generates and interprets its own program, as the pre-trace harness
+	// did. Replay is bit-identical by construction (and tested to be), so
+	// this is an escape hatch for debugging the replay machinery itself,
+	// not a fidelity knob.
+	DisableReplay bool
 }
 
 func (o Options) simOpts() sim.Options {
@@ -133,6 +139,14 @@ func runGridProfiles(cfgs []sim.NamedConfig, profiles []workload.Profile, opts O
 		g.Benchmarks = append(g.Benchmarks, p.Name)
 		for _, nc := range cfgs {
 			jobs = append(jobs, runner.Job{Name: nc.Name, Config: nc.Cfg, Profile: p, Opts: opts.simOpts()})
+		}
+	}
+	// Capture each benchmark's functional execution once and share it
+	// across the configuration columns: program generation, preflight
+	// analysis and interpretation are paid per benchmark, not per cell.
+	if !opts.DisableReplay {
+		if err := runner.AttachTraces(jobs); err != nil {
+			return g, err
 		}
 	}
 	outs, err := runner.Run(opts.ctx(), jobs, opts.runnerOpts())
@@ -420,6 +434,16 @@ func Faults(opts Options) ([]FaultRow, *stats.Table, error) {
 			o.Injector = inj
 			jobs = append(jobs, runner.Job{Name: string(c.mode), Config: c.cfg, Profile: p, Opts: o})
 			injs = append(injs, inj)
+		}
+	}
+	// The trace records the fault-free architectural stream — exactly what
+	// the commit-time oracle and the dispatch front need; injected faults
+	// live in the timing core's duplicated values, not here. Each profile
+	// appears once per campaign, so sharing saves len(campaigns)-1
+	// generations and interpretations per benchmark.
+	if !opts.DisableReplay {
+		if err := runner.AttachTraces(jobs); err != nil {
+			return nil, nil, err
 		}
 	}
 	outs, err := runner.Run(opts.ctx(), jobs, opts.runnerOpts())

@@ -50,6 +50,11 @@ type Machine struct {
 
 	Halted bool
 	Count  uint64 // retired instruction count
+
+	// replay, when non-nil, feeds Step from a pre-captured Trace (see
+	// NewReplay) instead of interpreting; replayPos is the next record.
+	replay    *Trace
+	replayPos int
 }
 
 // New creates a machine loaded with prog: data segment installed, PC at the
@@ -67,6 +72,26 @@ func New(prog *program.Program) *Machine {
 func (m *Machine) Step() (Retired, error) {
 	if m.Halted {
 		return Retired{}, fmt.Errorf("fsim: step on halted machine %q at pc=%d", m.Prog.Name, m.PC)
+	}
+	if t := m.replay; t != nil {
+		if m.replayPos < len(t.recs) {
+			r := t.recs[m.replayPos]
+			m.replayPos++
+			m.Count++
+			applyRegs(&m.Regs, r.Instr, r.Result)
+			if r.Instr.Op.Info().IsStore {
+				m.Mem.Write(r.Addr, r.StoreVal)
+			}
+			m.PC = r.NextPC
+			if r.Halt {
+				m.Halted = true
+			}
+			return r, nil
+		}
+		// Trace exhausted: the architectural state is exactly the
+		// capture machine's at the same point, so interpretation
+		// continues seamlessly.
+		m.replay = nil
 	}
 	in := m.Prog.Fetch(m.PC)
 	r := exec(in, m.PC, regReader(&m.Regs), m.Mem)

@@ -20,6 +20,8 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/fsim"
+	"repro/internal/program"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
@@ -58,6 +60,52 @@ func (j Job) Cost() float64 {
 		w *= 1.15 // the oracle re-executes every committed instruction
 	}
 	return w
+}
+
+// traceKey identifies the exact functional execution a job performs: the
+// workload (profile plus the options that shape program generation) and
+// the measurement window. Jobs with equal keys retire identical
+// instruction streams and can share one captured trace.
+type traceKey struct {
+	profile     workload.Profile
+	insns       uint64
+	fastForward uint64
+	seed        uint64
+	program     *program.Program
+}
+
+// AttachTraces captures one functional-execution trace per distinct
+// workload among jobs and installs it as Options.Trace on every cell that
+// runs that workload. A grid of B benchmarks × C configurations then
+// generates and interprets each program once instead of C times; the
+// traces are immutable and shared read-only across workers. Jobs that
+// already carry a trace are left untouched, so callers can pre-seed
+// specific cells. On error the jobs already processed keep their traces —
+// attaching is idempotent and safe to retry.
+func AttachTraces(jobs []Job) error {
+	traces := make(map[traceKey]*fsim.Trace)
+	for i := range jobs {
+		j := &jobs[i]
+		if j.Opts.Trace != nil {
+			continue
+		}
+		insns := j.Opts.Insns
+		if insns == 0 {
+			insns = sim.DefaultInsns
+		}
+		k := traceKey{j.Profile, insns, j.Opts.FastForward, j.Opts.Seed, j.Opts.Program}
+		tr, ok := traces[k]
+		if !ok {
+			var err error
+			tr, err = sim.CaptureTrace(j.Profile, j.Opts)
+			if err != nil {
+				return fmt.Errorf("runner: capturing trace for %s: %w", j.Profile.Name, err)
+			}
+			traces[k] = tr
+		}
+		j.Opts.Trace = tr
+	}
+	return nil
 }
 
 // Outcome is the terminal state of one job: its Result on success, or

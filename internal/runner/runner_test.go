@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/fsim"
 	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/workload"
@@ -222,6 +223,79 @@ func TestPreCancelledContext(t *testing.T) {
 	for i, o := range outs {
 		if !errors.Is(o.Err, context.Canceled) {
 			t.Errorf("cell %d: err = %v, want context.Canceled", i, o.Err)
+		}
+	}
+}
+
+// TestAttachTracesSharesPerWorkload: cells running the same workload get
+// the same trace object; cells with different workloads (or measurement
+// windows) get distinct ones; pre-seeded traces survive.
+func TestAttachTracesSharesPerWorkload(t *testing.T) {
+	jobs := testJobs(t, []string{"bzip2", "ammp"}, 8_000)
+	// Give one cell a distinct fast-forward: same profile, different
+	// executed window, so it must not share bzip2's common trace.
+	jobs[1].Opts.FastForward = 2_000
+	if err := runner.AttachTraces(jobs); err != nil {
+		t.Fatal(err)
+	}
+	byBench := map[string]*fsim.Trace{}
+	for i, j := range jobs {
+		if j.Opts.Trace == nil {
+			t.Fatalf("job %d (%s/%s) got no trace", i, j.Profile.Name, j.Name)
+		}
+		if i == 1 {
+			continue
+		}
+		if prev, ok := byBench[j.Profile.Name]; ok && prev != j.Opts.Trace {
+			t.Errorf("%s cells got different traces", j.Profile.Name)
+		}
+		byBench[j.Profile.Name] = j.Opts.Trace
+	}
+	if byBench["bzip2"] == byBench["ammp"] {
+		t.Error("different benchmarks share a trace")
+	}
+	if jobs[1].Opts.Trace == byBench["bzip2"] {
+		t.Error("fast-forwarded cell shares the plain cell's trace")
+	}
+	// Idempotence: a second attach must keep every existing trace.
+	before := make([]*fsim.Trace, len(jobs))
+	for i := range jobs {
+		before[i] = jobs[i].Opts.Trace
+	}
+	if err := runner.AttachTraces(jobs); err != nil {
+		t.Fatal(err)
+	}
+	for i := range jobs {
+		if jobs[i].Opts.Trace != before[i] {
+			t.Errorf("job %d trace replaced on re-attach", i)
+		}
+	}
+}
+
+// TestAttachTracesMatchesDirectRun: a traced grid must produce results
+// identical to the same grid run without traces.
+func TestAttachTracesMatchesDirectRun(t *testing.T) {
+	direct := testJobs(t, []string{"bzip2"}, 8_000)
+	traced := testJobs(t, []string{"bzip2"}, 8_000)
+	for i := range direct {
+		direct[i].Opts.Verify = true
+		traced[i].Opts.Verify = true
+	}
+	if err := runner.AttachTraces(traced); err != nil {
+		t.Fatal(err)
+	}
+	dOuts, err := runner.Run(context.Background(), direct, runner.Options{Parallelism: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tOuts, err := runner.Run(context.Background(), traced, runner.Options{Parallelism: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range dOuts {
+		if !reflect.DeepEqual(dOuts[i].Result, tOuts[i].Result) {
+			t.Errorf("cell %d (%s/%s) differs between traced and direct runs",
+				i, direct[i].Profile.Name, direct[i].Name)
 		}
 	}
 }

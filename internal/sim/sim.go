@@ -52,6 +52,14 @@ type Options struct {
 	// The instruction budget still caps the run, but a program that halts
 	// before exhausting it is not an error in this mode.
 	Program *program.Program
+	// Trace, when non-nil, replays this pre-captured functional execution
+	// (see CaptureTrace) instead of generating and re-interpreting the
+	// program: the run executes the trace's own program and both the
+	// dispatch front and the verification oracle draw values from the
+	// recorded stream, which is bit-identical to direct interpretation by
+	// construction. The grid harness captures one trace per benchmark and
+	// shares it — read-only — across every configuration cell.
+	Trace *fsim.Trace
 }
 
 // DivergenceError reports that a committed instruction did not match the
@@ -131,6 +139,9 @@ func ProgramFor(p workload.Profile, opts Options) (*program.Program, error) {
 	if opts.Program != nil {
 		return opts.Program, nil
 	}
+	if opts.Trace != nil {
+		return opts.Trace.Prog(), nil
+	}
 	if opts.Insns == 0 {
 		opts.Insns = DefaultInsns
 	}
@@ -138,6 +149,33 @@ func ProgramFor(p workload.Profile, opts Options) (*program.Program, error) {
 		p.Seed ^= opts.Seed
 	}
 	return workload.Generate(p.WithIters(opts.FastForward + opts.Insns + opts.Insns/3))
+}
+
+// TraceSlack is the extra margin CaptureTrace records beyond
+// FastForward+Insns. The dispatch front executes ahead of commit by up to
+// the in-flight window (RUU plus fetch queue), so a trace sized exactly to
+// the commit budget would force the last window of instructions back onto
+// the interpreter; the slack keeps the whole run on the replay fast path.
+// It is deliberately generous — far larger than any configured window —
+// because trace records are cheap (~96 B) and correctness never depends on
+// it: a machine that outruns its trace falls back to interpretation with
+// bit-identical results.
+const TraceSlack = 4096
+
+// CaptureTrace functionally executes the exact program RunContext would
+// run for (p, opts) and records its retired stream. The returned trace is
+// immutable and safe to share: a grid harness captures one trace per
+// benchmark and sets it as Options.Trace on every configuration cell, so
+// the workload is generated and interpreted once instead of once per cell.
+func CaptureTrace(p workload.Profile, opts Options) (*fsim.Trace, error) {
+	if opts.Insns == 0 {
+		opts.Insns = DefaultInsns
+	}
+	prog, err := ProgramFor(p, opts)
+	if err != nil {
+		return nil, err
+	}
+	return fsim.Capture(prog, opts.FastForward+opts.Insns+TraceSlack)
 }
 
 // Run simulates profile p on configuration cfg. It is RunContext with a
@@ -159,6 +197,21 @@ func RunContext(ctx context.Context, name string, cfg core.Config, p workload.Pr
 	if opts.Insns == 0 {
 		opts.Insns = DefaultInsns
 	}
+	if tr := opts.Trace; tr != nil {
+		// A trace fixes the executed program, so it must agree with the
+		// other program sources: the explicit Program override by identity,
+		// the profile by name (generated programs are named after their
+		// profile). Catching a mismatched hand-off here turns a silent
+		// wrong-benchmark result into an immediate error.
+		if opts.Program != nil && opts.Program != tr.Prog() {
+			return Result{}, fmt.Errorf("sim: trace captured from %q does not match Options.Program %q",
+				tr.Prog().Name, opts.Program.Name)
+		}
+		if opts.Program == nil && tr.Prog().Name != p.Name {
+			return Result{}, fmt.Errorf("sim: trace captured from %q does not match profile %q",
+				tr.Prog().Name, p.Name)
+		}
+	}
 	prog, err := ProgramFor(p, opts)
 	if err != nil {
 		return Result{}, err
@@ -168,12 +221,27 @@ func RunContext(ctx context.Context, name string, cfg core.Config, p workload.Pr
 	}
 	// Preflight: reject ill-formed programs with a structured diagnostic
 	// before spending any cycles on them. The first finding is available
-	// via errors.As(err, &(*analysis.Diagnostic)).
-	if err := analysis.Check(prog); err != nil {
-		return Result{}, fmt.Errorf("sim: preflight rejected %s: %w", prog.Name, err)
+	// via errors.As(err, &(*analysis.Diagnostic)). Runs sharing a trace
+	// share one memoized check instead of re-analyzing per cell.
+	var preErr error
+	if opts.Trace != nil {
+		preErr = opts.Trace.Preflight(analysis.Check)
+	} else {
+		preErr = analysis.Check(prog)
+	}
+	if preErr != nil {
+		return Result{}, fmt.Errorf("sim: preflight rejected %s: %w", prog.Name, preErr)
 	}
 	cfg.MaxInsns = opts.Insns
-	m := fsim.New(prog)
+	// The dispatch front replays the captured stream when a trace is
+	// available — applying recorded values instead of decoding and
+	// evaluating — and falls back to interpretation past the trace's end.
+	var m *fsim.Machine
+	if opts.Trace != nil {
+		m = fsim.NewReplay(opts.Trace)
+	} else {
+		m = fsim.New(prog)
+	}
 	if opts.FastForward > 0 {
 		ran, ferr := m.Run(opts.FastForward)
 		if ferr != nil {
@@ -188,35 +256,18 @@ func RunContext(ctx context.Context, name string, cfg core.Config, p workload.Pr
 	if err != nil {
 		return Result{}, err
 	}
+	// Return the core's recycled buffers (event heap, waiting list, uop
+	// arena) to the shared pool once the stats below have been copied out.
+	defer c.Release()
 	if opts.Injector != nil {
 		c.SetInjector(opts.Injector)
 	}
 	if opts.Verify {
-		oracle := fsim.New(prog)
-		if opts.FastForward > 0 {
-			if _, ferr := oracle.Run(opts.FastForward); ferr != nil {
-				return Result{}, ferr
-			}
+		oracle, oerr := commitOracle(c, opts, prog, p.Name, name)
+		if oerr != nil {
+			return Result{}, oerr
 		}
-		var diverged bool
-		c.OnCommit = func(rec *fsim.Retired) {
-			if diverged {
-				return
-			}
-			want, oerr := oracle.Step()
-			if oerr != nil {
-				diverged = true
-				c.Abort(&DivergenceError{Bench: p.Name, Config: name, Seq: rec.Seq, OracleErr: oerr})
-				return
-			}
-			if rec.Seq != want.Seq || rec.PC != want.PC || rec.Result != want.Result ||
-				rec.NextPC != want.NextPC || rec.Addr != want.Addr {
-				diverged = true
-				c.Abort(&DivergenceError{
-					Bench: p.Name, Config: name, Seq: want.Seq, Got: *rec, Want: want,
-				})
-			}
-		}
+		c.OnCommit = oracle
 	}
 	if ctx.Done() != nil {
 		// Propagate cancellation into the core's cycle loop so a long
@@ -254,6 +305,69 @@ func RunContext(ctx context.Context, name string, cfg core.Config, p workload.Pr
 		res.IRB = &st
 	}
 	return res, nil
+}
+
+// sameCommit reports whether the core's retired record agrees with the
+// oracle's on every architecturally visible field.
+func sameCommit(rec *fsim.Retired, want *fsim.Retired) bool {
+	return rec.Seq == want.Seq && rec.PC == want.PC && rec.Result == want.Result &&
+		rec.NextPC == want.NextPC && rec.Addr == want.Addr
+}
+
+// commitOracle builds the Verify callback comparing every committed
+// instruction against an independent functional execution. When the trace
+// covers the whole measured run the oracle is just a cursor over the
+// recorded stream — no second interpreter runs at all; otherwise it steps
+// a dedicated machine (itself replay-backed when a partial trace exists,
+// falling back to interpretation past its end).
+func commitOracle(c *core.Core, opts Options, prog *program.Program, bench, config string) (func(*fsim.Retired), error) {
+	var diverged bool
+	abort := func(e *DivergenceError) {
+		diverged = true
+		e.Bench, e.Config = bench, config
+		c.Abort(e)
+	}
+	if tr := opts.Trace; tr != nil && tr.Covers(opts.FastForward+opts.Insns) {
+		cur := tr.ReplayFrom(opts.FastForward)
+		return func(rec *fsim.Retired) {
+			if diverged {
+				return
+			}
+			want, ok := cur.Next()
+			if !ok {
+				abort(&DivergenceError{Seq: rec.Seq,
+					OracleErr: fmt.Errorf("fsim: trace of %q exhausted at seq %d", prog.Name, rec.Seq)})
+				return
+			}
+			if !sameCommit(rec, want) {
+				abort(&DivergenceError{Seq: want.Seq, Got: *rec, Want: *want})
+			}
+		}, nil
+	}
+	var oracle *fsim.Machine
+	if opts.Trace != nil {
+		oracle = fsim.NewReplay(opts.Trace)
+	} else {
+		oracle = fsim.New(prog)
+	}
+	if opts.FastForward > 0 {
+		if _, ferr := oracle.Run(opts.FastForward); ferr != nil {
+			return nil, ferr
+		}
+	}
+	return func(rec *fsim.Retired) {
+		if diverged {
+			return
+		}
+		want, oerr := oracle.Step()
+		if oerr != nil {
+			abort(&DivergenceError{Seq: rec.Seq, OracleErr: oerr})
+			return
+		}
+		if !sameCommit(rec, &want) {
+			abort(&DivergenceError{Seq: want.Seq, Got: *rec, Want: want})
+		}
+	}, nil
 }
 
 // NamedConfig pairs a configuration with its display name.
