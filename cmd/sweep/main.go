@@ -14,10 +14,11 @@
 //	sweep -exp all -progress           # live cells-done/ETA on stderr
 //	sweep -exp headline -trace-replay=off  # per-cell interpretation
 //	sweep -exp all -cpuprofile cpu.pprof   # profile the sweep
+//	sweep -exp recovery -cell-timeout 5m   # bound each cell's wall-clock
 //
 // Experiments: config, fig2, headline, irbhit, irbsize, conflict,
-// irbports, faults, ablation-dup, ablation-fwd, scheduler, cluster,
-// prior24, reuse-sources, reuse-prediction, all.
+// irbports, faults, recovery, ablation-dup, ablation-fwd, scheduler,
+// cluster, prior24, reuse-sources, reuse-prediction, all.
 package main
 
 import (
@@ -50,6 +51,8 @@ func main() {
 		"on: capture each benchmark's functional trace once and replay it in every cell; off: interpret per cell")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
 	memprofile := flag.String("memprofile", "", "write a post-sweep heap profile to this file")
+	cellTimeout := flag.Duration("cell-timeout", 0,
+		"per-cell wall-clock bound with one retry (0 = unbounded); a timed-out cell fails alone")
 	flag.Parse()
 	if *csv {
 		*format = "csv"
@@ -71,6 +74,7 @@ func main() {
 		Parallelism:   *jobs,
 		Context:       ctx,
 		DisableReplay: *traceReplay == "off",
+		CellTimeout:   *cellTimeout,
 	}
 	if *progress {
 		opts.Progress = func(p runner.Progress) {
@@ -157,6 +161,10 @@ func runners() []struct {
 			_, t, err := experiments.Faults(o)
 			return t, err
 		}},
+		{"recovery", func(o experiments.Options) (*stats.Table, error) {
+			_, t, err := experiments.Recovery(o)
+			return t, err
+		}},
 		{"ablation-dup", func(o experiments.Options) (*stats.Table, error) {
 			_, t, err := experiments.AblationDup(o)
 			return t, err
@@ -205,7 +213,14 @@ func run(exp string, opts experiments.Options, format string) error {
 		if err != nil {
 			return err
 		}
-		fmt.Printf("=== %s ===\n%s\n", r.name, out)
+		// Machine-readable formats keep stdout clean (so `-format json
+		// > x.json` is a valid document); the banner moves to stderr.
+		if format == "table" || format == "" {
+			fmt.Printf("=== %s ===\n%s\n", r.name, out)
+		} else {
+			fmt.Fprintf(os.Stderr, "=== %s ===\n", r.name)
+			fmt.Printf("%s\n", out)
+		}
 		if exp == r.name {
 			return nil
 		}

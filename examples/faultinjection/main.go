@@ -1,16 +1,22 @@
 // Fault injection: validates the redundancy argument of the paper's
 // Section 3.4 end-to-end. Single-bit transient faults are injected into
 // functional unit outputs, operand forwarding paths, and the IRB storage
-// array while a benchmark runs on the DIE-IRB machine; the commit-time
+// array while a benchmark runs on the DIE-IRB machine. The commit-time
 // check-&-retire comparison must catch every fault that could reach
-// architectural state. Faults striking the IRB's operand fields merely
-// fail the reuse test (the duplicate then executes on a real ALU), which
-// is why the paper argues the IRB needs no ECC of its own.
+// architectural state — and every detection triggers a real recovery:
+// the faulting pair and everything younger are flushed, any corrupted
+// IRB entry is scrubbed, and execution resumes from the faulting PC.
+// The runs here keep the verification oracle on, so "the final state is
+// architecturally correct" is checked, not assumed. Faults striking the
+// IRB's operand fields merely fail the reuse test (the duplicate then
+// executes on a real ALU), which is why the paper argues the IRB needs
+// no ECC of its own.
 //
 //	go run ./examples/faultinjection
 package main
 
 import (
+	"errors"
 	"fmt"
 	"log"
 
@@ -26,7 +32,7 @@ func main() {
 		log.Fatal("parser profile missing")
 	}
 
-	fmt.Println("site         injected  detected  masked  outcome")
+	fmt.Println("site         injected  detected  recovered  MTTR(cyc)  scrubbed  outcome")
 	for _, site := range fault.Sites() {
 		inj, err := fault.New(fault.Config{Site: site, Rate: 5e-4, Seed: 42})
 		if err != nil {
@@ -34,14 +40,33 @@ func main() {
 		}
 		r, err := sim.Run("DIE-IRB", core.BaseDIEIRB(), profile, sim.Options{
 			Insns:    150_000,
+			Verify:   true, // oracle-check every committed instruction
 			Injector: inj,
 		})
 		if err != nil {
 			log.Fatal(err)
 		}
-		outcome := describe(site, inj.Injected, r.Core.FaultsDetected)
-		fmt.Printf("%-12s %8d  %8d  %6d  %s\n",
-			site, inj.Injected, r.Core.FaultsDetected, r.Core.FaultsMasked, outcome)
+		st := r.Core
+		fmt.Printf("%-12s %8d  %8d  %9d  %9.2f  %8d  %s\n",
+			site, inj.Injected, st.FaultsDetected, st.FaultRecoveries,
+			st.MTTR(), st.IRBScrubs, describe(site, inj.Injected, st.FaultsDetected))
+	}
+
+	// Temporal redundancy cannot repair a fault that re-executes
+	// identically. A rate-1 fault pinned to one static PC models a
+	// stuck-at ALU bit: the core retries up to its per-PC budget, then
+	// escalates with a structured error instead of livelocking.
+	fmt.Println("\npersistent stuck-at fault (same PC, every execution):")
+	stuck := &fault.Persistent{Site: fault.FU, PC: 1, Bit: 7}
+	_, err := sim.Run("DIE-IRB", core.BaseDIEIRB(), profile, sim.Options{
+		Insns:    150_000,
+		Injector: stuck,
+	})
+	var uf *core.UnrecoverableFaultError
+	if errors.As(err, &uf) {
+		fmt.Printf("  escalated after %d retries: %v\n", uf.Retries, uf)
+	} else {
+		fmt.Printf("  run ended without escalation (err=%v) — the pinned PC never executed\n", err)
 	}
 }
 
@@ -51,7 +76,7 @@ func describe(site fault.Site, injected, detected uint64) string {
 		return "corrupted operands fail the reuse test: harmless by design"
 	case fault.IRBResult:
 		if detected > 0 {
-			return "reused corrupted results caught by check-&-retire"
+			return "reused corrupted results caught, entries scrubbed"
 		}
 		return "no corrupted entry was reused before being overwritten"
 	default:

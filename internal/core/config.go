@@ -153,6 +153,12 @@ type Config struct {
 	// the IRB's write ports like any others.
 	IRBSquashReuse bool
 
+	// FaultRetryLimit bounds consecutive commit-check failures at one
+	// static PC before the core aborts with an UnrecoverableFaultError
+	// (0 = DefaultFaultRetryLimit). Only meaningful with a fault injector
+	// attached.
+	FaultRetryLimit int
+
 	// MaxInsns stops simulation after this many architected instructions
 	// commit (0 = run to halt).
 	MaxInsns uint64
@@ -270,6 +276,9 @@ func (c Config) Validate() error {
 	}
 	if c.Clustered && !c.Mode.dual() {
 		return fmt.Errorf("core: Clustered requires a dual execution mode")
+	}
+	if c.FaultRetryLimit < 0 {
+		return fmt.Errorf("core: FaultRetryLimit = %d, want >= 0", c.FaultRetryLimit)
 	}
 	if err := c.Bpred.Validate(); err != nil {
 		return err

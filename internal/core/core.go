@@ -22,8 +22,11 @@ var ErrStopped = errors.New("core: stopped")
 // FaultInjector lets the fault-injection harness corrupt values at the
 // three points the paper's Section 3.4 analyzes: functional unit outputs,
 // operand forwarding, and the IRB array. All methods must be deterministic
-// for a given (seq, pc) so runs are reproducible. A nil injector means a
-// fault-free run.
+// for a given (seq, pc) so runs are reproducible. seq is the architected
+// sequence number of the instruction — shared by the two copies of a DIE
+// pair — so an injector can model the standard single-fault-at-a-time
+// assumption by striking each dynamic instruction at most once. A nil
+// injector means a fault-free run.
 type FaultInjector interface {
 	// FUResult may corrupt the outcome signature produced when the given
 	// instruction copy executes on a functional unit.
@@ -123,14 +126,17 @@ type Core struct {
 	prodP [isa.NumRegs]prodRef
 	prodD [isa.NumRegs]prodRef
 
-	lastCommitCycle  uint64
-	commitStallUntil uint64 // fault-recovery penalty
-}
+	lastCommitCycle uint64
 
-// faultRecoveryPenalty approximates the cost of the instruction rewind
-// triggered by a commit-time pair mismatch. The rewind reuses the branch
-// misprediction machinery, so a pipeline-refill-sized stall is charged.
-const faultRecoveryPenalty = 16
+	// Fault-recovery state (see recovery.go). faultRetries counts
+	// consecutive commit-check failures per static PC, cleared when the
+	// PC commits successfully; the repair window tracks mean time to
+	// repair from first detection to the repaired commit.
+	faultRetries map[uint64]uint32
+	repairOpen   bool
+	repairSeq    uint64
+	repairDetect uint64
+}
 
 // deadlockWindow is how many cycles without a commit make Run fail with a
 // diagnostic; real stalls (cache misses, div chains) are far shorter.
@@ -477,10 +483,10 @@ func (c *Core) newUop(fe *fetchEntry, rec fsim.Retired, wrong, dup bool) *uop {
 	if c.inj != nil {
 		oi := rec.Instr.Op.Info()
 		if oi.UsesSrc1 {
-			u.src1c = c.inj.Operand(u.seq, rec.PC, dup, 1, u.src1c)
+			u.src1c = c.inj.Operand(rec.Seq, rec.PC, dup, 1, u.src1c)
 		}
 		if oi.UsesSrc2 {
-			u.src2c = c.inj.Operand(u.seq, rec.PC, dup, 2, u.src2c)
+			u.src2c = c.inj.Operand(rec.Seq, rec.PC, dup, 2, u.src2c)
 		}
 		u.corrupted = u.src1c != rec.Src1 || u.src2c != rec.Src2
 	}
@@ -804,7 +810,7 @@ func (c *Core) writeback() {
 		case evExecDone:
 			u.outSig = outSignature(&u.rec, u.src1c, u.src2c)
 			if c.inj != nil && u.rec.Instr.Op.Info().Class != isa.FUNone {
-				sig := c.inj.FUResult(u.seq, u.rec.PC, u.dup, u.outSig)
+				sig := c.inj.FUResult(u.rec.Seq, u.rec.PC, u.dup, u.outSig)
 				if sig != u.outSig {
 					u.outSig = sig
 					u.corrupted = true
@@ -817,7 +823,7 @@ func (c *Core) writeback() {
 			u.addrReady = true
 			u.outSig = outSignature(&u.rec, u.src1c, u.src2c)
 			if c.inj != nil {
-				sig := c.inj.FUResult(u.seq, u.rec.PC, u.dup, u.outSig)
+				sig := c.inj.FUResult(u.rec.Seq, u.rec.PC, u.dup, u.outSig)
 				if sig != u.outSig {
 					u.outSig = sig
 					u.corrupted = true
@@ -974,9 +980,6 @@ func (c *Core) rebuildRename() {
 // ---------------------------------------------------------------- commit
 
 func (c *Core) commit() {
-	if c.cycle < c.commitStallUntil {
-		return
-	}
 	need := 1
 	if c.cfg.Mode.dual() {
 		need = 2
@@ -1002,16 +1005,20 @@ func (c *Core) commit() {
 			}
 			// Check & retire: compare the two copies' outcome
 			// signatures. A mismatch means a transient fault was
-			// caught; the rewind is approximated by a flush-sized
-			// commit stall (the architected values, which come from
-			// the functional front, are unaffected).
+			// caught; recovery flushes the pair and everything
+			// younger and re-executes from the faulting PC — no
+			// stream is trusted over the other, and nothing retires
+			// until a re-execution passes the check.
 			if head.outSig != dupU.outSig {
 				c.Stats.FaultsDetected++
-				c.commitStallUntil = c.cycle + faultRecoveryPenalty
-				head.outSig = dupU.outSig // rewind re-executes cleanly
-			} else if head.corrupted || dupU.corrupted {
-				c.Stats.FaultsMasked++
+				c.recoverFault(head, dupU)
+				return
 			}
+			c.accountFaultOutcome(head, dupU)
+		} else if c.inj != nil {
+			// SIE has no check: classify what an injected fault did
+			// to the single stream so campaigns can count escapes.
+			c.accountFaultOutcome(head, nil)
 		}
 		c.retire(head, dupU)
 		c.ruu.popHead()
@@ -1042,6 +1049,19 @@ func (c *Core) retire(u, dupU *uop) {
 		c.Stats.CopiesCommitted++
 	}
 	c.lastCommitCycle = c.cycle
+
+	// A successful commit ends any fault-recovery bookkeeping for this
+	// instruction: the repair window closes (commits are in order, so the
+	// first commit at or past the faulting Seq is the repaired one) and
+	// the PC's consecutive-retry count resets.
+	if c.repairOpen && rec.Seq >= c.repairSeq {
+		c.repairOpen = false
+		c.Stats.FaultRepairs++
+		c.Stats.FaultRecoveryCycles += c.cycle - c.repairDetect
+	}
+	if len(c.faultRetries) > 0 {
+		delete(c.faultRetries, rec.PC)
+	}
 
 	if u.memAccess {
 		if c.lsq.len() == 0 || c.lsq.at(0) != u {

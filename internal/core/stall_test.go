@@ -4,7 +4,6 @@ import (
 	"testing"
 
 	"repro/internal/bpred"
-	"repro/internal/fault"
 	"repro/internal/isa"
 	"repro/internal/program"
 )
@@ -106,38 +105,8 @@ func TestSingleIssueWidth(t *testing.T) {
 	}
 }
 
-func TestDetectedFaultStallsCommit(t *testing.T) {
-	prog := loopProgram(800)
-	clean, err := New(quicken(BaseDIE()), prog)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := clean.Run(); err != nil {
-		t.Fatal(err)
-	}
-
-	faulty, err := New(quicken(BaseDIE()), prog)
-	if err != nil {
-		t.Fatal(err)
-	}
-	inj, err := fault.New(fault.Config{Site: fault.FU, Rate: 5e-3, Seed: 9})
-	if err != nil {
-		t.Fatal(err)
-	}
-	faulty.SetInjector(inj)
-	if err := faulty.Run(); err != nil {
-		t.Fatal(err)
-	}
-	if faulty.Stats.FaultsDetected == 0 {
-		t.Fatal("no faults detected")
-	}
-	// Each detection charges a recovery stall, so the faulty run must
-	// take strictly longer.
-	if faulty.Stats.Cycles <= clean.Stats.Cycles {
-		t.Errorf("faulty run (%d cycles, %d detections) not slower than clean (%d cycles)",
-			faulty.Stats.Cycles, faulty.Stats.FaultsDetected, clean.Stats.Cycles)
-	}
-}
+// Detected-fault behaviour (recovery, not a commit stall) is covered by
+// TestRecoveryReExecutes and friends in recovery_test.go.
 
 func TestIRBPortStarvationReducesReuse(t *testing.T) {
 	prog := loopProgram(2000)

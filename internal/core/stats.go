@@ -36,6 +36,14 @@ type Stats struct {
 	FaultsInjected uint64
 	FaultsDetected uint64 // commit-time pair mismatch -> recovery
 	FaultsMasked   uint64 // injected but produced no signature difference
+	FaultsSilent   uint64 // corrupted result committed undetected (SDC escape)
+
+	// Fault recovery (see recovery.go).
+	FaultRecoveries     uint64 // architectural rewinds performed
+	FaultRetries        uint64 // recoveries beyond the first for the same PC
+	FaultRepairs        uint64 // repair windows closed (faulting insn committed)
+	FaultRecoveryCycles uint64 // cycles from detection to clean commit, summed
+	IRBScrubs           uint64 // corrupted IRB entries invalidated on detection
 
 	LoadForwarded uint64 // loads served by store-to-load forwarding
 	Loads, Stores uint64 // architected memory operations
@@ -44,6 +52,11 @@ type Stats struct {
 // IPC returns architected committed instructions per cycle, the metric the
 // paper reports (both SIE and DIE count each program instruction once).
 func (s *Stats) IPC() float64 { return stats.Ratio(s.Committed, s.Cycles) }
+
+// MTTR returns the mean time to repair in cycles: the average span from a
+// commit-time fault detection to the clean commit of the faulting
+// instruction, over all repaired faults. Zero when no fault was repaired.
+func (s *Stats) MTTR() float64 { return stats.Ratio(s.FaultRecoveryCycles, s.FaultRepairs) }
 
 // fuBucket maps an FU class to its Issued index.
 const (

@@ -11,6 +11,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"time"
 
 	"repro/internal/analysis"
 	"repro/internal/core"
@@ -43,6 +44,10 @@ type Options struct {
 	// this is an escape hatch for debugging the replay machinery itself,
 	// not a fidelity knob.
 	DisableReplay bool
+	// CellTimeout bounds each grid cell's wall-clock time (0 = unbounded);
+	// see runner.Options.CellTimeout. A hung cell times out (after one
+	// retry) with a per-cell error instead of stalling the whole sweep.
+	CellTimeout time.Duration
 }
 
 func (o Options) simOpts() sim.Options {
@@ -57,7 +62,11 @@ func (o Options) ctx() context.Context {
 }
 
 func (o Options) runnerOpts() runner.Options {
-	return runner.Options{Parallelism: o.Parallelism, Progress: o.Progress}
+	return runner.Options{
+		Parallelism: o.Parallelism,
+		Progress:    o.Progress,
+		CellTimeout: o.CellTimeout,
+	}
 }
 
 func (o Options) profiles() ([]workload.Profile, error) {
@@ -374,9 +383,17 @@ type FaultRow struct {
 	Injected uint64
 	Detected uint64
 	Masked   uint64 // corrupted copies whose signatures still matched
+	Silent   uint64 // corrupted results committed undetected (SDC escapes)
 	// Vanished faults struck wrong-path instructions or IRB entries
 	// never reused — architecturally harmless by construction.
 	Vanished int64
+
+	// Recovery accounting (see core.Stats).
+	Recoveries     uint64 // architectural rewinds performed
+	Retries        uint64 // recoveries beyond the first for one PC
+	Repairs        uint64 // repair windows closed
+	RecoveryCycles uint64 // detection-to-clean-commit cycles, summed
+	Scrubs         uint64 // corrupted IRB entries invalidated
 }
 
 // Coverage is detected faults per architecturally surviving fault.
@@ -388,6 +405,9 @@ func (r FaultRow) Coverage() float64 {
 	return float64(r.Detected) / float64(live)
 }
 
+// MTTR is the campaign's mean detection-to-repair time in cycles.
+func (r FaultRow) MTTR() float64 { return stats.Ratio(r.RecoveryCycles, r.Repairs) }
+
 func max64(a int64, b int64) int64 {
 	if a > b {
 		return a
@@ -395,17 +415,14 @@ func max64(a int64, b int64) int64 {
 	return b
 }
 
-// Faults validates the redundancy argument of Section 3.4: single-bit
-// faults injected into FU outputs, forwarding paths and the IRB array must
-// be caught by the commit-time pair check (or be architecturally
-// harmless), and DIE-IRB's coverage must match plain DIE's — the IRB needs
-// no dedicated protection.
-func Faults(opts Options) ([]FaultRow, *stats.Table, error) {
-	profiles, err := opts.profiles()
-	if err != nil {
-		return nil, nil, err
-	}
-	campaigns := []struct {
+// faultCampaigns is the six mode×site matrix every injection experiment
+// sweeps: both injectable sites on DIE, all four on DIE-IRB.
+func faultCampaigns() []struct {
+	mode core.Mode
+	cfg  core.Config
+	site fault.Site
+} {
+	return []struct {
 		mode core.Mode
 		cfg  core.Config
 		site fault.Site
@@ -417,6 +434,34 @@ func Faults(opts Options) ([]FaultRow, *stats.Table, error) {
 		{core.DIEIRB, core.BaseDIEIRB(), fault.IRBResult},
 		{core.DIEIRB, core.BaseDIEIRB(), fault.IRBOperand},
 	}
+}
+
+// accumulate folds one cell's counters into the campaign row.
+func (r *FaultRow) accumulate(injected uint64, st *core.Stats) {
+	r.Injected += injected
+	r.Detected += st.FaultsDetected
+	r.Masked += st.FaultsMasked
+	r.Silent += st.FaultsSilent
+	r.Recoveries += st.FaultRecoveries
+	r.Retries += st.FaultRetries
+	r.Repairs += st.FaultRepairs
+	r.RecoveryCycles += st.FaultRecoveryCycles
+	r.Scrubs += st.IRBScrubs
+}
+
+// Faults validates the redundancy argument of Section 3.4: single-bit
+// faults injected into FU outputs, forwarding paths and the IRB array must
+// be caught by the commit-time pair check (or be architecturally
+// harmless), and DIE-IRB's coverage must match plain DIE's — the IRB needs
+// no dedicated protection. Every detection triggers a real architectural
+// rewind and re-execution, so the runs finish with oracle-verified final
+// state: the oracle check is forced on regardless of Options.Verify.
+func Faults(opts Options) ([]FaultRow, *stats.Table, error) {
+	profiles, err := opts.profiles()
+	if err != nil {
+		return nil, nil, err
+	}
+	campaigns := faultCampaigns()
 	// Every (campaign × profile) cell runs through the parallel runner
 	// with its own injector; the campaign rows then aggregate the
 	// injector and core counters, which is order-independent.
@@ -432,6 +477,7 @@ func Faults(opts Options) ([]FaultRow, *stats.Table, error) {
 			}
 			o := opts.simOpts()
 			o.Injector = inj
+			o.Verify = true
 			jobs = append(jobs, runner.Job{Name: string(c.mode), Config: c.cfg, Profile: p, Opts: o})
 			injs = append(injs, inj)
 		}
@@ -451,20 +497,130 @@ func Faults(opts Options) ([]FaultRow, *stats.Table, error) {
 		return nil, nil, err
 	}
 	t := stats.NewTable("Fault injection: detection coverage of the check-&-retire comparison",
-		"mode", "site", "injected", "detected", "masked", "vanished", "coverage")
+		"mode", "site", "injected", "detected", "masked", "silent", "vanished",
+		"coverage", "recoveries", "MTTR", "scrubs")
 	var rows []FaultRow
 	for ci, c := range campaigns {
 		row := FaultRow{Mode: c.mode, Site: c.site}
 		for pi := range profiles {
 			i := ci*len(profiles) + pi
-			row.Injected += injs[i].Injected
-			row.Detected += outs[i].Result.Core.FaultsDetected
-			row.Masked += outs[i].Result.Core.FaultsMasked
+			row.accumulate(injs[i].Injected, &outs[i].Result.Core)
 		}
-		row.Vanished = int64(row.Injected) - int64(row.Detected) - int64(row.Masked)
+		row.Vanished = int64(row.Injected) - int64(row.Detected) - int64(row.Masked) - int64(row.Silent)
 		rows = append(rows, row)
 		t.AddRow(string(c.mode), string(c.site), row.Injected, row.Detected,
-			row.Masked, row.Vanished, row.Coverage())
+			row.Masked, row.Silent, row.Vanished, row.Coverage(),
+			row.Recoveries, row.MTTR(), row.Scrubs)
+	}
+	return rows, t, nil
+}
+
+// RecoveryRow is one (campaign × fault-rate) point of the recovery-overhead
+// experiment: the suite-mean IPC under sustained injection next to the same
+// machine's fault-free IPC, plus the aggregated recovery counters.
+type RecoveryRow struct {
+	FaultRow
+	Rate    float64 // per-opportunity injection probability
+	IPC     float64 // suite-mean IPC under injection
+	BaseIPC float64 // suite-mean fault-free IPC of the same machine
+}
+
+// OverheadPct is the % IPC lost to detection-triggered rewinds.
+func (r RecoveryRow) OverheadPct() float64 { return stats.PctLoss(r.BaseIPC, r.IPC) }
+
+// RecoveryRates are the injection rates the recovery-overhead experiment
+// sweeps, spanning "a fault every few hundred thousand opportunities" to
+// the sustained-assault regime of the acceptance criteria.
+func RecoveryRates() []float64 { return []float64{1e-5, 1e-4, 1e-3} }
+
+// Recovery measures what real check-&-retire recovery costs: IPC and MTTR
+// versus fault rate for all six mode×site campaigns, against each machine's
+// fault-free baseline. All runs execute to completion with the verify
+// oracle on — a detected fault is re-executed, never stall-forged — so any
+// campaign cell that cannot reach an architecturally correct final state
+// fails loudly rather than skewing the table.
+func Recovery(opts Options) ([]RecoveryRow, *stats.Table, error) {
+	profiles, err := opts.profiles()
+	if err != nil {
+		return nil, nil, err
+	}
+	campaigns := faultCampaigns()
+	rates := RecoveryRates()
+
+	// Job layout: the two fault-free baselines (DIE, DIE-IRB) first, then
+	// one campaign block per (campaign × rate), each over all profiles.
+	baselines := []sim.NamedConfig{
+		{Name: string(core.DIE), Cfg: core.BaseDIE()},
+		{Name: string(core.DIEIRB), Cfg: core.BaseDIEIRB()},
+	}
+	var (
+		jobs []runner.Job
+		injs []*fault.Injector
+	)
+	for _, nc := range baselines {
+		for _, p := range profiles {
+			o := opts.simOpts()
+			o.Verify = true
+			jobs = append(jobs, runner.Job{Name: nc.Name, Config: nc.Cfg, Profile: p, Opts: o})
+		}
+	}
+	for _, c := range campaigns {
+		for _, rate := range rates {
+			for _, p := range profiles {
+				inj, err := fault.New(fault.Config{Site: c.site, Rate: rate, Seed: p.Seed})
+				if err != nil {
+					return nil, nil, err
+				}
+				o := opts.simOpts()
+				o.Injector = inj
+				o.Verify = true
+				jobs = append(jobs, runner.Job{Name: string(c.mode), Config: c.cfg, Profile: p, Opts: o})
+				injs = append(injs, inj)
+			}
+		}
+	}
+	if !opts.DisableReplay {
+		if err := runner.AttachTraces(jobs); err != nil {
+			return nil, nil, err
+		}
+	}
+	outs, err := runner.Run(opts.ctx(), jobs, opts.runnerOpts())
+	if err != nil {
+		return nil, nil, err
+	}
+
+	nb := len(profiles)
+	baseIPC := make(map[core.Mode]float64, len(baselines))
+	for bi, nc := range baselines {
+		ipcs := make([]float64, nb)
+		for pi := 0; pi < nb; pi++ {
+			ipcs[pi] = outs[bi*nb+pi].Result.IPC
+		}
+		baseIPC[core.Mode(nc.Name)] = stats.Mean(ipcs)
+	}
+
+	t := stats.NewTable("Recovery overhead: IPC and MTTR vs fault rate",
+		"mode", "site", "rate", "IPC", "base-IPC", "overhead%",
+		"detected", "recoveries", "retries", "MTTR", "silent", "scrubs")
+	var rows []RecoveryRow
+	off := len(baselines) * nb
+	for ci, c := range campaigns {
+		for ri, rate := range rates {
+			row := RecoveryRow{Rate: rate, BaseIPC: baseIPC[c.mode]}
+			row.Mode, row.Site = c.mode, c.site
+			ipcs := make([]float64, nb)
+			for pi := 0; pi < nb; pi++ {
+				cell := (ci*len(rates)+ri)*nb + pi
+				row.accumulate(injs[cell].Injected, &outs[off+cell].Result.Core)
+				ipcs[pi] = outs[off+cell].Result.IPC
+			}
+			row.IPC = stats.Mean(ipcs)
+			row.Vanished = int64(row.Injected) - int64(row.Detected) - int64(row.Masked) - int64(row.Silent)
+			rows = append(rows, row)
+			t.AddRow(string(c.mode), string(c.site), fmt.Sprintf("%.0e", row.Rate), row.IPC, row.BaseIPC,
+				row.OverheadPct(), row.Detected, row.Recoveries, row.Retries,
+				row.MTTR(), row.Silent, row.Scrubs)
+		}
 	}
 	return rows, t, nil
 }

@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/fault"
+)
+
+// faultQuickOpts trims the campaign grid enough that the determinism
+// matrix (parallelism × replay) stays fast.
+func faultQuickOpts() Options {
+	return Options{
+		Insns:      30_000,
+		Benchmarks: []string{"bzip2", "mesa"},
+	}
+}
+
+// TestFaultsDeterministic: the campaign table is a pure function of its
+// inputs — worker count and the trace-replay fast path must not change a
+// single counter. This is the property that makes fault campaigns
+// reviewable artifacts rather than one-off observations.
+func TestFaultsDeterministic(t *testing.T) {
+	variants := []struct {
+		name string
+		opts Options
+	}{
+		{"serial", func() Options { o := faultQuickOpts(); o.Parallelism = 1; return o }()},
+		{"parallel-8", func() Options { o := faultQuickOpts(); o.Parallelism = 8; return o }()},
+		{"no-replay", func() Options {
+			o := faultQuickOpts()
+			o.Parallelism = 8
+			o.DisableReplay = true
+			return o
+		}()},
+	}
+	var ref []FaultRow
+	for _, v := range variants {
+		rows, _, err := Faults(v.opts)
+		if err != nil {
+			t.Fatalf("%s: %v", v.name, err)
+		}
+		if ref == nil {
+			ref = rows
+			continue
+		}
+		if !reflect.DeepEqual(rows, ref) {
+			t.Errorf("%s: fault table differs from the serial reference\n got %+v\nwant %+v",
+				v.name, rows, ref)
+		}
+	}
+}
+
+// TestRecoveryShape: the recovery-overhead sweep produces one row per
+// campaign×rate with sane accounting — fault-free baselines present,
+// detections at the sustained rate, repair windows behind every MTTR, and
+// zero silent corruptions anywhere (every run is oracle-verified).
+func TestRecoveryShape(t *testing.T) {
+	opts := faultQuickOpts()
+	rows, tbl, err := Recovery(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := len(faultCampaigns()) * len(RecoveryRates())
+	if len(rows) != want {
+		t.Fatalf("got %d rows, want %d (6 campaigns x 3 rates)", len(rows), want)
+	}
+	if tbl == nil {
+		t.Fatal("no table rendered")
+	}
+	for _, r := range rows {
+		label := string(r.Mode) + "/" + string(r.Site)
+		if r.BaseIPC <= 0 {
+			t.Errorf("%s @ %g: BaseIPC %.3f, want > 0", label, r.Rate, r.BaseIPC)
+		}
+		if r.IPC <= 0 {
+			t.Errorf("%s @ %g: IPC %.3f, want > 0", label, r.Rate, r.IPC)
+		}
+		if r.Silent != 0 {
+			t.Errorf("%s @ %g: %d silent corruptions under the oracle", label, r.Rate, r.Silent)
+		}
+		if r.Repairs > r.Recoveries {
+			t.Errorf("%s @ %g: repairs %d exceed recoveries %d", label, r.Rate, r.Repairs, r.Recoveries)
+		}
+		if r.Repairs > 0 && r.MTTR() < 1 {
+			t.Errorf("%s @ %g: MTTR %.2f with %d repairs", label, r.Rate, r.MTTR(), r.Repairs)
+		}
+		// At the sustained-assault rate the directly-struck compute sites
+		// must actually exercise recovery.
+		if r.Rate == 1e-3 && (r.Site == fault.FU || r.Site == fault.Forward) {
+			if r.Detected == 0 || r.Recoveries == 0 {
+				t.Errorf("%s @ %g: detected %d, recovered %d — campaign never exercised recovery",
+					label, r.Rate, r.Detected, r.Recoveries)
+			}
+		}
+	}
+}

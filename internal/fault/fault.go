@@ -69,10 +69,19 @@ func (c Config) Validate() error {
 }
 
 // Injector implements core.FaultInjector. It decides injection points with
-// a seeded PRNG, so identical runs inject identical faults.
+// a seeded PRNG, so identical runs inject identical faults. It models the
+// single-fault-at-a-time assumption of the paper's Section 3.4: each
+// architected instruction is struck at most once, so the two copies of a
+// DIE pair (or a pair and its post-recovery re-execution) are never both
+// corrupted. A simultaneous identical strike on both copies is a
+// common-mode fault outside any temporal-redundancy scheme's coverage —
+// admitting it would only manufacture silent escapes the paper's fault
+// model excludes. Wrong-path copies carry sequence number 0 and are exempt
+// from the bookkeeping: they are squashed before the check regardless.
 type Injector struct {
-	cfg Config
-	rng *rand.Rand
+	cfg    Config
+	rng    *rand.Rand
+	struck map[uint64]struct{} // architected seqs already hit
 
 	// Injected counts faults actually applied.
 	Injected uint64
@@ -84,9 +93,28 @@ func New(cfg Config) (*Injector, error) {
 		return nil, err
 	}
 	return &Injector{
-		cfg: cfg,
-		rng: rand.New(rand.NewPCG(cfg.Seed, cfg.Seed^0xdeadbeefcafef00d)),
+		cfg:    cfg,
+		rng:    rand.New(rand.NewPCG(cfg.Seed, cfg.Seed^0xdeadbeefcafef00d)),
+		struck: make(map[uint64]struct{}),
 	}, nil
+}
+
+// suppressed reports whether the instruction with the given architected
+// sequence number was already struck; record marks it after an applied
+// strike. Kept separate so a declined PRNG draw does not burn the
+// instruction's eligibility.
+func (i *Injector) suppressed(seq uint64) bool {
+	if seq == 0 {
+		return false // wrong-path: no pair check to evade
+	}
+	_, hit := i.struck[seq]
+	return hit
+}
+
+func (i *Injector) record(seq uint64) {
+	if seq != 0 {
+		i.struck[seq] = struct{}{}
+	}
 }
 
 func (i *Injector) fire() bool {
@@ -102,17 +130,19 @@ func (i *Injector) fire() bool {
 
 // FUResult implements core.FaultInjector.
 func (i *Injector) FUResult(seq, pc uint64, dup bool, sig uint64) uint64 {
-	if i.cfg.Site != FU || !i.fire() {
+	if i.cfg.Site != FU || i.suppressed(seq) || !i.fire() {
 		return sig
 	}
+	i.record(seq)
 	return sig ^ 1<<i.rng.UintN(64)
 }
 
 // Operand implements core.FaultInjector.
 func (i *Injector) Operand(seq, pc uint64, dup bool, which int, val uint64) uint64 {
-	if i.cfg.Site != Forward || !i.fire() {
+	if i.cfg.Site != Forward || i.suppressed(seq) || !i.fire() {
 		return val
 	}
+	i.record(seq)
 	return val ^ 1<<i.rng.UintN(64)
 }
 
@@ -126,6 +156,66 @@ func (i *Injector) AfterIRBInsert(pc uint64, b *irb.IRB) {
 	case IRBOperand:
 		if i.fire() {
 			b.CorruptOperand(pc, i.rng.UintN(2) == 0, uint(i.rng.UintN(64)))
+		}
+	}
+}
+
+// Persistent is a rate-1 injector pinned to one static PC: every
+// opportunity at that PC is struck with the same bit flip, modeling a
+// stuck-at (hard) fault rather than a transient. Recovery re-executes the
+// instruction into the same broken path each time, so the core's bounded
+// retry budget must trip and escalate — the escalation and IRB-scrubbing
+// tests are its main users. MaxFaults bounds the campaign (0 = unlimited):
+// MaxFaults=1 turns it into a deterministic single-shot transient.
+type Persistent struct {
+	Site Site
+	PC   uint64
+	Dup  bool // strike the duplicate copy instead of the primary (FU/Forward)
+	Which int // operand to corrupt for Forward: 1 or 2
+	Bit  uint // bit to flip (0..63)
+
+	MaxFaults uint64 // 0 = unlimited
+	// Injected counts faults actually applied.
+	Injected uint64
+}
+
+func (p *Persistent) fire() bool {
+	if p.MaxFaults > 0 && p.Injected >= p.MaxFaults {
+		return false
+	}
+	p.Injected++
+	return true
+}
+
+// FUResult implements core.FaultInjector.
+func (p *Persistent) FUResult(seq, pc uint64, dup bool, sig uint64) uint64 {
+	if p.Site != FU || pc != p.PC || dup != p.Dup || !p.fire() {
+		return sig
+	}
+	return sig ^ 1<<(p.Bit&63)
+}
+
+// Operand implements core.FaultInjector.
+func (p *Persistent) Operand(seq, pc uint64, dup bool, which int, val uint64) uint64 {
+	if p.Site != Forward || pc != p.PC || dup != p.Dup || which != p.Which || !p.fire() {
+		return val
+	}
+	return val ^ 1<<(p.Bit&63)
+}
+
+// AfterIRBInsert implements core.FaultInjector.
+func (p *Persistent) AfterIRBInsert(pc uint64, b *irb.IRB) {
+	if pc != p.PC {
+		return
+	}
+	switch p.Site {
+	case IRBResult:
+		if p.fire() {
+			b.CorruptResult(pc, p.Bit)
+		}
+	case IRBOperand:
+		if p.fire() {
+			b.CorruptOperand(pc, p.Which != 2, p.Bit)
 		}
 	}
 }

@@ -1,0 +1,79 @@
+package fault
+
+import (
+	"testing"
+
+	"repro/internal/irb"
+)
+
+func TestPersistentPinsPCAndStream(t *testing.T) {
+	p := &Persistent{Site: FU, PC: 10, Dup: true, Bit: 5}
+	if got := p.FUResult(1, 11, true, 42); got != 42 {
+		t.Error("struck the wrong PC")
+	}
+	if got := p.FUResult(1, 10, false, 42); got != 42 {
+		t.Error("struck the wrong stream")
+	}
+	if got := p.FUResult(1, 10, true, 42); got != 42^(1<<5) {
+		t.Errorf("FUResult = %#x, want bit 5 flipped", got)
+	}
+	// Rate-1: every opportunity at the pinned point fires.
+	if got := p.FUResult(2, 10, true, 42); got != 42^(1<<5) {
+		t.Error("second opportunity did not fire")
+	}
+	if p.Injected != 2 {
+		t.Errorf("Injected = %d, want 2", p.Injected)
+	}
+}
+
+func TestPersistentOperandScoping(t *testing.T) {
+	p := &Persistent{Site: Forward, PC: 10, Which: 2, Bit: 0}
+	if got := p.Operand(1, 10, false, 1, 8); got != 8 {
+		t.Error("struck the wrong operand")
+	}
+	if got := p.Operand(1, 10, false, 2, 8); got != 9 {
+		t.Errorf("Operand = %d, want 9", got)
+	}
+	// A Forward-site Persistent must not touch FU results or the IRB.
+	if got := p.FUResult(1, 10, false, 42); got != 42 {
+		t.Error("Forward-site Persistent corrupted an FU result")
+	}
+}
+
+func TestPersistentMaxFaults(t *testing.T) {
+	p := &Persistent{Site: FU, PC: 10, Bit: 1, MaxFaults: 1}
+	if got := p.FUResult(1, 10, false, 0); got == 0 {
+		t.Fatal("first opportunity did not fire")
+	}
+	if got := p.FUResult(2, 10, false, 0); got != 0 {
+		t.Error("fired past MaxFaults")
+	}
+	if p.Injected != 1 {
+		t.Errorf("Injected = %d, want 1", p.Injected)
+	}
+}
+
+func TestPersistentIRBSites(t *testing.T) {
+	buf, err := irb.New(irb.Config{Entries: 64, Assoc: 1, ReadPorts: 4, WritePorts: 2, LookupLat: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Insert(1, 7, irb.Entry{Src1: 1, Src2: 2, Result: 3})
+	buf.Insert(1, 9, irb.Entry{Src1: 1, Src2: 2, Result: 3})
+
+	p := &Persistent{Site: IRBResult, PC: 7, Bit: 4}
+	p.AfterIRBInsert(9, buf) // wrong PC: untouched
+	if e, _ := buf.Probe(9); e.Result != 3 {
+		t.Error("IRBResult Persistent struck the wrong PC")
+	}
+	p.AfterIRBInsert(7, buf)
+	if e, _ := buf.Probe(7); e.Result != 3^(1<<4) {
+		t.Errorf("Result = %#x, want bit 4 flipped", e.Result)
+	}
+
+	op := &Persistent{Site: IRBOperand, PC: 9, Which: 2, Bit: 0}
+	op.AfterIRBInsert(9, buf)
+	if e, _ := buf.Probe(9); e.Src2 != 3 || e.Src1 != 1 {
+		t.Errorf("operand strike wrong: %+v", e)
+	}
+}

@@ -10,12 +10,25 @@ import "repro/internal/isa"
 // resolves. This mirrors sim-outorder's speculative-mode execution: wrong-
 // path instructions compute real (but doomed) values and therefore exercise
 // functional units, issue ports and the IRB exactly like correct-path ones.
+//
+// Fault recovery adds a second mechanism, Rewind: the core hands back the
+// records of in-flight correct-path instructions it is flushing, and
+// StepCorrect replays them — in order, without touching the machine, whose
+// architectural state already reflects them — before resuming normal
+// stepping. Transient faults live in the timing core's duplicated
+// signatures, never in architectural state, so a replayed record is exactly
+// what a fault-free re-execution of that instruction would produce.
 type Front struct {
 	M *Machine
 
 	spec     bool
 	specRegs map[isa.Reg]uint64
 	specMem  map[uint64]uint64
+
+	// rewind[rewindPos:] holds flushed correct-path records awaiting
+	// re-dispatch, oldest first.
+	rewind    []Retired
+	rewindPos int
 }
 
 // NewFront wraps m.
@@ -31,11 +44,37 @@ func NewFront(m *Machine) *Front {
 func (f *Front) Spec() bool { return f.spec }
 
 // PC returns the correct-path PC (the next instruction StepCorrect would
-// execute).
-func (f *Front) PC() uint64 { return f.M.PC }
+// execute): the head of the rewind queue while a fault flush is being
+// replayed, the machine's PC otherwise.
+func (f *Front) PC() uint64 {
+	if f.rewindPos < len(f.rewind) {
+		return f.rewind[f.rewindPos].PC
+	}
+	return f.M.PC
+}
 
-// Halted reports whether correct-path execution has retired OpHalt.
-func (f *Front) Halted() bool { return f.M.Halted }
+// Halted reports whether correct-path execution has retired OpHalt. A
+// machine that ran past a halt still in the rewind queue is not halted from
+// the pipeline's point of view: the halt has yet to be re-dispatched.
+func (f *Front) Halted() bool { return f.M.Halted && f.rewindPos >= len(f.rewind) }
+
+// Rewinding reports how many flushed records await re-dispatch.
+func (f *Front) Rewinding() int { return len(f.rewind) - f.rewindPos }
+
+// Rewind pushes the records of flushed in-flight correct-path instructions
+// (oldest first) back onto the front, so subsequent StepCorrect calls
+// re-deliver them before the machine resumes stepping. Any wrong-path
+// overlay is discarded: the rewind re-establishes the correct path at the
+// oldest flushed instruction. The slice is copied, not retained. A second
+// Rewind before the first drains prepends — its records are necessarily
+// older than the remainder of the queue.
+func (f *Front) Rewind(recs []Retired) {
+	f.Squash()
+	rest := f.rewind[f.rewindPos:]
+	q := make([]Retired, 0, len(recs)+len(rest))
+	q = append(append(q, recs...), rest...)
+	f.rewind, f.rewindPos = q, 0
+}
 
 // StepCorrect executes the next correct-path instruction. It must not be
 // called while in speculative mode.
@@ -43,6 +82,14 @@ func (f *Front) StepCorrect() (Retired, error) {
 	if f.spec {
 		//nopanic:invariant the core exits speculative mode before stepping the oracle
 		panic("fsim: StepCorrect during speculative mode")
+	}
+	if f.rewindPos < len(f.rewind) {
+		r := f.rewind[f.rewindPos]
+		f.rewindPos++
+		if f.rewindPos == len(f.rewind) {
+			f.rewind, f.rewindPos = f.rewind[:0], 0
+		}
+		return r, nil
 	}
 	return f.M.Step()
 }

@@ -1,0 +1,57 @@
+package irb
+
+import "testing"
+
+func TestInvalidateMainArray(t *testing.T) {
+	b, err := New(Config{Entries: 64, Assoc: 1, ReadPorts: 4, WritePorts: 2, LookupLat: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Insert(1, 7, Entry{Src1: 1, Src2: 2, Result: 3})
+	if !b.Invalidate(7) {
+		t.Fatal("Invalidate missed an existing entry")
+	}
+	if _, ok := b.Probe(7); ok {
+		t.Error("entry still present after Invalidate")
+	}
+	if _, ok := b.Lookup(2, 7); ok {
+		t.Error("Lookup still hits after Invalidate")
+	}
+	if b.Stats.Invalidated != 1 {
+		t.Errorf("Invalidated = %d, want 1", b.Stats.Invalidated)
+	}
+	if b.Invalidate(7) {
+		t.Error("second Invalidate reported an entry")
+	}
+	if b.Invalidate(9) {
+		t.Error("Invalidate of a never-inserted PC reported an entry")
+	}
+}
+
+func TestInvalidateVictimBuffer(t *testing.T) {
+	b, err := New(Config{Entries: 4, Assoc: 1, VictimEntries: 4,
+		ReadPorts: 4, WritePorts: 4, LookupLat: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two PCs mapping to the same set: the second insert evicts the first
+	// into the victim buffer.
+	b.Insert(1, 3, Entry{Result: 30})
+	b.Insert(1, 7, Entry{Result: 70})
+	if _, ok := b.Probe(3); !ok {
+		t.Fatal("evicted entry not in the victim buffer")
+	}
+	if !b.Invalidate(3) {
+		t.Fatal("Invalidate missed the victim-buffer entry")
+	}
+	if _, ok := b.Probe(3); ok {
+		t.Error("victim entry still present after Invalidate")
+	}
+	if b.Stats.Invalidated != 1 {
+		t.Errorf("Invalidated = %d, want 1", b.Stats.Invalidated)
+	}
+	// The co-resident main-array entry is untouched.
+	if e, ok := b.Probe(7); !ok || e.Result != 70 {
+		t.Errorf("main-array entry disturbed: %+v, %v", e, ok)
+	}
+}

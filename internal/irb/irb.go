@@ -128,6 +128,7 @@ type Stats struct {
 	WriteDenied  uint64 // updates dropped for lack of a write port
 	Evictions    uint64 // main-array entries displaced by updates
 	VictimSpills uint64 // evictions captured by the victim buffer
+	Invalidated  uint64 // entries scrubbed after a detected fault
 }
 
 // IRB is the instruction reuse buffer.
@@ -272,6 +273,28 @@ func (b *IRB) allocPort(cycle uint64, write bool) bool {
 	return false
 }
 
+// Invalidate removes the entry for pc, reporting whether one existed. The
+// core scrubs with it when a commit-time check traces a mismatch to a reuse
+// hit: the stored entry is corrupted and would deterministically re-fire on
+// every re-execution. Invalidation consumes no port — scrubbing rides the
+// recovery flush, which already owns the pipeline.
+func (b *IRB) Invalidate(pc uint64) bool {
+	base, tag := b.setBase(pc), pc+1
+	for w := 0; w < b.cfg.Assoc; w++ {
+		if b.tags[base+w] == tag {
+			b.tags[base+w] = 0
+			b.data[base+w] = Entry{}
+			b.Stats.Invalidated++
+			return true
+		}
+	}
+	if b.victim != nil && b.victim.invalidate(pc) {
+		b.Stats.Invalidated++
+		return true
+	}
+	return false
+}
+
 // Probe returns the entry for pc without consuming ports or updating any
 // replacement or statistics state. Tooling and fault injection use it.
 func (b *IRB) Probe(pc uint64) (Entry, bool) {
@@ -383,6 +406,17 @@ func (v *victimBuf) insert(pc uint64, e Entry) {
 	v.pcs[victim] = pc + 1
 	v.data[victim] = e
 	v.lru[victim] = v.clock
+}
+
+func (v *victimBuf) invalidate(pc uint64) bool {
+	for i, t := range v.pcs {
+		if t == pc+1 {
+			v.pcs[i] = 0
+			v.data[i] = Entry{}
+			return true
+		}
+	}
+	return false
 }
 
 func (v *victimBuf) corrupt(pc uint64, bit uint) bool {

@@ -1,0 +1,155 @@
+package runner
+
+// Harness-hardening tests. These live inside the package so they can swap
+// simRun for stubs that panic or hang — behaviours a real simulation only
+// exhibits when something is already badly wrong.
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// swapSimRun substitutes the simulation entry point for the duration of
+// the test, restoring the real one afterwards.
+func swapSimRun(t *testing.T, fn func(context.Context, string, core.Config, workload.Profile, sim.Options) (sim.Result, error)) {
+	t.Helper()
+	prev := simRun
+	simRun = fn
+	t.Cleanup(func() { simRun = prev })
+}
+
+func stubJobs(benches ...string) []Job {
+	jobs := make([]Job, len(benches))
+	for i, b := range benches {
+		jobs[i] = Job{Name: "stub", Profile: workload.Profile{Name: b}}
+	}
+	return jobs
+}
+
+// TestWorkerPanicIsolated: a cell that panics inside the simulation is
+// recorded as that cell's *CellPanicError — with the panicking stack — and
+// every other cell still completes.
+func TestWorkerPanicIsolated(t *testing.T) {
+	swapSimRun(t, func(_ context.Context, _ string, _ core.Config, p workload.Profile, _ sim.Options) (sim.Result, error) {
+		if p.Name == "poison" {
+			panic("injected test panic")
+		}
+		return sim.Result{Bench: p.Name}, nil
+	})
+
+	jobs := stubJobs("ok1", "poison", "ok2", "ok3")
+	out, err := Run(context.Background(), jobs, Options{Parallelism: 2})
+	if err == nil {
+		t.Fatal("batch error nil despite a panicked cell")
+	}
+	var pe *CellPanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("batch error %v does not wrap *CellPanicError", err)
+	}
+	if len(out) != len(jobs) {
+		t.Fatalf("got %d outcomes, want %d", len(out), len(jobs))
+	}
+	for _, o := range out {
+		if o.Job.Profile.Name == "poison" {
+			if !errors.As(o.Err, &pe) {
+				t.Fatalf("poisoned cell error = %v, want *CellPanicError", o.Err)
+			}
+			if pe.Value != "injected test panic" {
+				t.Errorf("panic value = %v", pe.Value)
+			}
+			if !strings.Contains(string(pe.Stack), "goroutine") {
+				t.Error("panic error carries no stack trace")
+			}
+			continue
+		}
+		if o.Err != nil {
+			t.Errorf("healthy cell %s failed: %v", o.Job.Profile.Name, o.Err)
+		}
+		if o.Result.Bench != o.Job.Profile.Name {
+			t.Errorf("healthy cell %s missing its result", o.Job.Profile.Name)
+		}
+	}
+}
+
+// TestCellTimeoutRetriesOnce: a cell that hangs is stopped at the
+// deadline, retried exactly once, then failed with *CellTimeoutError —
+// which must survive Run's error filtering even though it began life as a
+// context deadline.
+func TestCellTimeoutRetriesOnce(t *testing.T) {
+	var hangCalls atomic.Int32
+	swapSimRun(t, func(ctx context.Context, _ string, _ core.Config, p workload.Profile, _ sim.Options) (sim.Result, error) {
+		if p.Name == "hang" {
+			hangCalls.Add(1)
+			<-ctx.Done()
+			return sim.Result{}, ctx.Err()
+		}
+		return sim.Result{Bench: p.Name}, nil
+	})
+
+	jobs := stubJobs("ok1", "hang", "ok2")
+	out, err := Run(context.Background(), jobs, Options{
+		Parallelism: 2,
+		CellTimeout: 20 * time.Millisecond,
+	})
+	if err == nil {
+		t.Fatal("batch error nil despite a timed-out cell")
+	}
+	var te *CellTimeoutError
+	if !errors.As(err, &te) {
+		t.Fatalf("batch error %v does not wrap *CellTimeoutError", err)
+	}
+	if te.Attempts != 2 {
+		t.Errorf("Attempts = %d, want 2 (one retry)", te.Attempts)
+	}
+	if got := hangCalls.Load(); got != 2 {
+		t.Errorf("hung cell dispatched %d times, want 2", got)
+	}
+	for _, o := range out {
+		if o.Job.Profile.Name == "hang" {
+			if !errors.As(o.Err, &te) {
+				t.Errorf("hung cell error = %v, want *CellTimeoutError", o.Err)
+			}
+		} else if o.Err != nil {
+			t.Errorf("healthy cell %s failed: %v", o.Job.Profile.Name, o.Err)
+		}
+	}
+}
+
+// TestSweepCancelNotMistakenForCellTimeout: cancelling the whole sweep
+// while a timed cell is in flight is a cancellation, not a per-cell
+// failure — no retry, and the batch error is the context's.
+func TestSweepCancelNotMistakenForCellTimeout(t *testing.T) {
+	var calls atomic.Int32
+	started := make(chan struct{}, 16)
+	swapSimRun(t, func(ctx context.Context, _ string, _ core.Config, _ workload.Profile, _ sim.Options) (sim.Result, error) {
+		calls.Add(1)
+		started <- struct{}{}
+		<-ctx.Done()
+		return sim.Result{}, ctx.Err()
+	})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		<-started
+		cancel()
+	}()
+	_, err := Run(ctx, stubJobs("a"), Options{Parallelism: 1, CellTimeout: time.Hour})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("batch error = %v, want context.Canceled", err)
+	}
+	var te *CellTimeoutError
+	if errors.As(err, &te) {
+		t.Error("sweep cancellation misreported as a cell timeout")
+	}
+	if got := calls.Load(); got != 1 {
+		t.Errorf("cancelled cell dispatched %d times, want 1 (no retry)", got)
+	}
+}

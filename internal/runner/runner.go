@@ -15,6 +15,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sort"
 	"sync"
 	"time"
@@ -138,6 +139,90 @@ type Options struct {
 	// Calls are serialized by the runner, so the callback needs no
 	// locking of its own.
 	Progress func(Progress)
+	// CellTimeout bounds each cell's wall-clock time (0 = unbounded). A
+	// cell that exceeds it is stopped and retried once — a hung cell on a
+	// loaded machine may just have been starved — and a second timeout
+	// fails the cell with a *CellTimeoutError while the rest of the sweep
+	// proceeds.
+	CellTimeout time.Duration
+}
+
+// CellPanicError reports that one sweep cell's simulation panicked. The
+// runner recovers the panic in the worker and records it as the cell's
+// error, so one poisoned cell no longer takes down the whole batch.
+type CellPanicError struct {
+	Bench, Config string
+	Value         any    // the recovered panic value
+	Stack         []byte // stack of the panicking goroutine
+}
+
+func (e *CellPanicError) Error() string {
+	return fmt.Sprintf("runner: %s on %s panicked: %v\n%s", e.Bench, e.Config, e.Value, e.Stack)
+}
+
+// CellTimeoutError reports that one cell exceeded Options.CellTimeout on
+// every attempt. It deliberately does not unwrap to
+// context.DeadlineExceeded: the per-cell deadline is a failure of that
+// cell, not a sweep-level cancellation, and must survive Run's error
+// filtering.
+type CellTimeoutError struct {
+	Bench, Config string
+	Timeout       time.Duration
+	Attempts      int
+}
+
+func (e *CellTimeoutError) Error() string {
+	return fmt.Sprintf("runner: %s on %s timed out after %v (%d attempts)",
+		e.Bench, e.Config, e.Timeout, e.Attempts)
+}
+
+// simRun is sim.RunContext, indirected so the harness tests can substitute
+// panicking or hanging simulations without involving a real core.
+var simRun = sim.RunContext
+
+// runCellOnce executes one cell, converting a panic anywhere under the
+// simulation into a *CellPanicError.
+func runCellOnce(ctx context.Context, j Job) (res sim.Result, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = &CellPanicError{
+				Bench:  j.Profile.Name,
+				Config: j.Name,
+				Value:  v,
+				Stack:  debug.Stack(),
+			}
+		}
+	}()
+	return simRun(ctx, j.Name, j.Config, j.Profile, j.Opts)
+}
+
+// runCell executes one cell under the per-cell timeout with one retry.
+func runCell(ctx context.Context, j Job, timeout time.Duration) (sim.Result, error) {
+	if timeout <= 0 {
+		return runCellOnce(ctx, j)
+	}
+	const attempts = 2
+	for a := 0; a < attempts; a++ {
+		cellCtx, cancel := context.WithTimeout(ctx, timeout)
+		res, err := runCellOnce(cellCtx, j)
+		cancel()
+		if !isCellTimeout(ctx, err) {
+			return res, err
+		}
+	}
+	return sim.Result{}, &CellTimeoutError{
+		Bench:    j.Profile.Name,
+		Config:   j.Name,
+		Timeout:  timeout,
+		Attempts: attempts,
+	}
+}
+
+// isCellTimeout reports whether err came from the per-cell deadline rather
+// than a sweep-level cancellation: the cell's context expired while the
+// parent is still live.
+func isCellTimeout(parent context.Context, err error) bool {
+	return errors.Is(err, context.DeadlineExceeded) && parent.Err() == nil
 }
 
 // errNotRun marks outcomes whose job was never dispatched (the sweep was
@@ -216,8 +301,7 @@ func Run(ctx context.Context, jobs []Job, opts Options) ([]Outcome, error) {
 		go func() {
 			defer wg.Done()
 			for i := range feed {
-				j := jobs[i]
-				r, err := sim.RunContext(ctx, j.Name, j.Config, j.Profile, j.Opts)
+				r, err := runCell(ctx, jobs[i], opts.CellTimeout)
 				outs[i].Result, outs[i].Err = r, err
 				report(i)
 			}

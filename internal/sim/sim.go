@@ -280,6 +280,13 @@ func RunContext(ctx context.Context, name string, cfg core.Config, p workload.Pr
 		if errors.As(err, &div) {
 			return Result{}, div
 		}
+		var uf *core.UnrecoverableFaultError
+		if errors.As(err, &uf) {
+			// A persistent fault exhausted the bounded retry budget:
+			// a structured per-run outcome, like a divergence.
+			uf.Bench, uf.Config = p.Name, name
+			return Result{}, uf
+		}
 		if errors.Is(err, core.ErrStopped) && ctx.Err() != nil {
 			return Result{}, ctx.Err()
 		}
