@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test test-short race vet lint bench sweep examples clean
+.PHONY: all build test test-short race vet lint bench fuzz serve sweep examples clean
 
 all: vet lint test build
 
@@ -34,6 +34,16 @@ lint:
 bench:
 	$(GO) test -bench=. -benchmem . | tee bench_output.txt
 	$(GO) run ./cmd/bench
+
+# Native fuzz targets with a CI-length budget each; the committed seed
+# corpus under testdata/fuzz/ replays as plain tests in `make test`.
+fuzz:
+	$(GO) test -fuzz=FuzzProgramDecode -fuzztime=20s -run '^$$' ./internal/program
+	$(GO) test -fuzz=FuzzIRBLookup -fuzztime=20s -run '^$$' ./internal/irb
+
+# Run the serving daemon (README "Serving" section for the API).
+serve:
+	$(GO) run ./cmd/simserved
 
 # Regenerate every experiment at full scale (~20 min on one core).
 sweep:

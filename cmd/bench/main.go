@@ -12,6 +12,7 @@
 //	go run ./cmd/bench                       # full measurement, BENCH_<date>.json
 //	go run ./cmd/bench -short -out ci.json   # reduced sizes for CI smoke
 //	go run ./cmd/bench -notes "post-refactor"
+//	go run ./cmd/bench -insns 100000 -bench gzip,mesa  # custom grid
 package main
 
 import (
@@ -23,6 +24,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/cliutil"
 	"repro/internal/experiments"
 	"repro/internal/fsim"
 	"repro/internal/irb"
@@ -55,6 +57,7 @@ func main() {
 	out := flag.String("out", "", "output path (default BENCH_<date>.json)")
 	short := flag.Bool("short", false, "reduced instruction budgets for CI smoke runs")
 	notes := flag.String("notes", "", "free-form note embedded in the record")
+	fl := cliutil.RegisterExperimentFlags(flag.CommandLine, 50_000, "bzip2,mesa,ammp")
 	flag.Parse()
 
 	rec := Record{
@@ -71,11 +74,12 @@ func main() {
 		path = "BENCH_" + rec.Date + ".json"
 	}
 
-	insns := uint64(50_000)
-	benches := []string{"bzip2", "mesa", "ammp"}
+	gridOpts := fl.Options()
+	insns := gridOpts.Insns
 	fsimSteps := uint64(200_000)
 	if *short {
-		insns, benches, fsimSteps = 10_000, []string{"bzip2"}, 50_000
+		insns, fsimSteps = 10_000, 50_000
+		gridOpts.Insns, gridOpts.Benchmarks = insns, []string{"bzip2"}
 	}
 
 	measure := func(name string, metric string, denom float64, fn func(b *testing.B)) {
@@ -136,7 +140,6 @@ func main() {
 			}
 		})
 	}
-	gridOpts := experiments.Options{Insns: insns, Benchmarks: benches}
 	serial := gridOpts
 	serial.Parallelism = 1
 	grid("GridSerial", serial)

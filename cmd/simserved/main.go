@@ -1,0 +1,86 @@
+// Command simserved serves the simulator over HTTP: sweep jobs in, stats
+// JSON out, with a content-addressed result cache so repeated cells cost
+// a map probe instead of a simulation. See README's "Serving" section
+// for the API and curl examples.
+//
+// Usage:
+//
+//	go run ./cmd/simserved                      # listen on :8344
+//	go run ./cmd/simserved -addr :9000 -workers 4 -queue 16
+//	go run ./cmd/simserved -insns 100000 -verify -pprof
+//
+// SIGINT/SIGTERM drains gracefully: new runs get 503, /readyz fails so
+// load balancers stop routing, and in-flight runs finish before exit.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/cliutil"
+	"repro/internal/service"
+	"repro/internal/sim"
+)
+
+func main() {
+	addr := flag.String("addr", ":8344", "listen address")
+	workers := flag.Int("workers", 2, "concurrent runs")
+	queue := flag.Int("queue", 0, "admitted requests bound, running plus waiting (default workers+8)")
+	maxCells := flag.Int("max-cells", 4096, "per-request grid cell budget")
+	cacheEntries := flag.Int("cache-entries", 1024, "result cache bound (cells)")
+	enablePprof := flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/")
+	drainTimeout := flag.Duration("drain-timeout", time.Minute, "graceful shutdown bound after SIGTERM")
+	insns := cliutil.Insns(flag.CommandLine, sim.DefaultInsns)
+	verify := cliutil.Verify(flag.CommandLine)
+	jobs := cliutil.Jobs(flag.CommandLine)
+	cellTimeout := flag.Duration("cell-timeout", 0,
+		"per-cell wall-clock bound with one retry (0 = unbounded)")
+	flag.Parse()
+
+	srv := service.New(service.Config{
+		Workers:      *workers,
+		QueueDepth:   *queue,
+		MaxCells:     *maxCells,
+		CacheEntries: *cacheEntries,
+		Parallelism:  *jobs,
+		DefaultInsns: *insns,
+		Verify:       *verify,
+		CellTimeout:  *cellTimeout,
+		EnablePprof:  *enablePprof,
+	})
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	done := make(chan error, 1)
+	go func() {
+		<-ctx.Done()
+		fmt.Fprintln(os.Stderr, "simserved: draining (new runs get 503; in-flight runs finish)")
+		srv.BeginDrain()
+		shutCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		done <- httpSrv.Shutdown(shutCtx)
+	}()
+
+	fmt.Fprintf(os.Stderr, "simserved: listening on %s\n", *addr)
+	if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "simserved:", err)
+		os.Exit(1)
+	}
+	if err := <-done; err != nil {
+		fmt.Fprintln(os.Stderr, "simserved: drain:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "simserved: drained cleanly")
+}

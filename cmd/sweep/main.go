@@ -40,10 +40,7 @@ import (
 
 func main() {
 	exp := flag.String("exp", "all", "experiment to run (see package doc)")
-	insns := cliutil.Insns(flag.CommandLine, sim.DefaultInsns)
-	bench := cliutil.Bench(flag.CommandLine, "", "comma-separated benchmark subset (default all 12)")
-	verify := cliutil.Verify(flag.CommandLine)
-	jobs := cliutil.Jobs(flag.CommandLine)
+	fl := cliutil.RegisterExperimentFlags(flag.CommandLine, sim.DefaultInsns, "")
 	format := cliutil.Format(flag.CommandLine)
 	csv := flag.Bool("csv", false, "deprecated: alias for -format csv")
 	progress := flag.Bool("progress", false, "report live per-cell progress on stderr")
@@ -51,8 +48,6 @@ func main() {
 		"on: capture each benchmark's functional trace once and replay it in every cell; off: interpret per cell")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
 	memprofile := flag.String("memprofile", "", "write a post-sweep heap profile to this file")
-	cellTimeout := flag.Duration("cell-timeout", 0,
-		"per-cell wall-clock bound with one retry (0 = unbounded); a timed-out cell fails alone")
 	flag.Parse()
 	if *csv {
 		*format = "csv"
@@ -67,15 +62,9 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
-	opts := experiments.Options{
-		Insns:         *insns,
-		Verify:        *verify,
-		Benchmarks:    cliutil.SplitBenchmarks(*bench),
-		Parallelism:   *jobs,
-		Context:       ctx,
-		DisableReplay: *traceReplay == "off",
-		CellTimeout:   *cellTimeout,
-	}
+	opts := fl.Options()
+	opts.Context = ctx
+	opts.DisableReplay = *traceReplay == "off"
 	if *progress {
 		opts.Progress = func(p runner.Progress) {
 			fmt.Fprintf(os.Stderr, "\r%4d/%d cells  %-40s eta %-10s",
@@ -120,94 +109,18 @@ func main() {
 	}
 }
 
-type runnerFn func(experiments.Options) (*stats.Table, error)
-
-func runners() []struct {
-	name string
-	fn   runnerFn
-} {
-	return []struct {
-		name string
-		fn   runnerFn
-	}{
-		{"config", func(experiments.Options) (*stats.Table, error) {
-			return experiments.ConfigTable(), nil
-		}},
-		{"fig2", func(o experiments.Options) (*stats.Table, error) {
-			_, t, err := experiments.Fig2(o)
-			return t, err
-		}},
-		{"headline", func(o experiments.Options) (*stats.Table, error) {
-			_, _, t, err := experiments.Headline(o)
-			return t, err
-		}},
-		{"irbhit", func(o experiments.Options) (*stats.Table, error) {
-			_, t, err := experiments.IRBHit(o)
-			return t, err
-		}},
-		{"irbsize", func(o experiments.Options) (*stats.Table, error) {
-			_, t, err := experiments.IRBSize(o)
-			return t, err
-		}},
-		{"conflict", func(o experiments.Options) (*stats.Table, error) {
-			_, t, err := experiments.Conflict(o)
-			return t, err
-		}},
-		{"irbports", func(o experiments.Options) (*stats.Table, error) {
-			_, t, err := experiments.Ports(o)
-			return t, err
-		}},
-		{"faults", func(o experiments.Options) (*stats.Table, error) {
-			_, t, err := experiments.Faults(o)
-			return t, err
-		}},
-		{"recovery", func(o experiments.Options) (*stats.Table, error) {
-			_, t, err := experiments.Recovery(o)
-			return t, err
-		}},
-		{"ablation-dup", func(o experiments.Options) (*stats.Table, error) {
-			_, t, err := experiments.AblationDup(o)
-			return t, err
-		}},
-		{"ablation-fwd", func(o experiments.Options) (*stats.Table, error) {
-			_, t, err := experiments.AblationFwd(o)
-			return t, err
-		}},
-		{"scheduler", func(o experiments.Options) (*stats.Table, error) {
-			_, t, err := experiments.Scheduler(o)
-			return t, err
-		}},
-		{"cluster", func(o experiments.Options) (*stats.Table, error) {
-			_, t, err := experiments.Cluster(o)
-			return t, err
-		}},
-		{"prior24", func(o experiments.Options) (*stats.Table, error) {
-			_, t, err := experiments.Prior24(o)
-			return t, err
-		}},
-		{"reuse-sources", func(o experiments.Options) (*stats.Table, error) {
-			_, t, err := experiments.ReuseSources(o)
-			return t, err
-		}},
-		{"reuse-prediction", func(o experiments.Options) (*stats.Table, error) {
-			_, _, t, err := experiments.ReusePrediction(o)
-			return t, err
-		}},
-	}
-}
-
 func run(exp string, opts experiments.Options, format string) error {
 	// Validate the format before burning simulation time on the grid.
 	if _, err := cliutil.Render(stats.NewTable(""), format); err != nil {
 		return err
 	}
-	for _, r := range runners() {
-		if exp != "all" && exp != r.name {
+	for _, r := range experiments.Registry() {
+		if exp != "all" && exp != r.Name {
 			continue
 		}
-		t, err := r.fn(opts)
+		t, err := r.Run(opts)
 		if err != nil {
-			return fmt.Errorf("%s: %w", r.name, err)
+			return fmt.Errorf("%s: %w", r.Name, err)
 		}
 		out, err := cliutil.Render(t, format)
 		if err != nil {
@@ -216,12 +129,12 @@ func run(exp string, opts experiments.Options, format string) error {
 		// Machine-readable formats keep stdout clean (so `-format json
 		// > x.json` is a valid document); the banner moves to stderr.
 		if format == "table" || format == "" {
-			fmt.Printf("=== %s ===\n%s\n", r.name, out)
+			fmt.Printf("=== %s ===\n%s\n", r.Name, out)
 		} else {
-			fmt.Fprintf(os.Stderr, "=== %s ===\n", r.name)
+			fmt.Fprintf(os.Stderr, "=== %s ===\n", r.Name)
 			fmt.Printf("%s\n", out)
 		}
-		if exp == r.name {
+		if exp == r.Name {
 			return nil
 		}
 	}

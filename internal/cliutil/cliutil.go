@@ -1,9 +1,10 @@
 // Package cliutil centralizes the flag handling shared by the repro
-// command-line tools (cmd/sweep, cmd/simdie, cmd/irbstat): the
-// instruction budget, oracle verification, benchmark selection, the
-// parallel-runner width (-j), and the table output formats backed by
-// internal/stats. Each command registers only the flags it needs, so the
-// tools stay small while spelling every shared knob the same way.
+// command-line tools (cmd/sweep, cmd/bench, cmd/simserved, cmd/simdie,
+// cmd/irbstat): the instruction budget, oracle verification, benchmark
+// selection, the parallel-runner width (-j), the grid-flag bundle those
+// compose into, and the table output formats backed by internal/stats.
+// Each command registers only the flags it needs, so the tools stay small
+// while spelling every shared knob the same way.
 package cliutil
 
 import (
@@ -11,7 +12,9 @@ import (
 	"fmt"
 	"runtime"
 	"strings"
+	"time"
 
+	"repro/internal/experiments"
 	"repro/internal/stats"
 	"repro/internal/workload"
 )
@@ -68,6 +71,43 @@ func Profiles(bench string) ([]workload.Profile, error) {
 		out = append(out, p)
 	}
 	return out, nil
+}
+
+// ExperimentFlags bundles the grid-run flags shared by cmd/sweep and
+// cmd/bench, and reused by cmd/simserved for its per-request defaults:
+// one registration, one spelling, one Options translation, instead of a
+// per-command copy of the same five flags.
+type ExperimentFlags struct {
+	Insns       *uint64
+	Bench       *string
+	Verify      *bool
+	Jobs        *int
+	CellTimeout *time.Duration
+}
+
+// RegisterExperimentFlags registers the shared grid flags on fs with the
+// given defaults (defBench empty means "all 12 benchmarks").
+func RegisterExperimentFlags(fs *flag.FlagSet, defInsns uint64, defBench string) *ExperimentFlags {
+	return &ExperimentFlags{
+		Insns:  Insns(fs, defInsns),
+		Bench:  Bench(fs, defBench, "comma-separated benchmark subset (default all 12)"),
+		Verify: Verify(fs),
+		Jobs:   Jobs(fs),
+		CellTimeout: fs.Duration("cell-timeout", 0,
+			"per-cell wall-clock bound with one retry (0 = unbounded); a timed-out cell fails alone"),
+	}
+}
+
+// Options translates the parsed flags into experiment options. Callers add
+// the knobs that stay command-specific (Context, Progress, DisableReplay).
+func (f *ExperimentFlags) Options() experiments.Options {
+	return experiments.Options{
+		Insns:       *f.Insns,
+		Verify:      *f.Verify,
+		Benchmarks:  SplitBenchmarks(*f.Bench),
+		Parallelism: *f.Jobs,
+		CellTimeout: *f.CellTimeout,
+	}
 }
 
 // Format registers the -format output-format flag on fs.

@@ -107,3 +107,40 @@ func TestRenderFormats(t *testing.T) {
 		t.Errorf("unknown format error = %v", err)
 	}
 }
+
+func TestExperimentFlags(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	fl := RegisterExperimentFlags(fs, 12345, "")
+	err := fs.Parse([]string{
+		"-insns", "777", "-bench", "gzip, mesa", "-verify",
+		"-j", "3", "-cell-timeout", "90s",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := fl.Options()
+	if opts.Insns != 777 || !opts.Verify || opts.Parallelism != 3 {
+		t.Fatalf("opts = %+v", opts)
+	}
+	if opts.CellTimeout.Seconds() != 90 {
+		t.Fatalf("cell timeout = %v, want 90s", opts.CellTimeout)
+	}
+	if !reflect.DeepEqual(opts.Benchmarks, []string{"gzip", "mesa"}) {
+		t.Fatalf("benchmarks = %v", opts.Benchmarks)
+	}
+}
+
+func TestExperimentFlagsDefaults(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	fl := RegisterExperimentFlags(fs, 12345, "bzip2")
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	opts := fl.Options()
+	if opts.Insns != 12345 || opts.Verify || opts.CellTimeout != 0 {
+		t.Fatalf("opts = %+v", opts)
+	}
+	if !reflect.DeepEqual(opts.Benchmarks, []string{"bzip2"}) {
+		t.Fatalf("benchmarks = %v", opts.Benchmarks)
+	}
+}

@@ -48,6 +48,11 @@ type Options struct {
 	// see runner.Options.CellTimeout. A hung cell times out (after one
 	// retry) with a per-cell error instead of stalling the whole sweep.
 	CellTimeout time.Duration
+	// Cache, when non-nil, is handed to the grid runner so previously
+	// simulated cells are served from the content-addressed result store
+	// instead of being re-run; see runner.Options.Cache. The serving
+	// daemon shares one cache across every experiment and run request.
+	Cache runner.Cache
 }
 
 func (o Options) simOpts() sim.Options {
@@ -66,6 +71,7 @@ func (o Options) runnerOpts() runner.Options {
 		Parallelism: o.Parallelism,
 		Progress:    o.Progress,
 		CellTimeout: o.CellTimeout,
+		Cache:       o.Cache,
 	}
 }
 

@@ -1,0 +1,103 @@
+package experiments
+
+import "repro/internal/stats"
+
+// Named pairs an experiment's public name — the -exp value of cmd/sweep
+// and the /v1/experiments/{name} path of the serving daemon — with a
+// generator for its rendered table. Experiments returning richer
+// structured results (grids, summaries) expose them through their own
+// functions; the registry is the uniform by-name surface.
+type Named struct {
+	Name string
+	Run  func(Options) (*stats.Table, error)
+}
+
+// Registry returns every experiment in presentation order. The slice is
+// freshly allocated; callers may reorder or filter it.
+func Registry() []Named {
+	return []Named{
+		{"config", func(Options) (*stats.Table, error) {
+			return ConfigTable(), nil
+		}},
+		{"fig2", func(o Options) (*stats.Table, error) {
+			_, t, err := Fig2(o)
+			return t, err
+		}},
+		{"headline", func(o Options) (*stats.Table, error) {
+			_, _, t, err := Headline(o)
+			return t, err
+		}},
+		{"irbhit", func(o Options) (*stats.Table, error) {
+			_, t, err := IRBHit(o)
+			return t, err
+		}},
+		{"irbsize", func(o Options) (*stats.Table, error) {
+			_, t, err := IRBSize(o)
+			return t, err
+		}},
+		{"conflict", func(o Options) (*stats.Table, error) {
+			_, t, err := Conflict(o)
+			return t, err
+		}},
+		{"irbports", func(o Options) (*stats.Table, error) {
+			_, t, err := Ports(o)
+			return t, err
+		}},
+		{"faults", func(o Options) (*stats.Table, error) {
+			_, t, err := Faults(o)
+			return t, err
+		}},
+		{"recovery", func(o Options) (*stats.Table, error) {
+			_, t, err := Recovery(o)
+			return t, err
+		}},
+		{"ablation-dup", func(o Options) (*stats.Table, error) {
+			_, t, err := AblationDup(o)
+			return t, err
+		}},
+		{"ablation-fwd", func(o Options) (*stats.Table, error) {
+			_, t, err := AblationFwd(o)
+			return t, err
+		}},
+		{"scheduler", func(o Options) (*stats.Table, error) {
+			_, t, err := Scheduler(o)
+			return t, err
+		}},
+		{"cluster", func(o Options) (*stats.Table, error) {
+			_, t, err := Cluster(o)
+			return t, err
+		}},
+		{"prior24", func(o Options) (*stats.Table, error) {
+			_, t, err := Prior24(o)
+			return t, err
+		}},
+		{"reuse-sources", func(o Options) (*stats.Table, error) {
+			_, t, err := ReuseSources(o)
+			return t, err
+		}},
+		{"reuse-prediction", func(o Options) (*stats.Table, error) {
+			_, _, t, err := ReusePrediction(o)
+			return t, err
+		}},
+	}
+}
+
+// ByName resolves one registry entry.
+func ByName(name string) (Named, bool) {
+	for _, n := range Registry() {
+		if n.Name == name {
+			return n, true
+		}
+	}
+	return Named{}, false
+}
+
+// Names returns the registry's experiment names in order.
+func Names() []string {
+	reg := Registry()
+	out := make([]string, len(reg))
+	for i, n := range reg {
+		out[i] = n.Name
+	}
+	return out
+}

@@ -1,0 +1,49 @@
+package experiments
+
+import "testing"
+
+// TestRegistryNames pins the public experiment names: cmd/sweep's -exp
+// values and the serving daemon's /v1/experiments/{name} paths both
+// resolve through the registry, so renaming or dropping an entry is an
+// API break that must be deliberate.
+func TestRegistryNames(t *testing.T) {
+	want := []string{
+		"config", "fig2", "headline", "irbhit", "irbsize", "conflict",
+		"irbports", "faults", "recovery", "ablation-dup", "ablation-fwd",
+		"scheduler", "cluster", "prior24", "reuse-sources", "reuse-prediction",
+	}
+	got := Names()
+	if len(got) != len(want) {
+		t.Fatalf("registry has %d experiments, want %d: %v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("registry[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+	for _, name := range want {
+		n, ok := ByName(name)
+		if !ok || n.Run == nil {
+			t.Errorf("ByName(%q): ok=%t, runnable=%t", name, ok, n.Run != nil)
+		}
+	}
+	if _, ok := ByName("no-such-experiment"); ok {
+		t.Error("ByName resolved a nonexistent experiment")
+	}
+}
+
+// TestRegistryConfigRuns exercises the one registry entry that needs no
+// simulation, proving the Named plumbing end to end.
+func TestRegistryConfigRuns(t *testing.T) {
+	n, ok := ByName("config")
+	if !ok {
+		t.Fatal("config experiment missing")
+	}
+	tbl, err := n.Run(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.String() == "" {
+		t.Fatal("config table rendered empty")
+	}
+}

@@ -160,6 +160,18 @@ func (i *Injector) AfterIRBInsert(pc uint64, b *irb.IRB) {
 	}
 }
 
+// Fingerprint identifies the campaign spec for result caching (it
+// satisfies the runner's Fingerprinter interface): two freshly built
+// injectors with equal fingerprints corrupt identical runs identically,
+// because injection decisions are drawn from the seeded PRNG only. The
+// fingerprint does not capture consumed PRNG or strike state, so reusing
+// one injector across runs breaks the equivalence — build a fresh injector
+// per run, as the fault experiments and the serving layer do.
+func (i *Injector) Fingerprint() string {
+	return fmt.Sprintf("fault.Injector{site=%s rate=%g seed=%d max=%d}",
+		i.cfg.Site, i.cfg.Rate, i.cfg.Seed, i.cfg.MaxFaults)
+}
+
 // Persistent is a rate-1 injector pinned to one static PC: every
 // opportunity at that PC is struck with the same bit flip, modeling a
 // stuck-at (hard) fault rather than a transient. Recovery re-executes the
@@ -168,11 +180,11 @@ func (i *Injector) AfterIRBInsert(pc uint64, b *irb.IRB) {
 // tests are its main users. MaxFaults bounds the campaign (0 = unlimited):
 // MaxFaults=1 turns it into a deterministic single-shot transient.
 type Persistent struct {
-	Site Site
-	PC   uint64
-	Dup  bool // strike the duplicate copy instead of the primary (FU/Forward)
-	Which int // operand to corrupt for Forward: 1 or 2
-	Bit  uint // bit to flip (0..63)
+	Site  Site
+	PC    uint64
+	Dup   bool // strike the duplicate copy instead of the primary (FU/Forward)
+	Which int  // operand to corrupt for Forward: 1 or 2
+	Bit   uint // bit to flip (0..63)
 
 	MaxFaults uint64 // 0 = unlimited
 	// Injected counts faults actually applied.
@@ -218,4 +230,12 @@ func (p *Persistent) AfterIRBInsert(pc uint64, b *irb.IRB) {
 			b.CorruptOperand(pc, p.Which != 2, p.Bit)
 		}
 	}
+}
+
+// Fingerprint identifies the stuck-at fault's spec for result caching; the
+// same fresh-per-run caveat as (*Injector).Fingerprint applies, since
+// Injected is consumed state.
+func (p *Persistent) Fingerprint() string {
+	return fmt.Sprintf("fault.Persistent{site=%s pc=%d dup=%t which=%d bit=%d max=%d}",
+		p.Site, p.PC, p.Dup, p.Which, p.Bit, p.MaxFaults)
 }

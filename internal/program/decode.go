@@ -1,0 +1,46 @@
+package program
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/isa"
+)
+
+// DecodeImage is the inverse of Image: it rebuilds a Program from a
+// binary code image of little-endian 64-bit instruction words. It rejects
+// truncated images, undecodable instructions, an entry point outside the
+// code, and control flow targeting outside the code segment — everything
+// Validate rejects — so a successfully decoded program is safe to feed to
+// the simulators. Tooling uses it to round-trip dumped programs.
+func DecodeImage(name string, entry uint64, image []byte) (*Program, error) {
+	if len(image) == 0 {
+		return nil, fmt.Errorf("program %q: empty image", name)
+	}
+	if len(image)%8 != 0 {
+		return nil, fmt.Errorf("program %q: image length %d not a multiple of 8", name, len(image))
+	}
+	code := make([]isa.Instr, len(image)/8)
+	for i := range code {
+		in, err := isa.Decode(binary.LittleEndian.Uint64(image[i*8:]))
+		if err != nil {
+			return nil, fmt.Errorf("program %q pc=%d: %w", name, i, err)
+		}
+		code[i] = in
+	}
+	p := &Program{Name: name, Code: code, Entry: entry}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// ImageBytes encodes the code segment as the little-endian byte image
+// DecodeImage accepts.
+func (p *Program) ImageBytes() []byte {
+	out := make([]byte, 8*len(p.Code))
+	for i, w := range p.Image() {
+		binary.LittleEndian.PutUint64(out[i*8:], w)
+	}
+	return out
+}

@@ -1,0 +1,56 @@
+package program
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"repro/internal/isa"
+)
+
+// FuzzProgramDecode throws arbitrary byte images at DecodeImage. The
+// decoder must never panic, and any image it accepts must round-trip
+// exactly: re-encoding reproduces the input bytes bit for bit, and
+// decoding those again reproduces the same program. Together with
+// Validate's guarantees this means every decoder-accepted image is a
+// well-formed, simulator-safe program.
+func FuzzProgramDecode(f *testing.F) {
+	// Seed with real programs alongside the committed corpus files, so
+	// the fuzzer starts from deep inside the valid-image space.
+	b := NewBuilder("seed")
+	b.LoadConst(1, 5)
+	b.Label("loop")
+	b.EmitOp(isa.OpAdd, 3, 3, 1)
+	b.EmitImm(isa.OpAddi, 1, 1, -1)
+	b.Branch(isa.OpBne, 1, isa.ZeroReg, "loop")
+	b.Emit(isa.Instr{Op: isa.OpHalt})
+	f.Add(uint64(0), b.MustBuild().ImageBytes())
+	f.Add(uint64(1), []byte{})
+	f.Add(uint64(0), make([]byte, 8))
+	f.Add(uint64(0), []byte{1, 2, 3}) // truncated word
+
+	f.Fuzz(func(t *testing.T, entry uint64, image []byte) {
+		p, err := DecodeImage("fuzz", entry, image)
+		if err != nil {
+			return // rejected inputs only need to not panic
+		}
+		if p.Entry != entry || len(p.Code) != len(image)/8 {
+			t.Fatalf("accepted image decoded to %d insns entry %d (image %d bytes, entry %d)",
+				len(p.Code), p.Entry, len(image), entry)
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("accepted program fails Validate: %v", err)
+		}
+		re := p.ImageBytes()
+		if !bytes.Equal(re, image) {
+			t.Fatalf("re-encoding diverged:\n in  %x\n out %x", image, re)
+		}
+		p2, err := DecodeImage("fuzz", entry, re)
+		if err != nil {
+			t.Fatalf("re-decoding a round-tripped image failed: %v", err)
+		}
+		if !reflect.DeepEqual(p.Code, p2.Code) {
+			t.Fatal("decode → encode → decode did not reach a fixed point")
+		}
+	})
+}

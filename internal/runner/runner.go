@@ -116,6 +116,18 @@ type Outcome struct {
 	Job    Job
 	Result sim.Result
 	Err    error
+	// CacheHit reports that the Result was served from Options.Cache
+	// instead of being simulated.
+	CacheHit bool
+}
+
+// Cache is the result-reuse hook consulted by Run when Options.Cache is
+// set: a content-addressed store from Job.Fingerprint keys to results.
+// Get and Put may be called from multiple goroutines. The runner only
+// stores results of successful cells, and only for cacheable jobs.
+type Cache interface {
+	Get(key string) (sim.Result, bool)
+	Put(key string, res sim.Result)
 }
 
 // Progress is a snapshot delivered after each completed cell.
@@ -145,6 +157,12 @@ type Options struct {
 	// fails the cell with a *CellTimeoutError while the rest of the sweep
 	// proceeds.
 	CellTimeout time.Duration
+	// Cache, when non-nil, serves cells whose fingerprint it already
+	// holds without simulating them (Outcome.CacheHit marks those) and
+	// stores every successfully simulated cacheable cell. Simulation is
+	// deterministic in a job's fingerprinted inputs, so a hit is
+	// bit-identical to a fresh run.
+	Cache Cache
 }
 
 // CellPanicError reports that one sweep cell's simulation panicked. The
@@ -255,18 +273,47 @@ func Run(ctx context.Context, jobs []Job, opts Options) ([]Outcome, error) {
 		return outs, ctx.Err()
 	}
 
+	// Resolve cache hits before dispatching anything: a hit costs a hash
+	// and a map probe, so serving it from a worker slot would only add
+	// queueing latency. Uncacheable jobs (fingerprint error) run normally
+	// and are never stored.
+	var keys []string
+	if opts.Cache != nil {
+		keys = make([]string, len(jobs))
+		for i := range jobs {
+			k, err := jobs[i].Fingerprint()
+			if err != nil {
+				continue
+			}
+			keys[i] = k
+			if res, ok := opts.Cache.Get(k); ok {
+				if res.IRB != nil {
+					st := *res.IRB
+					res.IRB = &st // hits must not share mutable state
+				}
+				res.Config = jobs[i].Name // display name is not part of the key
+				outs[i] = Outcome{Job: jobs[i], Result: res, CacheHit: true}
+			}
+		}
+	}
+
 	// Dispatch order: heaviest cells first (LPT) so the widest configs
 	// never start last and stretch the tail. One worker keeps the input
 	// order — with no concurrency there is no tail to balance, and the
 	// serial sweep stays exactly the old double loop.
-	order := make([]int, len(jobs))
-	for i := range order {
-		order[i] = i
+	order := make([]int, 0, len(jobs))
+	for i := range jobs {
+		if !outs[i].CacheHit {
+			order = append(order, i)
+		}
 	}
 	if workers > 1 {
 		sort.SliceStable(order, func(a, b int) bool {
 			return jobs[order[a]].Cost() > jobs[order[b]].Cost()
 		})
+	}
+	if workers > len(order) && len(order) > 0 {
+		workers = len(order)
 	}
 
 	var (
@@ -303,9 +350,19 @@ func Run(ctx context.Context, jobs []Job, opts Options) ([]Outcome, error) {
 			for i := range feed {
 				r, err := runCell(ctx, jobs[i], opts.CellTimeout)
 				outs[i].Result, outs[i].Err = r, err
+				if err == nil && keys != nil && keys[i] != "" {
+					opts.Cache.Put(keys[i], r)
+				}
 				report(i)
 			}
 		}()
+	}
+	// Cache hits count as completed cells for progress purposes; they are
+	// reported up front so Done still reaches Total.
+	for i := range outs {
+		if outs[i].CacheHit {
+			report(i)
+		}
 	}
 dispatch:
 	for _, i := range order {

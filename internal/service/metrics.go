@@ -1,0 +1,135 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/stats"
+)
+
+// metrics aggregates the daemon's counters and the run-latency histogram
+// behind one mutex, and renders them in the Prometheus text exposition
+// format on /metrics. The stats.Histogram is not thread-safe on its own,
+// so every observation and the render path go through the same lock.
+type metrics struct {
+	mu       sync.Mutex
+	start    time.Time
+	requests map[routeCode]uint64 // HTTP responses by route and status code
+	runs     map[string]uint64    // finished runs by terminal status
+	cellsSim uint64               // cells actually simulated
+	cellsHit uint64               // cells served from the result cache
+	latency  stats.Histogram      // per-run wall-clock seconds
+}
+
+type routeCode struct {
+	route string
+	code  int
+}
+
+func newMetrics() *metrics {
+	return &metrics{
+		start:    time.Now(),
+		requests: make(map[routeCode]uint64),
+		runs:     make(map[string]uint64),
+	}
+}
+
+// incRequest counts one HTTP response on a route.
+func (m *metrics) incRequest(route string, code int) {
+	m.mu.Lock()
+	m.requests[routeCode{route, code}]++
+	m.mu.Unlock()
+}
+
+// observeRun records one finished run: its terminal status, how many of
+// its cells were simulated versus served from cache, and its wall-clock
+// duration (fed to the latency histogram that backs the p50/p99 lines).
+func (m *metrics) observeRun(status string, simCells, hitCells int, d time.Duration) {
+	m.mu.Lock()
+	m.runs[status]++
+	m.cellsSim += uint64(simCells)
+	m.cellsHit += uint64(hitCells)
+	m.latency.Observe(d.Seconds())
+	m.mu.Unlock()
+}
+
+// render writes the Prometheus text format. Gauges the metrics struct
+// does not own — queue depth and the cache counters — are passed in as a
+// snapshot so one render is internally consistent. Label sets are sorted,
+// so the output is deterministic and diff-friendly.
+func (m *metrics) render(w io.Writer, queueDepth int, cache cacheStats) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	fmt.Fprintln(w, "# HELP simserved_requests_total HTTP responses by route and status code.")
+	fmt.Fprintln(w, "# TYPE simserved_requests_total counter")
+	rcs := make([]routeCode, 0, len(m.requests))
+	for rc := range m.requests {
+		rcs = append(rcs, rc)
+	}
+	sort.Slice(rcs, func(a, b int) bool {
+		if rcs[a].route != rcs[b].route {
+			return rcs[a].route < rcs[b].route
+		}
+		return rcs[a].code < rcs[b].code
+	})
+	for _, rc := range rcs {
+		fmt.Fprintf(w, "simserved_requests_total{route=%q,code=\"%d\"} %d\n", rc.route, rc.code, m.requests[rc])
+	}
+
+	fmt.Fprintln(w, "# HELP simserved_runs_total Finished runs by terminal status.")
+	fmt.Fprintln(w, "# TYPE simserved_runs_total counter")
+	statuses := make([]string, 0, len(m.runs))
+	for s := range m.runs {
+		statuses = append(statuses, s)
+	}
+	sort.Strings(statuses)
+	for _, s := range statuses {
+		fmt.Fprintf(w, "simserved_runs_total{status=%q} %d\n", s, m.runs[s])
+	}
+
+	fmt.Fprintln(w, "# HELP simserved_queue_depth Run requests admitted and not yet finished.")
+	fmt.Fprintln(w, "# TYPE simserved_queue_depth gauge")
+	fmt.Fprintf(w, "simserved_queue_depth %d\n", queueDepth)
+
+	fmt.Fprintln(w, "# HELP simserved_cells_total Grid cells completed, by source.")
+	fmt.Fprintln(w, "# TYPE simserved_cells_total counter")
+	fmt.Fprintf(w, "simserved_cells_total{source=\"simulated\"} %d\n", m.cellsSim)
+	fmt.Fprintf(w, "simserved_cells_total{source=\"cache\"} %d\n", m.cellsHit)
+
+	uptime := time.Since(m.start).Seconds()
+	fmt.Fprintln(w, "# HELP simserved_cells_per_second Lifetime average simulated cells per second.")
+	fmt.Fprintln(w, "# TYPE simserved_cells_per_second gauge")
+	rate := 0.0
+	if uptime > 0 {
+		rate = float64(m.cellsSim) / uptime
+	}
+	fmt.Fprintf(w, "simserved_cells_per_second %g\n", rate)
+
+	fmt.Fprintln(w, "# HELP simserved_cache_hits_total Result-cache lookups that hit.")
+	fmt.Fprintln(w, "# TYPE simserved_cache_hits_total counter")
+	fmt.Fprintf(w, "simserved_cache_hits_total %d\n", cache.Hits)
+	fmt.Fprintln(w, "# HELP simserved_cache_misses_total Result-cache lookups that missed.")
+	fmt.Fprintln(w, "# TYPE simserved_cache_misses_total counter")
+	fmt.Fprintf(w, "simserved_cache_misses_total %d\n", cache.Misses)
+	fmt.Fprintln(w, "# HELP simserved_cache_evictions_total Result-cache LRU evictions.")
+	fmt.Fprintln(w, "# TYPE simserved_cache_evictions_total counter")
+	fmt.Fprintf(w, "simserved_cache_evictions_total %d\n", cache.Evictions)
+	fmt.Fprintln(w, "# HELP simserved_cache_entries Result-cache resident entries.")
+	fmt.Fprintln(w, "# TYPE simserved_cache_entries gauge")
+	fmt.Fprintf(w, "simserved_cache_entries %d\n", cache.Entries)
+
+	fmt.Fprintln(w, "# HELP simserved_run_latency_seconds Wall-clock time per finished run.")
+	fmt.Fprintln(w, "# TYPE simserved_run_latency_seconds summary")
+	fmt.Fprintf(w, "simserved_run_latency_seconds{quantile=\"0.5\"} %g\n", m.latency.Quantile(0.5))
+	fmt.Fprintf(w, "simserved_run_latency_seconds{quantile=\"0.99\"} %g\n", m.latency.Quantile(0.99))
+	fmt.Fprintf(w, "simserved_run_latency_seconds_sum %g\n", m.latency.Sum())
+	fmt.Fprintf(w, "simserved_run_latency_seconds_count %d\n", m.latency.Count())
+
+	fmt.Fprintln(w, "# HELP simserved_uptime_seconds Seconds since the daemon started.")
+	fmt.Fprintln(w, "# TYPE simserved_uptime_seconds gauge")
+	fmt.Fprintf(w, "simserved_uptime_seconds %g\n", uptime)
+}

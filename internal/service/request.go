@@ -1,0 +1,176 @@
+package service
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/cliutil"
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/runner"
+	"repro/internal/sim"
+)
+
+// RunRequest is the body of POST /v1/runs: a (configs × benchmarks) grid
+// of simulation cells sharing one set of run options.
+type RunRequest struct {
+	// Configs names the machine configurations to run; see ConfigNames
+	// (GET /v1/configs) for the accepted values.
+	Configs []string `json:"configs"`
+	// Benchmarks restricts the workload set (empty = all 12 SPEC2000
+	// profiles).
+	Benchmarks []string `json:"benchmarks,omitempty"`
+	// Insns is the per-cell architected instruction budget (0 = the
+	// server's default).
+	Insns uint64 `json:"insns,omitempty"`
+	// FastForward skips this many instructions before measurement.
+	FastForward uint64 `json:"fast_forward,omitempty"`
+	// Seed perturbs the workload generators (see sim.Options.Seed).
+	Seed uint64 `json:"seed,omitempty"`
+	// Verify cross-checks every committed instruction against the
+	// functional oracle.
+	Verify bool `json:"verify,omitempty"`
+	// Fault attaches a fault-injection campaign to every cell.
+	Fault *FaultSpec `json:"fault,omitempty"`
+}
+
+// FaultSpec is the serializable fault campaign of a run request; it maps
+// onto fault.Config, one fresh injector per cell.
+type FaultSpec struct {
+	Site      string  `json:"site"` // fu, forward, irb-result, irb-operand
+	Rate      float64 `json:"rate"`
+	Seed      uint64  `json:"seed,omitempty"`
+	MaxFaults uint64  `json:"max_faults,omitempty"`
+}
+
+// CellResult is one grid cell's outcome in a run response.
+type CellResult struct {
+	Bench    string      `json:"bench"`
+	Config   string      `json:"config"`
+	CacheHit bool        `json:"cache_hit"`
+	Result   *sim.Result `json:"result,omitempty"`
+	Error    string      `json:"error,omitempty"`
+}
+
+// Run is the resource returned by POST /v1/runs and GET /v1/runs/{id}.
+type Run struct {
+	ID        string       `json:"id"`
+	Status    string       `json:"status"` // queued, running, done, failed, cancelled
+	Created   time.Time    `json:"created"`
+	Started   *time.Time   `json:"started,omitempty"`
+	Finished  *time.Time   `json:"finished,omitempty"`
+	Cells     int          `json:"cells"`
+	CacheHits int          `json:"cache_hits"`
+	Error     string       `json:"error,omitempty"`
+	Results   []CellResult `json:"results,omitempty"`
+}
+
+// Run statuses.
+const (
+	StatusQueued    = "queued"
+	StatusRunning   = "running"
+	StatusDone      = "done"
+	StatusFailed    = "failed"
+	StatusCancelled = "cancelled"
+)
+
+// configRegistry maps every named configuration the simulation layer
+// defines — the experiment families of internal/sim — to its core.Config,
+// so requests name machines the same way the paper's tables do.
+func configRegistry() map[string]core.Config {
+	m := make(map[string]core.Config)
+	add := func(ncs []sim.NamedConfig) {
+		for _, nc := range ncs {
+			m[nc.Name] = nc.Cfg
+		}
+	}
+	add(sim.Fig2Configs())
+	add(sim.HeadlineConfigs())
+	add(sim.IRBSizeConfigs([]int{128, 256, 512, 1024, 2048, 4096}))
+	add(sim.ConflictConfigs())
+	add(sim.PortConfigs([]int{1, 2, 4, 8}))
+	add(sim.SchedulerConfigs())
+	add(sim.ClusterConfigs())
+	add(sim.ReuseSourceConfigs())
+	return m
+}
+
+// ConfigNames returns the accepted configuration names, sorted.
+func ConfigNames() []string {
+	reg := configRegistry()
+	out := make([]string, 0, len(reg))
+	for name := range reg {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ConfigByName resolves a named machine configuration.
+func ConfigByName(name string) (core.Config, bool) {
+	cfg, ok := configRegistry()[name]
+	return cfg, ok
+}
+
+// buildJobs validates a request and expands it into the runner job grid,
+// applying the server's defaults. Each cell with a fault spec gets its own
+// freshly built injector, keeping cells independent (and cacheable — the
+// injector's fingerprint is its spec, which is only valid for fresh
+// injectors).
+func (s *Server) buildJobs(req *RunRequest) ([]runner.Job, error) {
+	if len(req.Configs) == 0 {
+		return nil, fmt.Errorf("configs: at least one configuration name required (see GET /v1/configs)")
+	}
+	if req.Fault != nil {
+		spec := fault.Config{
+			Site:      fault.Site(req.Fault.Site),
+			Rate:      req.Fault.Rate,
+			Seed:      req.Fault.Seed,
+			MaxFaults: req.Fault.MaxFaults,
+		}
+		if err := spec.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	// Benchmark selection reuses the CLI's parser, so the HTTP API and
+	// the command-line tools accept exactly the same names.
+	profiles, err := cliutil.Profiles(strings.Join(req.Benchmarks, ","))
+	if err != nil {
+		return nil, err
+	}
+	insns := req.Insns
+	if insns == 0 {
+		insns = s.cfg.DefaultInsns
+	}
+	var jobs []runner.Job
+	for _, p := range profiles {
+		for _, name := range req.Configs {
+			cfg, ok := ConfigByName(name)
+			if !ok {
+				return nil, fmt.Errorf("unknown config %q (see GET /v1/configs)", name)
+			}
+			opts := sim.Options{
+				Insns:       insns,
+				Verify:      req.Verify || s.cfg.Verify,
+				FastForward: req.FastForward,
+				Seed:        req.Seed,
+			}
+			if req.Fault != nil {
+				inj, ferr := fault.New(fault.Config{
+					Site:      fault.Site(req.Fault.Site),
+					Rate:      req.Fault.Rate,
+					Seed:      req.Fault.Seed,
+					MaxFaults: req.Fault.MaxFaults,
+				})
+				if ferr != nil {
+					return nil, ferr
+				}
+				opts.Injector = inj
+			}
+			jobs = append(jobs, runner.Job{Name: name, Config: cfg, Profile: p, Opts: opts})
+		}
+	}
+	return jobs, nil
+}

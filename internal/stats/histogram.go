@@ -1,0 +1,127 @@
+package stats
+
+import "math"
+
+// histSubBuckets is the number of linear sub-buckets per power of two.
+// Eight sub-buckets bound the relative quantile error at 1/16 of an octave
+// base, i.e. ≤ 12.5%, plenty for the p50/p99 latency figures the serving
+// layer reports while keeping the whole histogram a few hundred counters.
+const histSubBuckets = 8
+
+// histBuckets spans 2^-30 .. 2^33 (roughly a nanosecond to a few hundred
+// years when observations are seconds), clamping anything outside.
+const histBuckets = 64 * histSubBuckets
+
+// Histogram accumulates positive float64 observations into geometrically
+// spaced buckets for cheap approximate quantiles: the serving layer feeds
+// it per-run latencies (in seconds) and reports p50/p99 on /metrics. The
+// zero value is ready to use. Histogram is not safe for concurrent use;
+// callers that share one across goroutines must serialize access.
+type Histogram struct {
+	counts [histBuckets]uint64
+	count  uint64
+	sum    float64
+	min    float64
+	max    float64
+}
+
+// bucketOf maps an observation to its bucket index.
+func bucketOf(x float64) int {
+	if !(x > 0) || math.IsInf(x, 1) { // also catches NaN
+		x = math.Ldexp(1, -30)
+	}
+	// frexp: x = frac * 2^exp with frac in [0.5, 1).
+	frac, exp := math.Frexp(x)
+	sub := int((frac - 0.5) * 2 * histSubBuckets) // 0..histSubBuckets-1
+	i := (exp+30)*histSubBuckets + sub
+	if i < 0 {
+		return 0
+	}
+	if i >= histBuckets {
+		return histBuckets - 1
+	}
+	return i
+}
+
+// bucketUpper returns the upper bound of bucket i, the value Quantile
+// reports for observations landing in it.
+func bucketUpper(i int) float64 {
+	exp := i/histSubBuckets - 30
+	frac := 0.5 + float64(i%histSubBuckets+1)/(2*histSubBuckets)
+	return math.Ldexp(frac, exp)
+}
+
+// Observe records one observation. Non-positive, NaN and infinite values
+// clamp into the extreme buckets rather than being dropped, so Count always
+// equals the number of Observe calls.
+func (h *Histogram) Observe(x float64) {
+	i := bucketOf(x)
+	h.counts[i]++
+	h.count++
+	h.sum += x
+	if h.count == 1 || x < h.min {
+		h.min = x
+	}
+	if h.count == 1 || x > h.max {
+		h.max = x
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() float64 { return h.sum }
+
+// Quantile returns an upper bound on the p-quantile (p in [0, 1]) that is
+// within one bucket (≤12.5% relative error) of the true value, clamped to
+// the observed min/max. It returns 0 for an empty histogram.
+func (h *Histogram) Quantile(p float64) float64 {
+	if h.count == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	// Rank of the target observation, 1-based, rounded up.
+	rank := uint64(math.Ceil(p * float64(h.count)))
+	if rank == 0 {
+		rank = 1
+	}
+	var seen uint64
+	for i, c := range h.counts {
+		seen += c
+		if seen >= rank {
+			v := bucketUpper(i)
+			if v < h.min {
+				v = h.min
+			}
+			if v > h.max {
+				v = h.max
+			}
+			return v
+		}
+	}
+	return h.max
+}
+
+// Merge adds other's observations into h.
+func (h *Histogram) Merge(other *Histogram) {
+	if other.count == 0 {
+		return
+	}
+	for i, c := range other.counts {
+		h.counts[i] += c
+	}
+	if h.count == 0 || other.min < h.min {
+		h.min = other.min
+	}
+	if h.count == 0 || other.max > h.max {
+		h.max = other.max
+	}
+	h.count += other.count
+	h.sum += other.sum
+}

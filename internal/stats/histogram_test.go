@@ -1,0 +1,112 @@
+package stats
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 || h.Sum() != 0 {
+		t.Fatalf("empty histogram: count %d sum %g", h.Count(), h.Sum())
+	}
+	if q := h.Quantile(0.5); q != 0 {
+		t.Fatalf("empty quantile = %g, want 0", q)
+	}
+}
+
+func TestHistogramSingle(t *testing.T) {
+	var h Histogram
+	h.Observe(0.25)
+	for _, p := range []float64{0, 0.5, 0.99, 1} {
+		if q := h.Quantile(p); q != 0.25 {
+			t.Fatalf("Quantile(%g) = %g, want exactly the single observation", p, q)
+		}
+	}
+	if h.Count() != 1 || h.Sum() != 0.25 {
+		t.Fatalf("count %d sum %g", h.Count(), h.Sum())
+	}
+}
+
+// TestHistogramQuantileError checks the advertised bound: the reported
+// quantile is an upper bound within one bucket (≤12.5%) of the exact
+// order statistic.
+func TestHistogramQuantileError(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 9))
+	var h Histogram
+	xs := make([]float64, 0, 5000)
+	for i := 0; i < 5000; i++ {
+		// Latency-like mix: lognormal body with a heavy tail.
+		x := math.Exp(rng.NormFloat64()) * 1e-3
+		if i%100 == 0 {
+			x *= 50
+		}
+		xs = append(xs, x)
+		h.Observe(x)
+	}
+	exact := func(p float64) float64 {
+		s := append([]float64(nil), xs...)
+		for i := range s {
+			for j := i + 1; j < len(s); j++ {
+				if s[j] < s[i] {
+					s[i], s[j] = s[j], s[i]
+				}
+			}
+		}
+		r := int(math.Ceil(p*float64(len(s)))) - 1
+		if r < 0 {
+			r = 0
+		}
+		return s[r]
+	}
+	for _, p := range []float64{0.5, 0.9, 0.99} {
+		got, want := h.Quantile(p), exact(p)
+		if got < want || got > want*1.125 {
+			t.Errorf("Quantile(%g) = %g, exact %g: outside [exact, 1.125*exact]", p, got, want)
+		}
+	}
+}
+
+func TestHistogramClampsPathologicalValues(t *testing.T) {
+	var h Histogram
+	for _, x := range []float64{0, -1, math.NaN(), math.Inf(1), math.Inf(-1)} {
+		h.Observe(x)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count %d, want 5: pathological values must still be counted", h.Count())
+	}
+	// Quantile must not return NaN or panic.
+	if q := h.Quantile(0.5); math.IsNaN(q) {
+		t.Fatalf("Quantile over pathological values = NaN")
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b, all Histogram
+	rng := rand.New(rand.NewPCG(1, 2))
+	for i := 0; i < 1000; i++ {
+		x := rng.Float64() + 0.01
+		if i%2 == 0 {
+			a.Observe(x)
+		} else {
+			b.Observe(x)
+		}
+		all.Observe(x)
+	}
+	a.Merge(&b)
+	if a.Count() != all.Count() || math.Abs(a.Sum()-all.Sum()) > 1e-9 {
+		t.Fatalf("merge: count %d sum %g, want %d %g", a.Count(), a.Sum(), all.Count(), all.Sum())
+	}
+	for _, p := range []float64{0.25, 0.5, 0.99} {
+		if got, want := a.Quantile(p), all.Quantile(p); got != want {
+			t.Errorf("merged Quantile(%g) = %g, combined = %g", p, got, want)
+		}
+	}
+	// Merging into an empty histogram preserves min/max clamping.
+	var c Histogram
+	c.Merge(&all)
+	if c.Quantile(1) != all.Quantile(1) || c.Quantile(0) != all.Quantile(0) {
+		t.Errorf("merge into empty lost extremes")
+	}
+}
