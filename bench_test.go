@@ -9,7 +9,6 @@ package repro_test
 import (
 	"testing"
 
-	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/fsim"
 	"repro/internal/irb"
@@ -139,7 +138,9 @@ func BenchmarkFaultCoverage(b *testing.B) {
 			b.Fatal(err)
 		}
 		for _, r := range rows {
-			if r.Mode == core.DIEIRB && r.Site == "fu" {
+			// The IRB-integrated mode's FU-site campaign, selected by
+			// capability rather than mode identity.
+			if r.Mode.Caps().UsesIRB && r.Site == "fu" {
 				b.ReportMetric(r.Coverage(), "fu-coverage")
 			}
 		}

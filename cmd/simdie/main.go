@@ -12,7 +12,13 @@
 //	simdie -bench all -mode DIE-IRB
 //	simdie -bench art -mode DIE -2xruu -insns 1000000
 //	simdie -bench mesa -mode SIE -verify
+//	simdie -bench bzip2 -mode REPLAY -replay-epoch 1024
+//	simdie -bench bzip2 -mode TMR -vote-width 5
 //	simdie -bench bzip2 -dump | head   # disassemble the workload
+//
+// The -mode value resolves through the core mode registry (see
+// DESIGN.md §10); a newly registered mode is accepted with no change
+// here.
 package main
 
 import (
@@ -36,26 +42,31 @@ func main() {
 	insns := cliutil.Insns(flag.CommandLine, sim.DefaultInsns)
 	verify := cliutil.Verify(flag.CommandLine)
 	jobs := cliutil.Jobs(flag.CommandLine)
-	mode := flag.String("mode", "DIE-IRB", "execution mode: SIE, DIE, DIE-IRB, SIE-IRB")
+	mode := cliutil.Mode(flag.CommandLine, "DIE-IRB")
 	x2alu := flag.Bool("2xalu", false, "double all functional units")
 	x2ruu := flag.Bool("2xruu", false, "double RUU and LSQ capacity")
 	x2width := flag.Bool("2xwidths", false, "double all pipeline widths")
 	irbEntries := flag.Int("irb-entries", 1024, "IRB entries (DIE-IRB/SIE-IRB)")
 	irbAssoc := flag.Int("irb-assoc", 1, "IRB associativity")
 	irbVictim := flag.Int("irb-victim", 0, "IRB victim buffer entries")
+	replayEpoch := flag.Uint64("replay-epoch", 0,
+		"REPLAY: committed instructions per replay epoch (0 = default)")
+	voteWidth := flag.Int("vote-width", 0,
+		"TMR: copies dispatched per instruction, odd, 3..7 (0 = default)")
 	dump := flag.Bool("dump", false, "print the workload's disassembly instead of simulating")
 	trace := flag.Uint64("trace", 0, "print a pipeline trace for the first N cycles")
 	flag.Parse()
 
 	if err := run(*bench, *mode, *insns, *verify, *jobs, *x2alu, *x2ruu, *x2width,
-		*irbEntries, *irbAssoc, *irbVictim, *dump, *trace); err != nil {
+		*irbEntries, *irbAssoc, *irbVictim, *replayEpoch, *voteWidth, *dump, *trace); err != nil {
 		fmt.Fprintln(os.Stderr, "simdie:", err)
 		os.Exit(1)
 	}
 }
 
 func run(bench, mode string, insns uint64, verify bool, jobs int, x2alu, x2ruu, x2width bool,
-	irbEntries, irbAssoc, irbVictim int, dump bool, trace uint64) error {
+	irbEntries, irbAssoc, irbVictim int, replayEpoch uint64, voteWidth int,
+	dump bool, trace uint64) error {
 	if bench == "all" {
 		bench = ""
 	}
@@ -64,11 +75,22 @@ func run(bench, mode string, insns uint64, verify bool, jobs int, x2alu, x2ruu, 
 		return err
 	}
 
-	cfg := core.BaseSIE()
-	cfg.Mode = core.Mode(mode)
+	// Resolve the mode through the registry: an unknown name fails here
+	// with the valid list instead of deep inside config validation.
+	mi, err := cliutil.ResolveMode(mode)
+	if err != nil {
+		return err
+	}
+	cfg := mi.Base()
 	cfg.IRB.Entries = irbEntries
 	cfg.IRB.Assoc = irbAssoc
 	cfg.IRB.VictimEntries = irbVictim
+	if replayEpoch > 0 {
+		cfg.ReplayEpoch = replayEpoch
+	}
+	if voteWidth > 0 {
+		cfg.VoteWidth = voteWidth
+	}
 	if x2alu {
 		cfg = cfg.WithDoubledALUs()
 	}
@@ -147,6 +169,15 @@ func report(r sim.Result) {
 	t.AddRow("ready-but-not-issued (copy-cycles)", s.ReadyNotIssued)
 	t.AddRow("issued int-alu/mult/fp-add/fp-mult/mem", fmt.Sprintf("%d/%d/%d/%d/%d",
 		s.Issued[0], s.Issued[1], s.Issued[2], s.Issued[3], s.Issued[4]))
+	if s.ReplayEpochs > 0 {
+		t.AddRow("replay epochs checked", s.ReplayEpochs)
+		t.AddRow("replay stall cycles", s.ReplayStallCycles)
+	}
+	if s.FaultsInjected+s.FaultsDetected+s.FaultsCorrected > 0 {
+		t.AddRow("faults injected/detected/corrected", fmt.Sprintf("%d/%d/%d",
+			s.FaultsInjected, s.FaultsDetected, s.FaultsCorrected))
+		t.AddRow("fault MTTR (cycles)", s.MTTR())
+	}
 	if r.IRB != nil {
 		t.AddRow("IRB PC hit rate", r.PCHitRate())
 		t.AddRow("IRB reuse rate (dup stream)", r.ReuseRate())

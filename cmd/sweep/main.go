@@ -17,8 +17,12 @@
 //	sweep -exp recovery -cell-timeout 5m   # bound each cell's wall-clock
 //
 // Experiments: config, fig2, headline, irbhit, irbsize, conflict,
-// irbports, faults, recovery, ablation-dup, ablation-fwd, scheduler,
-// cluster, prior24, reuse-sources, reuse-prediction, all.
+// irbports, faults, recovery, frontier, ablation-dup, ablation-fwd,
+// scheduler, cluster, prior24, reuse-sources, reuse-prediction, all.
+//
+// The frontier experiment compares every registered redundancy mode
+// (SIE, DIE, DIE-IRB, REPLAY, TMR) on one fault-free-IPC vs
+// detection-coverage vs MTTR table.
 package main
 
 import (

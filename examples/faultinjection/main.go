@@ -32,13 +32,21 @@ func main() {
 		log.Fatal("parser profile missing")
 	}
 
+	// The machine under test resolves through the mode registry; its
+	// descriptor confirms the mode actually detects faults before any
+	// injection is attempted.
+	mi, ok := core.ModeByName("DIE-IRB")
+	if !ok || !mi.Caps.Detects {
+		log.Fatal("DIE-IRB is not a registered detecting mode")
+	}
+
 	fmt.Println("site         injected  detected  recovered  MTTR(cyc)  scrubbed  outcome")
 	for _, site := range fault.Sites() {
 		inj, err := fault.New(fault.Config{Site: site, Rate: 5e-4, Seed: 42})
 		if err != nil {
 			log.Fatal(err)
 		}
-		r, err := sim.Run("DIE-IRB", core.BaseDIEIRB(), profile, sim.Options{
+		r, err := sim.Run("DIE-IRB", mi.Base(), profile, sim.Options{
 			Insns:    150_000,
 			Verify:   true, // oracle-check every committed instruction
 			Injector: inj,
@@ -58,7 +66,7 @@ func main() {
 	// escalates with a structured error instead of livelocking.
 	fmt.Println("\npersistent stuck-at fault (same PC, every execution):")
 	stuck := &fault.Persistent{Site: fault.FU, PC: 1, Bit: 7}
-	_, err := sim.Run("DIE-IRB", core.BaseDIEIRB(), profile, sim.Options{
+	_, err := sim.Run("DIE-IRB", mi.Base(), profile, sim.Options{
 		Insns:    150_000,
 		Injector: stuck,
 	})

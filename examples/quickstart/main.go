@@ -25,29 +25,30 @@ func main() {
 	}
 	opts := sim.Options{Insns: 200_000, Verify: true}
 
-	machines := []sim.NamedConfig{
-		{Name: "SIE", Cfg: core.BaseSIE()},
-		{Name: "DIE", Cfg: core.BaseDIE()},
-		{Name: "DIE-IRB", Cfg: core.BaseDIEIRB()},
-	}
-
+	// Machines come from the mode registry: each name resolves to a
+	// descriptor carrying the paper-baseline configuration for that mode
+	// and the capability flags the report text branches on.
 	var sie float64
-	for _, m := range machines {
-		r, err := sim.Run(m.Name, m.Cfg, profile, opts)
+	for _, name := range []string{"SIE", "DIE", "DIE-IRB"} {
+		mi, ok := core.ModeByName(name)
+		if !ok {
+			log.Fatalf("mode %q not registered", name)
+		}
+		r, err := sim.Run(name, mi.Base(), profile, opts)
 		if err != nil {
 			log.Fatal(err)
 		}
-		switch m.Name {
-		case "SIE":
+		switch {
+		case !mi.Caps.Detects:
 			sie = r.IPC
-			fmt.Printf("%-8s IPC %.3f  (baseline, no redundancy)\n", m.Name, r.IPC)
-		case "DIE":
-			fmt.Printf("%-8s IPC %.3f  (every instruction executed twice: %.1f%% slower)\n",
-				m.Name, r.IPC, stats.PctLoss(sie, r.IPC))
-		case "DIE-IRB":
+			fmt.Printf("%-8s IPC %.3f  (baseline, no redundancy)\n", name, r.IPC)
+		case mi.Caps.UsesIRB:
 			fmt.Printf("%-8s IPC %.3f  (duplicates reuse prior results: %.1f%% slower, "+
 				"%.0f%% of duplicate work served by the IRB)\n",
-				m.Name, r.IPC, stats.PctLoss(sie, r.IPC), 100*r.ReuseRate())
+				name, r.IPC, stats.PctLoss(sie, r.IPC), 100*r.ReuseRate())
+		default:
+			fmt.Printf("%-8s IPC %.3f  (every instruction executed twice: %.1f%% slower)\n",
+				name, r.IPC, stats.PctLoss(sie, r.IPC))
 		}
 	}
 	fmt.Println("\nEvery run above was verified instruction-by-instruction against")

@@ -14,6 +14,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/stats"
 	"repro/internal/workload"
@@ -71,6 +72,25 @@ func Profiles(bench string) ([]workload.Profile, error) {
 		out = append(out, p)
 	}
 	return out, nil
+}
+
+// Mode registers the -mode redundancy-mode flag on fs. The usage text
+// lists the registered modes, so a newly registered mode documents
+// itself; resolve the parsed value with ResolveMode.
+func Mode(fs *flag.FlagSet, def string) *string {
+	return fs.String("mode", def,
+		"redundancy mode: "+strings.Join(core.ModeNames(), ", "))
+}
+
+// ResolveMode resolves a -mode value through the core mode registry,
+// with an error that lists the valid names.
+func ResolveMode(name string) (core.ModeInfo, error) {
+	mi, ok := core.ModeByName(name)
+	if !ok {
+		return core.ModeInfo{}, fmt.Errorf("unknown mode %q (want one of: %s)",
+			name, strings.Join(core.ModeNames(), ", "))
+	}
+	return mi, nil
 }
 
 // ExperimentFlags bundles the grid-run flags shared by cmd/sweep and

@@ -26,7 +26,9 @@ import (
 	"repro/internal/isa"
 )
 
-// Mode selects the redundancy scheme of the core.
+// Mode selects the redundancy scheme of the core. A Mode is the name of a
+// registered descriptor (see ModeInfo and Modes); the constants below are
+// the built-in schemes, registered in modes.go.
 type Mode string
 
 const (
@@ -50,6 +52,22 @@ const (
 	// results broadcast to waiting instructions; combine with IRBAsFU to
 	// charge the issue-logic cost the paper argues this incurs.
 	SIEIRB Mode = "SIE-IRB"
+	// REPLAY detects faults by checkpoint plus deterministic replay (in
+	// the style of RepTFD) instead of inline duplication: the single
+	// stream executes at SIE speed, and every ReplayEpoch committed
+	// instructions the epoch is re-executed by a replay engine and the
+	// two commit streams compared. Replay bandwidth is charged against
+	// the same datapath, and a detected fault rewinds the whole epoch —
+	// detection latency and MTTR are epoch-scale by construction.
+	REPLAY Mode = "REPLAY"
+	// TMR is triple modular redundancy at instruction level (in the
+	// style of ELZAR): VoteWidth copies (default three) dispatch per
+	// instruction and commit takes a majority vote over their outcome
+	// signatures. A single-copy strike is outvoted and corrected in
+	// place — no flush, no re-execution — so MTTR is zero for the
+	// single-fault model; only a votes-split tie falls back to the
+	// rewind path.
+	TMR Mode = "TMR"
 )
 
 // SchedulerKind selects the instruction scheduler model.
@@ -67,11 +85,14 @@ const (
 	Decoupled SchedulerKind = "decoupled"
 )
 
-// dual reports whether the mode duplicates instructions at dispatch.
-func (m Mode) dual() bool { return m == DIE || m == DIEIRB }
+// DefaultReplayEpoch is the checkpoint interval of REPLAY mode when
+// Config.ReplayEpoch is zero: committed instructions per replayed epoch.
+const DefaultReplayEpoch = 512
 
-// usesIRB reports whether the mode instantiates the reuse buffer.
-func (m Mode) usesIRB() bool { return m == DIEIRB || m == SIEIRB }
+// maxVoteWidth bounds Config.VoteWidth; the commit-time vote uses a
+// fixed-size scratch array and wider TMR is not a design point anyone
+// proposes.
+const maxVoteWidth = 7
 
 // Config describes the simulated machine.
 type Config struct {
@@ -159,6 +180,17 @@ type Config struct {
 	// attached.
 	FaultRetryLimit int
 
+	// ReplayEpoch is REPLAY mode's checkpoint interval: committed
+	// instructions per replayed epoch (0 = DefaultReplayEpoch). The
+	// json tag keeps the zero value out of runner fingerprints, so
+	// pre-existing cache keys are unchanged.
+	ReplayEpoch uint64 `json:",omitempty"`
+
+	// VoteWidth is TMR mode's copy count: how many copies of each
+	// instruction dispatch and vote at commit. Odd, 3..7 (0 = 3). The
+	// json tag keeps the zero value out of runner fingerprints.
+	VoteWidth int `json:",omitempty"`
+
 	// MaxInsns stops simulation after this many architected instructions
 	// commit (0 = run to halt).
 	MaxInsns uint64
@@ -168,12 +200,13 @@ type Config struct {
 	MaxCycles uint64
 }
 
-// BaseSIE returns the paper's baseline machine (Section 2.2): 8-wide,
-// 128-entry RUU, 64-entry LSQ, 4 integer ALUs, 2 integer multipliers,
-// 2 FP adders, 1 FP multiplier, 2 cache ports.
-func BaseSIE() Config {
+// baseConfig returns the paper's baseline machine (Section 2.2) running
+// in the given mode: 8-wide, 128-entry RUU, 64-entry LSQ, 4 integer ALUs,
+// 2 integer multipliers, 2 FP adders, 1 FP multiplier, 2 cache ports. The
+// mode registry's Base builders all bottom out here.
+func baseConfig(m Mode) Config {
 	c := Config{
-		Mode:        SIE,
+		Mode:        m,
 		FetchWidth:  8,
 		DecodeWidth: 8,
 		IssueWidth:  8,
@@ -194,20 +227,37 @@ func BaseSIE() Config {
 	return c
 }
 
+// BaseSIE returns the paper's baseline machine.
+//
+// Deprecated: resolve modes through the registry instead — e.g.
+// core.ModeByName("SIE") and the descriptor's Base builder — so new modes
+// need no new constructor. Kept as a thin alias for existing snippets.
+func BaseSIE() Config { return baseConfig(SIE) }
+
 // BaseDIE returns the paper's baseline DIE machine: identical resources to
 // BaseSIE, shared by both instruction streams.
-func BaseDIE() Config {
-	c := BaseSIE()
-	c.Mode = DIE
-	return c
-}
+//
+// Deprecated: resolve modes through the registry instead (see BaseSIE).
+func BaseDIE() Config { return baseConfig(DIE) }
 
 // BaseDIEIRB returns the paper's proposed machine: BaseDIE plus the
 // 1024-entry direct-mapped IRB.
-func BaseDIEIRB() Config {
-	c := BaseSIE()
-	c.Mode = DIEIRB
-	return c
+//
+// Deprecated: resolve modes through the registry instead (see BaseSIE).
+func BaseDIEIRB() Config { return baseConfig(DIEIRB) }
+
+// Streams returns how many copies of each architected instruction the
+// configured machine dispatches: the mode's stream count, widened by
+// VoteWidth for voting modes.
+func (c Config) Streams() int {
+	caps := c.Mode.Caps()
+	if caps.Compare == CompareVote && c.VoteWidth > 0 {
+		return c.VoteWidth
+	}
+	if caps.Streams < 1 {
+		return 1
+	}
+	return caps.Streams
 }
 
 // WithDoubledALUs returns c with all functional unit counts doubled
@@ -238,13 +288,16 @@ func (c Config) WithDoubledWidths() Config {
 	return c
 }
 
-// Validate reports configuration errors.
+// Validate reports configuration errors. The mode must name a registered
+// descriptor (see RegisterMode); mode-specific knobs are rejected on
+// modes whose capabilities do not use them, so a knob typo cannot
+// silently produce a differently-fingerprinted but identical run.
 func (c Config) Validate() error {
-	switch c.Mode {
-	case SIE, DIE, DIEIRB, SIEIRB:
-	default:
-		return fmt.Errorf("core: unknown mode %q", c.Mode)
+	info, registered := c.Mode.Info()
+	if !registered {
+		return fmt.Errorf("core: unknown mode %q (registered: %s)", c.Mode, knownModes())
 	}
+	caps := info.Caps
 	for _, f := range []struct {
 		name string
 		v    int
@@ -261,8 +314,23 @@ func (c Config) Validate() error {
 			return fmt.Errorf("core: %s = %d, want > 0", f.name, f.v)
 		}
 	}
-	if c.Mode.dual() && c.RUUSize < 2 {
-		return fmt.Errorf("core: RUUSize = %d, want >= 2 for dual execution", c.RUUSize)
+	if s := c.Streams(); c.RUUSize < s {
+		return fmt.Errorf("core: RUUSize = %d, want >= %d for %d-stream execution", c.RUUSize, s, s)
+	}
+	if s := c.Streams(); c.DecodeWidth < s || c.CommitWidth < s {
+		return fmt.Errorf("core: DecodeWidth/CommitWidth = %d/%d, want >= %d (one full copy group per slot group)",
+			c.DecodeWidth, c.CommitWidth, s)
+	}
+	if c.VoteWidth != 0 {
+		if caps.Compare != CompareVote {
+			return fmt.Errorf("core: VoteWidth set but mode %q takes no vote", c.Mode)
+		}
+		if c.VoteWidth < 3 || c.VoteWidth > maxVoteWidth || c.VoteWidth%2 == 0 {
+			return fmt.Errorf("core: VoteWidth = %d, want odd in [3, %d]", c.VoteWidth, maxVoteWidth)
+		}
+	}
+	if c.ReplayEpoch != 0 && caps.Compare != CompareEpoch {
+		return fmt.Errorf("core: ReplayEpoch set but mode %q does not replay epochs", c.Mode)
 	}
 	for cl := isa.FUIntALU; cl < isa.NumFUClasses; cl++ {
 		if c.FUs[cl] <= 0 {
@@ -274,7 +342,7 @@ func (c Config) Validate() error {
 	default:
 		return fmt.Errorf("core: unknown scheduler %q", c.Scheduler)
 	}
-	if c.Clustered && !c.Mode.dual() {
+	if c.Clustered && c.Streams() != 2 {
 		return fmt.Errorf("core: Clustered requires a dual execution mode")
 	}
 	if c.FaultRetryLimit < 0 {
@@ -283,7 +351,7 @@ func (c Config) Validate() error {
 	if err := c.Bpred.Validate(); err != nil {
 		return err
 	}
-	if c.Mode.usesIRB() {
+	if caps.UsesIRB {
 		if err := c.IRB.Validate(); err != nil {
 			return err
 		}

@@ -68,14 +68,16 @@ var scratchPool = sync.Pool{New: func() any { return new(scratch) }}
 
 // Core is one simulated processor executing one program.
 type Core struct {
-	cfg    Config
-	prog   *program.Program
-	front  *fsim.Front
-	pred   *bpred.Predictor
-	mem    *cache.Hierarchy
-	reuse  *irb.IRB // nil unless the mode uses the IRB
-	inj    FaultInjector
-	tracer Tracer
+	cfg     Config
+	caps    Capabilities // the mode's registered capability flags, cached
+	streams int          // copies dispatched per architected instruction
+	prog    *program.Program
+	front   *fsim.Front
+	pred    *bpred.Predictor
+	mem     *cache.Hierarchy
+	reuse   *irb.IRB // nil unless the mode uses the IRB
+	inj     FaultInjector
+	tracer  Tracer
 
 	Stats Stats
 
@@ -128,6 +130,17 @@ type Core struct {
 
 	lastCommitCycle uint64
 
+	// dupBuf holds the shadow copies of the instruction being dispatched
+	// (streams-1 entries), reused every dispatch to keep the hot loop
+	// allocation-free.
+	dupBuf []*uop
+
+	// REPLAY-mode state (see replay.go): nil in every other mode. While
+	// cycle <= stallUntil the whole pipeline is frozen, modeling the
+	// replay engine's claim on the datapath.
+	replay     *replayState
+	stallUntil uint64
+
 	// Fault-recovery state (see recovery.go). faultRetries counts
 	// consecutive commit-check failures per static PC, cleared when the
 	// PC commits successfully; the repair window tracks mean time to
@@ -176,6 +189,8 @@ func NewAt(cfg Config, m *fsim.Machine) (*Core, error) {
 	}
 	c := &Core{
 		cfg:           cfg,
+		caps:          cfg.Mode.Caps(),
+		streams:       cfg.Streams(),
 		prog:          prog,
 		front:         fsim.NewFront(m),
 		pred:          pred,
@@ -185,6 +200,10 @@ func NewAt(cfg Config, m *fsim.Machine) (*Core, error) {
 		ruu:           newRing(cfg.RUUSize),
 		lsq:           newRing(cfg.LSQSize),
 		fq:            newFetchQueue(cfg.FetchQueue),
+	}
+	c.dupBuf = make([]*uop, c.streams-1)
+	if c.caps.Compare == CompareEpoch {
+		c.replay = newReplayState(cfg)
 	}
 	c.sc = scratchPool.Get().(*scratch)
 	c.events = c.sc.events
@@ -198,7 +217,7 @@ func NewAt(cfg Config, m *fsim.Machine) (*Core, error) {
 		// "almost a spatial redundancy approach".
 		c.fusDup = newFUPool(cfg.FUs)
 	}
-	if cfg.Mode.usesIRB() {
+	if c.caps.UsesIRB {
 		if c.reuse, err = irb.New(cfg.IRB); err != nil {
 			return nil, err
 		}
@@ -297,7 +316,7 @@ func (c *Core) Run() error {
 		if c.cfg.MaxCycles > 0 && c.cycle > c.cfg.MaxCycles {
 			return fmt.Errorf("core: %q exceeded %d cycles", c.prog.Name, c.cfg.MaxCycles)
 		}
-		if c.cycle-c.lastCommitCycle > deadlockWindow {
+		if c.cycle > c.lastCommitCycle && c.cycle-c.lastCommitCycle > deadlockWindow {
 			return fmt.Errorf("core: %q deadlocked at cycle %d (ruu=%d lsq=%d fq=%d committed=%d)",
 				c.prog.Name, c.cycle, c.ruu.len(), c.lsq.len(), c.fq.len(), c.Stats.Committed)
 		}
@@ -311,6 +330,11 @@ func (c *Core) Run() error {
 // an instruction dispatched in cycle t issues no earlier than t+1.
 func (c *Core) Tick() {
 	c.cycle++
+	if c.cycle <= c.stallUntil {
+		// REPLAY epoch check in progress: the replay engine owns the
+		// datapath, nothing else advances (see replayEpochCheck).
+		return
+	}
 	c.commit()
 	c.writeback()
 	c.memIssue()
@@ -358,10 +382,7 @@ func (c *Core) fetch() {
 // ---------------------------------------------------------------- dispatch
 
 func (c *Core) dispatch() {
-	need := 1
-	if c.cfg.Mode.dual() {
-		need = 2
-	}
+	need := c.streams
 	slots := c.cfg.DecodeWidth
 	if c.fq.len() == 0 {
 		c.Stats.FetchQEmpty++
@@ -408,11 +429,20 @@ func (c *Core) dispatch() {
 		c.fq.popFront()
 		slots -= need
 
+		// One copy group: the primary plus streams-1 shadow copies,
+		// linked into a circular pair ring (primary -> dup1 -> ... ->
+		// primary) so recovery can reach every member from any one.
 		primary := c.newUop(&fe, rec, wrong, false)
-		var dupU *uop
-		if c.cfg.Mode.dual() {
-			dupU = c.newUop(&fe, rec, wrong, true)
-			primary.pair, dupU.pair = dupU, primary
+		dups := c.dupBuf[:0]
+		prev := primary
+		for s := 1; s < need; s++ {
+			dupU := c.newUop(&fe, rec, wrong, true)
+			prev.pair = dupU
+			prev = dupU
+			dups = append(dups, dupU)
+		}
+		if prev != primary {
+			prev.pair = primary
 		}
 
 		c.ruu.push(primary)
@@ -420,34 +450,34 @@ func (c *Core) dispatch() {
 			primary.memAccess = true
 			c.lsq.push(primary)
 		}
-		if dupU != nil {
-			c.ruu.push(dupU)
-		}
 		if primary.state == uWaiting {
 			c.waiting = append(c.waiting, waitRef{primary, primary.gen})
 		}
-		if dupU != nil && dupU.state == uWaiting {
-			c.waiting = append(c.waiting, waitRef{dupU, dupU.gen})
+		for _, dupU := range dups {
+			c.ruu.push(dupU)
+			if dupU.state == uWaiting {
+				c.waiting = append(c.waiting, waitRef{dupU, dupU.gen})
+			}
 		}
 
-		c.wireAndRename(primary, dupU)
+		c.wireAndRename(primary, dups)
 		if c.tracer != nil {
 			c.tracer.Dispatch(c.cycle, primary.seq, false, wrong, &primary.rec)
-			if dupU != nil {
+			for _, dupU := range dups {
 				c.tracer.Dispatch(c.cycle, dupU.seq, true, wrong, &dupU.rec)
 			}
 		}
 
 		// A correct-path control transfer whose prediction was wrong
 		// switches the front to wrong-path execution; recovery happens
-		// when the first copy of the pair resolves.
+		// when the first copy of the group resolves.
 		if !wrong && fe.predNext != rec.NextPC {
 			if !fe.in.Op.Info().IsCtrl() {
 				//nopanic:invariant only control ops can be flagged mispredicted at fetch
 				panic(fmt.Sprintf("core: non-control mispredict at pc %d", fe.pc))
 			}
 			primary.mispred = true
-			if dupU != nil {
+			for _, dupU := range dups {
 				dupU.mispred = true
 			}
 			c.front.EnterSpec()
@@ -513,30 +543,32 @@ func (c *Core) newUop(fe *fetchEntry, rec fsim.Retired, wrong, dup bool) *uop {
 	return u
 }
 
-// streamUsesIRB reports whether the given stream consults the IRB: the
-// duplicate stream in DIE-IRB (plus the primary under IRBBothStreams), or
-// the single stream in SIE-IRB.
+// streamUsesIRB reports whether the given stream consults the IRB: every
+// stream when the mode's single stream is the IRB consumer (SIE-IRB),
+// otherwise the duplicate stream (plus the primary under IRBBothStreams).
 func (c *Core) streamUsesIRB(dup bool) bool {
-	switch c.cfg.Mode {
-	case DIEIRB:
-		return dup || c.cfg.IRBBothStreams
-	case SIEIRB:
-		return true
-	default:
+	if !c.caps.UsesIRB {
 		return false
 	}
+	if c.caps.IRBAllStreams {
+		return true
+	}
+	return dup || c.cfg.IRBBothStreams
 }
 
-// wireAndRename links the new pair's source operands to their producers
-// and installs the pair as the latest producers of its destination.
-func (c *Core) wireAndRename(primary, dupU *uop) {
+// wireAndRename links the new copy group's source operands to their
+// producers and installs the group as the latest producers of its
+// destination. All shadow copies are wired before the destination is
+// installed, so no copy can consume its own group's result.
+func (c *Core) wireAndRename(primary *uop, dups []*uop) {
 	c.wireSources(primary, &c.prodP)
-	if dupU != nil {
-		if c.cfg.Mode == DIE {
-			// Independent dataflow per stream.
+	for _, dupU := range dups {
+		if c.caps.IndependentDataflow {
+			// Independent dataflow per stream (DIE).
 			c.wireSources(dupU, &c.prodD)
 		} else {
-			// DIE-IRB: duplicates are woken by primary results.
+			// Shadow copies are woken by primary results (DIE-IRB's
+			// forwarding property; TMR shares the same wiring).
 			c.wireSources(dupU, &c.prodP)
 		}
 	}
@@ -544,7 +576,8 @@ func (c *Core) wireAndRename(primary, dupU *uop) {
 	if in.Op.Info().HasDest && in.Dest != isa.ZeroReg {
 		c.regVer[in.Dest]++
 		c.prodP[in.Dest] = prodRef{primary, primary.gen}
-		if dupU != nil && c.cfg.Mode == DIE {
+		if len(dups) > 0 && c.caps.IndependentDataflow {
+			dupU := dups[0]
 			if in.Op.Info().IsLoad {
 				// The memory access happens once, by the primary;
 				// the duplicate only recomputes the address. Both
@@ -638,7 +671,7 @@ func (c *Core) selectIssue() {
 			}
 		}
 		c.waiting = w
-		if !c.cfg.Mode.dual() {
+		if c.streams == 1 {
 			break
 		}
 		if c.cfg.Clustered {
@@ -892,14 +925,16 @@ func (c *Core) completeUop(u *uop) bool {
 func (c *Core) recover(u *uop) {
 	c.Stats.Mispredicts++
 	c.Stats.RecoveryCycles += c.cycle - u.dispatchCycle
+	// Walk the copy group's pair ring: every member's mispred flag is
+	// cleared (the first resolver recovers for the whole group) and the
+	// squash point is the group's youngest member.
 	maxSeq := u.seq
-	if u.pair != nil {
-		u.mispred, u.pair.mispred = false, false
-		if u.pair.seq > maxSeq {
-			maxSeq = u.pair.seq
+	u.mispred = false
+	for p := u.pair; p != nil && p != u; p = p.pair {
+		p.mispred = false
+		if p.seq > maxSeq {
+			maxSeq = p.seq
 		}
-	} else {
-		u.mispred = false
 	}
 	if c.cfg.IRBSquashReuse && c.reuse != nil {
 		c.harvestSquashed(maxSeq)
@@ -967,7 +1002,7 @@ func (c *Core) rebuildRename() {
 		}
 		if !u.dup {
 			c.prodP[in.Dest] = prodRef{u, u.gen}
-		} else if c.cfg.Mode == DIE {
+		} else if c.caps.IndependentDataflow {
 			if in.Op.Info().IsLoad {
 				c.prodD[in.Dest] = prodRef{u.pair, u.pair.gen}
 			} else {
@@ -980,10 +1015,7 @@ func (c *Core) rebuildRename() {
 // ---------------------------------------------------------------- commit
 
 func (c *Core) commit() {
-	need := 1
-	if c.cfg.Mode.dual() {
-		need = 2
-	}
+	need := c.streams
 	for slots := c.cfg.CommitWidth; slots >= need && c.ruu.len() >= need; slots -= need {
 		head := c.ruu.at(0)
 		if head.state != uDone {
@@ -993,16 +1025,32 @@ func (c *Core) commit() {
 			//nopanic:invariant squash removes wrong-path uops before they reach commit
 			panic("core: wrong-path uop at commit")
 		}
-		var dupU *uop
-		if need == 2 {
-			dupU = c.ruu.at(1)
-			if dupU.state != uDone {
+		// The whole copy group must be done; dispatch allocates groups
+		// atomically and squashes kill whole groups, so the members sit
+		// at consecutive sequence numbers behind the head.
+		var dupU *uop // first shadow copy, for pair modes and recoverFault
+		for s := 1; s < need; s++ {
+			u := c.ruu.at(s)
+			if u.state != uDone {
 				return
 			}
-			if dupU.pair != head {
-				//nopanic:invariant DIE modes allocate master/shadow pairs atomically
+			if u.seq != head.seq+uint64(s) {
+				//nopanic:invariant dispatch allocates copy groups atomically
 				panic("core: unpaired uops at commit")
 			}
+			if s == 1 {
+				dupU = u
+			}
+		}
+		switch {
+		case c.caps.Compare == CompareVote:
+			// Majority vote: a lone dissenter is outvoted and the
+			// group retires without any rewind; only a split with no
+			// majority falls back to flush-and-re-execute.
+			if !c.voteCheck(head, need) {
+				return
+			}
+		case need == 2:
 			// Check & retire: compare the two copies' outcome
 			// signatures. A mismatch means a transient fault was
 			// caught; recovery flushes the pair and everything
@@ -1015,26 +1063,84 @@ func (c *Core) commit() {
 				return
 			}
 			c.accountFaultOutcome(head, dupU)
-		} else if c.inj != nil {
+		case c.replay != nil:
+			// REPLAY commits unchecked at SIE speed; the epoch's
+			// replay comparison below is the (deferred) check.
+			c.replayObserve(head)
+		case c.inj != nil:
 			// SIE has no check: classify what an injected fault did
 			// to the single stream so campaigns can count escapes.
 			c.accountFaultOutcome(head, nil)
 		}
 		c.retire(head, dupU)
-		c.ruu.popHead()
-		if dupU != nil {
-			c.ruu.popHead()
-		}
-		// Retired pairs return to the free list; any rename-table slot
+		// Retired copies return to the free list; any rename-table slot
 		// still naming them goes stale via the generation bump.
-		c.freeUop(head)
-		if dupU != nil {
-			c.freeUop(dupU)
+		for s := 0; s < need; s++ {
+			c.freeUop(c.ruu.popHead())
 		}
 		if c.done {
+			c.replayFinalCheck()
+			return
+		}
+		if c.replayCheckDue() {
+			c.replayEpochCheck()
 			return
 		}
 	}
+}
+
+// voteCheck runs TMR's commit-time majority vote over the copy group's
+// outcome signatures. It returns false when no majority exists — the group
+// was flushed for re-execution — and true when the group may retire,
+// having classified any disagreement against the architected record:
+// a majority equal to the true signature outvoted (corrected) the faulty
+// copies; a majority differing from it means corruption won the vote and
+// escaped. The latter needs a common-mode multi-copy strike, which the
+// paper's single-fault model excludes, but the oracle classification keeps
+// custom injectors honest.
+func (c *Core) voteCheck(head *uop, n int) bool {
+	var sigs [maxVoteWidth]uint64
+	corrupted := false
+	for s := 0; s < n; s++ {
+		u := c.ruu.at(s)
+		sigs[s] = u.outSig
+		corrupted = corrupted || u.corrupted
+	}
+	best, bestCnt := sigs[0], 0
+	for i := 0; i < n; i++ {
+		cnt := 0
+		for j := 0; j < n; j++ {
+			if sigs[j] == sigs[i] {
+				cnt++
+			}
+		}
+		if cnt > bestCnt {
+			best, bestCnt = sigs[i], cnt
+		}
+	}
+	switch {
+	case bestCnt == n:
+		// Unanimous: either clean, or every copy corrupted identically.
+		if corrupted {
+			if best == outSignature(&head.rec, head.rec.Src1, head.rec.Src2) {
+				c.Stats.FaultsMasked++
+			} else {
+				c.Stats.FaultsSilent++
+			}
+		}
+	case bestCnt > n/2:
+		c.Stats.FaultsDetected++
+		if best == outSignature(&head.rec, head.rec.Src1, head.rec.Src2) {
+			c.Stats.FaultsCorrected++
+		} else {
+			c.Stats.FaultsSilent++
+		}
+	default:
+		c.Stats.FaultsDetected++
+		c.recoverFault(head, c.ruu.at(1))
+		return false
+	}
+	return true
 }
 
 // retire performs the architected side effects of one instruction: branch
@@ -1044,10 +1150,7 @@ func (c *Core) retire(u, dupU *uop) {
 	rec := &u.rec
 	oi := rec.Instr.Op.Info()
 	c.Stats.Committed++
-	c.Stats.CopiesCommitted++
-	if dupU != nil {
-		c.Stats.CopiesCommitted++
-	}
+	c.Stats.CopiesCommitted += uint64(c.streams)
 	c.lastCommitCycle = c.cycle
 
 	// A successful commit ends any fault-recovery bookkeeping for this

@@ -132,12 +132,11 @@ func allPrograms() []*program.Program {
 }
 
 func allModes() []Config {
-	return []Config{
-		quicken(BaseSIE()),
-		quicken(BaseDIE()),
-		quicken(BaseDIEIRB()),
-		func() Config { c := quicken(BaseSIE()); c.Mode = SIEIRB; return c }(),
+	out := make([]Config, 0, len(Modes()))
+	for _, mi := range Modes() {
+		out = append(out, quicken(mi.Base()))
 	}
+	return out
 }
 
 // TestAllModesMatchOracle is the master architectural-correctness test:
@@ -273,9 +272,19 @@ func TestConfigValidationErrors(t *testing.T) {
 		t.Error("accepted zero RUU")
 	}
 	bad2 := BaseSIE()
-	bad2.Mode = "TMR"
+	bad2.Mode = "NMR-9" // not a registered mode
 	if _, err := New(bad2, loopProgram(1)); err == nil {
 		t.Error("accepted unknown mode")
+	}
+	bad4 := baseConfig(TMR)
+	bad4.VoteWidth = 4 // even vote widths cannot break ties
+	if _, err := New(bad4, loopProgram(1)); err == nil {
+		t.Error("accepted even vote width")
+	}
+	bad5 := BaseDIE()
+	bad5.ReplayEpoch = 128 // knob only meaningful in REPLAY mode
+	if _, err := New(bad5, loopProgram(1)); err == nil {
+		t.Error("accepted ReplayEpoch on a non-replay mode")
 	}
 	bad3 := BaseDIEIRB()
 	bad3.IRB.Entries = 3

@@ -1,0 +1,219 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// CompareKind names the point where a redundancy mode compares redundant
+// work, the second axis of the mode taxonomy (streams x compare point x
+// recovery strategy).
+type CompareKind string
+
+const (
+	// CompareNone: no redundancy check at all (SIE, SIE-IRB).
+	CompareNone CompareKind = "none"
+	// ComparePair: commit-time signature comparison of a two-copy pair
+	// (DIE, DIE-IRB); a mismatch flushes and re-executes.
+	ComparePair CompareKind = "pair"
+	// CompareVote: commit-time majority vote over three or more copies
+	// (TMR); a dissenter is outvoted without any rewind.
+	CompareVote CompareKind = "vote"
+	// CompareEpoch: deferred comparison by deterministic replay of a
+	// committed epoch (REPLAY); a mismatch rewinds the whole epoch.
+	CompareEpoch CompareKind = "epoch"
+)
+
+// Capabilities describes what a redundancy mode is and does, so the layers
+// above the core (sim, runner, experiments, service, CLIs) can branch on
+// properties instead of mode identity. Any `if mode == DIE` check outside
+// this package is a bug; consume these flags instead.
+type Capabilities struct {
+	// Streams is the default number of uop copies dispatched per
+	// architected instruction (a vote-width knob may widen it).
+	Streams int
+	// UsesIRB: the mode instantiates the instruction reuse buffer.
+	UsesIRB bool
+	// IRBAllStreams: every stream consults the IRB (SIE-IRB), as opposed
+	// to the duplicate stream only (DIE-IRB without IRBBothStreams).
+	IRBAllStreams bool
+	// IndependentDataflow: each stream has its own rename/dataflow (DIE);
+	// otherwise shadow copies are woken by primary-stream results.
+	IndependentDataflow bool
+	// Compare is where redundant work is checked.
+	Compare CompareKind
+	// Detects: the mode detects datapath faults (some Compare != none).
+	Detects bool
+	// Corrects: the mode repairs a detected single-copy fault in place,
+	// without an architectural rewind (majority vote).
+	Corrects bool
+}
+
+// Knob documents one mode-specific Config field, for discovery surfaces
+// such as the service's GET /v1/modes and the CLIs' usage text.
+type Knob struct {
+	// Name is the CLI-flavoured knob name (e.g. "replay-epoch").
+	Name string
+	// Field is the core.Config field the knob maps onto.
+	Field string
+	// Doc is a one-line description including the default.
+	Doc string
+}
+
+// ModeInfo is a registered mode descriptor: the identity, capability
+// flags, mode-specific knobs, and the builder for the paper-baseline
+// machine running in that mode.
+type ModeInfo struct {
+	Mode        Mode
+	Description string
+	Caps        Capabilities
+	Knobs       []Knob
+	// Base returns the paper's baseline machine (Section 2.2 resources)
+	// configured for this mode.
+	Base func() Config
+}
+
+// modeRegistry holds the registered descriptors; modeOrder preserves
+// registration order for stable listings.
+var (
+	modeRegistry = make(map[Mode]ModeInfo)
+	modeOrder    []Mode
+)
+
+// RegisterMode adds a mode descriptor to the registry. The built-in modes
+// register themselves at init; external packages may add experimental
+// modes the same way. Registering a duplicate name or an incomplete
+// descriptor panics: mode registration is program initialization, not a
+// runtime input.
+func RegisterMode(mi ModeInfo) {
+	if mi.Mode == "" || mi.Base == nil || mi.Caps.Streams < 1 {
+		//nopanic:invariant mode registration happens at init with literal descriptors; an incomplete one is a build bug
+		panic(fmt.Sprintf("core: incomplete mode descriptor %+v", mi))
+	}
+	if _, dup := modeRegistry[mi.Mode]; dup {
+		//nopanic:invariant duplicate registration is an init-time programming error, not runtime input
+		panic(fmt.Sprintf("core: mode %q registered twice", mi.Mode))
+	}
+	modeRegistry[mi.Mode] = mi
+	modeOrder = append(modeOrder, mi.Mode)
+}
+
+// Modes returns all registered mode descriptors in registration order
+// (the built-ins first, in the order the paper discusses them).
+func Modes() []ModeInfo {
+	out := make([]ModeInfo, 0, len(modeOrder))
+	for _, m := range modeOrder {
+		out = append(out, modeRegistry[m])
+	}
+	return out
+}
+
+// ModeNames returns the registered mode names in registration order.
+func ModeNames() []string {
+	out := make([]string, 0, len(modeOrder))
+	for _, m := range modeOrder {
+		out = append(out, string(m))
+	}
+	return out
+}
+
+// ModeByName resolves a mode name (exact match) to its descriptor.
+func ModeByName(name string) (ModeInfo, bool) {
+	mi, ok := modeRegistry[Mode(name)]
+	return mi, ok
+}
+
+// Info returns m's registered descriptor.
+func (m Mode) Info() (ModeInfo, bool) {
+	mi, ok := modeRegistry[m]
+	return mi, ok
+}
+
+// Caps returns m's capability flags (the zero value for an unregistered
+// mode, whose Streams is 0 — Validate rejects such configs up front).
+func (m Mode) Caps() Capabilities {
+	return modeRegistry[m].Caps
+}
+
+// knownModes renders the registered names for error messages, sorted so
+// the text is stable regardless of registration order.
+func knownModes() string {
+	names := ModeNames()
+	sort.Strings(names)
+	return strings.Join(names, ", ")
+}
+
+func init() {
+	RegisterMode(ModeInfo{
+		Mode:        SIE,
+		Description: "single instruction execution: conventional superscalar, no redundancy",
+		Caps:        Capabilities{Streams: 1, Compare: CompareNone},
+		Base:        func() Config { return baseConfig(SIE) },
+	})
+	RegisterMode(ModeInfo{
+		Mode:        DIE,
+		Description: "dual instruction execution: every instruction duplicated at dispatch, pair checked at commit",
+		Caps: Capabilities{
+			Streams:             2,
+			IndependentDataflow: true,
+			Compare:             ComparePair,
+			Detects:             true,
+		},
+		Base: func() Config { return baseConfig(DIE) },
+	})
+	RegisterMode(ModeInfo{
+		Mode:        DIEIRB,
+		Description: "DIE with the duplicate stream served by the instruction reuse buffer (the paper's proposal)",
+		Caps: Capabilities{
+			Streams: 2,
+			UsesIRB: true,
+			Compare: ComparePair,
+			Detects: true,
+		},
+		Base: func() Config { return baseConfig(DIEIRB) },
+	})
+	RegisterMode(ModeInfo{
+		Mode:        SIEIRB,
+		Description: "prior-work dynamic instruction reuse: single stream consulting the IRB, no redundancy",
+		Caps: Capabilities{
+			Streams:       1,
+			UsesIRB:       true,
+			IRBAllStreams: true,
+			Compare:       CompareNone,
+		},
+		Base: func() Config { return baseConfig(SIEIRB) },
+	})
+	RegisterMode(ModeInfo{
+		Mode:        REPLAY,
+		Description: "checkpoint/deterministic-replay detection: single-stream execution, each committed epoch replayed and compared",
+		Caps: Capabilities{
+			Streams: 1,
+			Compare: CompareEpoch,
+			Detects: true,
+		},
+		Knobs: []Knob{{
+			Name:  "replay-epoch",
+			Field: "ReplayEpoch",
+			Doc: fmt.Sprintf("committed instructions per replay epoch (default %d); longer epochs amortize the checkpoint but grow detection latency",
+				DefaultReplayEpoch),
+		}},
+		Base: func() Config { return baseConfig(REPLAY) },
+	})
+	RegisterMode(ModeInfo{
+		Mode:        TMR,
+		Description: "triple modular redundancy: three copies dispatched, commit takes a majority vote and corrects without rewind",
+		Caps: Capabilities{
+			Streams:  3,
+			Compare:  CompareVote,
+			Detects:  true,
+			Corrects: true,
+		},
+		Knobs: []Knob{{
+			Name:  "vote-width",
+			Field: "VoteWidth",
+			Doc:   "copies dispatched per instruction, odd, 3..7 (default 3)",
+		}},
+		Base: func() Config { return baseConfig(TMR) },
+	})
+}

@@ -21,11 +21,11 @@ const DefaultFaultRetryLimit = 8
 // driver surfaces it through sim.RunContext; campaign harnesses treat it as
 // a per-cell outcome, not a crash.
 type UnrecoverableFaultError struct {
-	Bench  string // workload name (filled in by the sim driver)
-	Config string // configuration display name (filled in by the sim driver)
-	PC     uint64 // static PC whose pair kept mismatching
-	Seq    uint64 // architected sequence number of the stuck instruction
-	Retries int   // re-executions attempted before giving up
+	Bench   string // workload name (filled in by the sim driver)
+	Config  string // configuration display name (filled in by the sim driver)
+	PC      uint64 // static PC whose pair kept mismatching
+	Seq     uint64 // architected sequence number of the stuck instruction
+	Retries int    // re-executions attempted before giving up
 	Cycle   uint64
 }
 

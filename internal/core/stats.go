@@ -33,10 +33,15 @@ type Stats struct {
 	DupFUExec    uint64 // duplicates executed on functional units
 
 	// Fault accounting (see internal/fault).
-	FaultsInjected uint64
-	FaultsDetected uint64 // commit-time pair mismatch -> recovery
-	FaultsMasked   uint64 // injected but produced no signature difference
-	FaultsSilent   uint64 // corrupted result committed undetected (SDC escape)
+	FaultsInjected  uint64
+	FaultsDetected  uint64 // commit/vote/replay check caught a signature difference
+	FaultsMasked    uint64 // injected but produced no signature difference
+	FaultsSilent    uint64 // corrupted result committed undetected (SDC escape)
+	FaultsCorrected uint64 // outvoted by a TMR majority: repaired with no rewind
+
+	// REPLAY-mode counters (see replay.go).
+	ReplayEpochs      uint64 // epochs checked by the replay engine
+	ReplayStallCycles uint64 // cycles the pipeline ceded to replay/rollback
 
 	// Fault recovery (see recovery.go).
 	FaultRecoveries     uint64 // architectural rewinds performed

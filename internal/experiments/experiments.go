@@ -384,12 +384,13 @@ func avgRow(t *stats.Table, g *Grid) {
 
 // FaultRow is one fault-injection campaign's outcome.
 type FaultRow struct {
-	Mode     core.Mode
-	Site     fault.Site
-	Injected uint64
-	Detected uint64
-	Masked   uint64 // corrupted copies whose signatures still matched
-	Silent   uint64 // corrupted results committed undetected (SDC escapes)
+	Mode      core.Mode
+	Site      fault.Site
+	Injected  uint64
+	Detected  uint64
+	Masked    uint64 // corrupted copies whose signatures still matched
+	Silent    uint64 // corrupted results committed undetected (SDC escapes)
+	Corrected uint64 // outvoted by a voting majority: repaired with no rewind
 	// Vanished faults struck wrong-path instructions or IRB entries
 	// never reused — architecturally harmless by construction.
 	Vanished int64
@@ -448,6 +449,7 @@ func (r *FaultRow) accumulate(injected uint64, st *core.Stats) {
 	r.Detected += st.FaultsDetected
 	r.Masked += st.FaultsMasked
 	r.Silent += st.FaultsSilent
+	r.Corrected += st.FaultsCorrected
 	r.Recoveries += st.FaultRecoveries
 	r.Retries += st.FaultRetries
 	r.Repairs += st.FaultRepairs

@@ -5,6 +5,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/core"
 	"repro/internal/fault"
 	"repro/internal/stats"
 )
@@ -188,6 +189,87 @@ func TestFaultCoverage(t *testing.T) {
 	}
 	if !strings.Contains(tbl.String(), "irb-result") {
 		t.Error("table missing irb-result row")
+	}
+}
+
+func TestFrontierFiveWay(t *testing.T) {
+	opts := quickOpts()
+	opts.Benchmarks = []string{"bzip2"}
+	rows, tbl, err := Frontier(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("frontier has %d modes, want 5", len(rows))
+	}
+	byMode := map[core.Mode]FrontierRow{}
+	var baseline *FrontierRow
+	for i, r := range rows {
+		byMode[r.Mode] = r
+		if !r.Mode.Caps().Detects {
+			if baseline != nil {
+				t.Fatalf("two non-detecting rows: %s and %s", baseline.Mode, r.Mode)
+			}
+			baseline = &rows[i]
+		}
+		if r.IPC <= 0 {
+			t.Errorf("%s: IPC %v not positive", r.Mode, r.IPC)
+		}
+		if r.Streams != r.Mode.Caps().Streams {
+			t.Errorf("%s: row reports %d streams, caps say %d",
+				r.Mode, r.Streams, r.Mode.Caps().Streams)
+		}
+		if !r.Mode.Caps().Detects {
+			continue
+		}
+		// Every detecting mode's campaigns must inject, detect, and
+		// commit zero silent corruptions — the acceptance bar.
+		if r.Inj.Injected == 0 {
+			t.Errorf("%s: no faults injected", r.Mode)
+		}
+		if r.Inj.Silent != 0 {
+			t.Errorf("%s: %d silent corruptions escaped", r.Mode, r.Inj.Silent)
+		}
+		if r.Inj.Coverage() < 0.5 {
+			t.Errorf("%s: coverage %.2f implausibly low", r.Mode, r.Inj.Coverage())
+		}
+	}
+	if baseline == nil {
+		t.Fatal("frontier has no non-detecting baseline row")
+	}
+	// The baseline must run no campaign and define zero loss.
+	if baseline.Inj.Injected != 0 || baseline.LossPct != 0 {
+		t.Errorf("baseline row carries campaign data: %+v", baseline)
+	}
+	// Redundancy is not free: every multi-stream mode loses IPC on the
+	// ALU-bound benchmark, and TMR loses at least as much as DIE.
+	die, tmr := byMode[core.DIE], byMode[core.TMR]
+	if die.LossPct <= 0 {
+		t.Errorf("DIE loss %.1f%% not positive on bzip2", die.LossPct)
+	}
+	if tmr.LossPct < die.LossPct {
+		t.Errorf("TMR loss %.1f%% below DIE loss %.1f%%", tmr.LossPct, die.LossPct)
+	}
+	// TMR corrects by vote (no rewind); REPLAY repairs at epoch scale.
+	if tmr.Inj.Corrected == 0 {
+		t.Error("TMR corrected no faults by vote")
+	}
+	if tmr.Inj.Recoveries != 0 {
+		t.Errorf("TMR performed %d rewinds; the vote should correct in place", tmr.Inj.Recoveries)
+	}
+	rep := byMode[core.REPLAY]
+	if rep.Inj.Detected == 0 || rep.Inj.Recoveries == 0 {
+		t.Errorf("REPLAY detected %d / recovered %d, want both positive",
+			rep.Inj.Detected, rep.Inj.Recoveries)
+	}
+	if rep.Inj.MTTR() <= die.Inj.MTTR() {
+		t.Errorf("REPLAY MTTR %.0f not above DIE's commit-time MTTR %.0f",
+			rep.Inj.MTTR(), die.Inj.MTTR())
+	}
+	for _, want := range []string{"REPLAY", "TMR", "coverage", "mttr"} {
+		if !strings.Contains(tbl.String(), want) {
+			t.Errorf("frontier table missing %q", want)
+		}
 	}
 }
 

@@ -1,0 +1,159 @@
+package experiments
+
+import (
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/runner"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// FrontierRow is one redundancy mode's position on the coverage frontier:
+// its fault-free performance next to the aggregate outcome of its fault
+// campaigns. Together the rows answer the question the mode registry
+// exists to ask — what does each detection/correction strategy pay in
+// IPC, and what does it buy in coverage and repair latency?
+type FrontierRow struct {
+	Mode    core.Mode
+	Streams int     // execution copies per architected instruction
+	IPC     float64 // suite-mean fault-free IPC (oracle-verified)
+	LossPct float64 // % IPC loss vs the single-stream baseline
+
+	// Inj aggregates the mode's injection campaigns (zero-valued for the
+	// non-detecting baseline, which runs no campaign).
+	Inj FaultRow
+}
+
+// frontierCampaign is one (mode × site) injection cell of the frontier.
+type frontierCampaign struct {
+	mode core.Mode
+	cfg  core.Config
+	site fault.Site
+}
+
+// frontierCampaigns derives the injection matrix from the mode registry:
+// every detecting mode faces single-bit strikes at the FU output and the
+// forwarding path, and modes that integrate a reuse buffer additionally
+// face strikes in the IRB result array and its operand fields. With the
+// seed registry this is the classic six-campaign matrix plus REPLAY and
+// TMR at the two universal sites.
+func frontierCampaigns() []frontierCampaign {
+	var out []frontierCampaign
+	for _, mi := range core.Modes() {
+		if !mi.Caps.Detects {
+			continue
+		}
+		sites := []fault.Site{fault.FU, fault.Forward}
+		if mi.Caps.UsesIRB {
+			sites = append(sites, fault.IRBResult, fault.IRBOperand)
+		}
+		for _, s := range sites {
+			out = append(out, frontierCampaign{mi.Mode, mi.Base(), s})
+		}
+	}
+	return out
+}
+
+// Frontier runs the five-way redundancy comparison the mode registry was
+// built for: every registered detecting mode plus the single-stream
+// baseline on one table of fault-free IPC, IPC loss, detection coverage
+// and MTTR. Phase one is the oracle-verified fault-free grid; phase two
+// sweeps the registry-derived injection matrix (rate 3e-4 per site, the
+// same operating point as the Faults experiment) and aggregates each
+// mode's campaigns into a single row. Verification is forced on for both
+// phases, so a silent corruption in any mode fails the run rather than
+// skewing a number.
+func Frontier(opts Options) ([]FrontierRow, *stats.Table, error) {
+	opts.Verify = true
+	cfgs := sim.FrontierConfigs()
+	g, err := runGrid(cfgs, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	profiles, err := opts.profiles()
+	if err != nil {
+		return nil, nil, err
+	}
+	campaigns := frontierCampaigns()
+	var (
+		jobs []runner.Job
+		injs []*fault.Injector
+	)
+	for _, c := range campaigns {
+		for _, p := range profiles {
+			inj, err := fault.New(fault.Config{Site: c.site, Rate: 3e-4, Seed: p.Seed})
+			if err != nil {
+				return nil, nil, err
+			}
+			o := opts.simOpts()
+			o.Injector = inj
+			jobs = append(jobs, runner.Job{
+				Name:    string(c.mode) + "@" + string(c.site),
+				Config:  c.cfg,
+				Profile: p,
+				Opts:    o,
+			})
+			injs = append(injs, inj)
+		}
+	}
+	if !opts.DisableReplay {
+		if err := runner.AttachTraces(jobs); err != nil {
+			return nil, nil, err
+		}
+	}
+	outs, err := runner.Run(opts.ctx(), jobs, opts.runnerOpts())
+	if err != nil {
+		return nil, nil, err
+	}
+	agg := map[core.Mode]*FaultRow{}
+	for ci, c := range campaigns {
+		row, ok := agg[c.mode]
+		if !ok {
+			row = &FaultRow{Mode: c.mode}
+			agg[c.mode] = row
+		}
+		for pi := range profiles {
+			i := ci*len(profiles) + pi
+			row.accumulate(injs[i].Injected, &outs[i].Result.Core)
+		}
+	}
+	for _, row := range agg {
+		row.Vanished = int64(row.Injected) - int64(row.Detected) -
+			int64(row.Masked) - int64(row.Silent)
+	}
+
+	// The baseline column for the loss figures is the grid's (unique)
+	// non-detecting machine.
+	baseIPC := 0.0
+	for c, name := range g.Configs {
+		if !core.Mode(name).Caps().Detects {
+			baseIPC = stats.Mean(g.ConfigIPCs(c))
+		}
+	}
+
+	t := stats.NewTable("Redundancy frontier: fault-free IPC vs detection coverage vs MTTR",
+		"mode", "streams", "ipc", "loss_pct", "injected", "detected",
+		"corrected", "silent", "coverage", "mttr")
+	var rows []FrontierRow
+	for c, name := range g.Configs {
+		mode := core.Mode(name)
+		caps := mode.Caps()
+		row := FrontierRow{
+			Mode:    mode,
+			Streams: cfgs[c].Cfg.Streams(),
+			IPC:     stats.Mean(g.ConfigIPCs(c)),
+		}
+		row.LossPct = stats.PctLoss(baseIPC, row.IPC)
+		coverage, mttr := 0.0, 0.0
+		if caps.Detects {
+			row.Inj = *agg[mode]
+			coverage, mttr = row.Inj.Coverage(), row.Inj.MTTR()
+		}
+		rows = append(rows, row)
+		t.AddRow(string(mode), row.Streams, row.IPC, row.LossPct,
+			row.Inj.Injected, row.Inj.Detected, row.Inj.Corrected,
+			row.Inj.Silent, coverage, mttr)
+	}
+	return rows, t, nil
+}

@@ -51,6 +51,10 @@ func Registry() []Named {
 			_, t, err := Recovery(o)
 			return t, err
 		}},
+		{"frontier", func(o Options) (*stats.Table, error) {
+			_, t, err := Frontier(o)
+			return t, err
+		}},
 		{"ablation-dup", func(o Options) (*stats.Table, error) {
 			_, t, err := AblationDup(o)
 			return t, err

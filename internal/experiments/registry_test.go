@@ -9,7 +9,7 @@ import "testing"
 func TestRegistryNames(t *testing.T) {
 	want := []string{
 		"config", "fig2", "headline", "irbhit", "irbsize", "conflict",
-		"irbports", "faults", "recovery", "ablation-dup", "ablation-fwd",
+		"irbports", "faults", "recovery", "frontier", "ablation-dup", "ablation-fwd",
 		"scheduler", "cluster", "prior24", "reuse-sources", "reuse-prediction",
 	}
 	got := Names()

@@ -2,10 +2,13 @@ package runner_test
 
 import (
 	"context"
+	"encoding/json"
 	"reflect"
+	"strings"
 	"sync"
 	"testing"
 
+	"repro/internal/core"
 	"repro/internal/fault"
 	"repro/internal/irb"
 	"repro/internal/runner"
@@ -99,6 +102,58 @@ func TestFingerprintStability(t *testing.T) {
 	kb, _ := jb.Fingerprint()
 	if ka != kb {
 		t.Errorf("equal fault specs produced different fingerprints")
+	}
+}
+
+// TestFingerprintModeKnobs: mode-specific knobs are simulation inputs, so
+// cache keys must differ when a knob differs and stay byte-stable when it
+// is unset — zero-valued knobs serialize to nothing, so every key minted
+// before the knobs existed is still valid.
+func TestFingerprintModeKnobs(t *testing.T) {
+	mk := func(mode string, tweak func(*core.Config)) runner.Job {
+		mi, ok := core.ModeByName(mode)
+		if !ok {
+			t.Fatalf("mode %q not registered", mode)
+		}
+		j := testJobs(t, []string{"bzip2"}, 5_000)[0]
+		j.Config = mi.Base()
+		if tweak != nil {
+			tweak(&j.Config)
+		}
+		return j
+	}
+	fp := func(j runner.Job) string {
+		t.Helper()
+		k, err := j.Fingerprint()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return k
+	}
+
+	rep := fp(mk("REPLAY", nil))
+	if again := fp(mk("REPLAY", nil)); again != rep {
+		t.Error("identical REPLAY jobs disagree on their key")
+	}
+	if k := fp(mk("REPLAY", func(c *core.Config) { c.ReplayEpoch = 2048 })); k == rep {
+		t.Error("checkpoint interval is not part of the cache key")
+	}
+
+	tmr := fp(mk("TMR", nil))
+	if k := fp(mk("TMR", func(c *core.Config) { c.VoteWidth = 5 })); k == tmr {
+		t.Error("vote width is not part of the cache key")
+	}
+
+	// Byte-stability: unset knobs must vanish from the canonical payload,
+	// keeping pre-knob configs' keys bit-identical.
+	b, err := json.Marshal(core.BaseDIE())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, field := range []string{"ReplayEpoch", "VoteWidth"} {
+		if strings.Contains(string(b), field) {
+			t.Errorf("zero-valued %s leaks into the canonical config payload", field)
+		}
 	}
 }
 

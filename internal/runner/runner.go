@@ -46,14 +46,18 @@ func (j Job) Cost() float64 {
 		insns = sim.DefaultInsns
 	}
 	w := float64(insns) + float64(j.Opts.FastForward)/4
-	switch j.Config.Mode {
-	case core.DIE:
-		w *= 1.9 // two copies per architected instruction
-	case core.DIEIRB:
-		w *= 2.1 // two copies plus IRB lookups and updates
-	case core.SIEIRB:
-		w *= 1.2
+	// Mode weight from capabilities, not identity: each extra copy stream
+	// costs most of a full pipeline's work, the IRB adds lookup/update
+	// traffic, and epoch replay adds the checker passes.
+	caps := j.Config.Mode.Caps()
+	m := 1 + 0.9*float64(j.Config.Streams()-1)
+	if caps.UsesIRB {
+		m += 0.2
 	}
+	if caps.Compare == core.CompareEpoch {
+		m += 0.1
+	}
+	w *= m
 	// Wider machines and windows do more per-cycle bookkeeping.
 	w *= 1 + float64(j.Config.IssueWidth)/32
 	w *= 1 + float64(j.Config.RUUSize)/512

@@ -1,0 +1,120 @@
+// Package api is the wire contract of the simulation daemon: every JSON
+// payload POST /v1/runs accepts and the /v1 endpoints return, as plain
+// structs with explicit field tags. Clients (the sweep CLI, dashboards,
+// tests) unmarshal into these types instead of re-declaring the shapes;
+// the golden-payload test in this package pins the serialized form, so a
+// field rename or tag change that would break deployed clients fails the
+// build rather than an integration.
+package api
+
+import (
+	"time"
+
+	"repro/internal/sim"
+)
+
+// RunRequest is the body of POST /v1/runs: a (configs × benchmarks) grid
+// of simulation cells sharing one set of run options.
+type RunRequest struct {
+	// Configs names the machine configurations to run; see ConfigNames
+	// (GET /v1/configs) for the accepted values.
+	Configs []string `json:"configs,omitempty"`
+	// Modes names redundancy modes to run at the paper-baseline machine,
+	// resolved through the core mode registry; see GET /v1/modes for the
+	// accepted values. Modes append columns after Configs, so a request
+	// may mix both (at least one of the two must be non-empty).
+	Modes []string `json:"modes,omitempty"`
+	// Benchmarks restricts the workload set (empty = all 12 SPEC2000
+	// profiles).
+	Benchmarks []string `json:"benchmarks,omitempty"`
+	// Insns is the per-cell architected instruction budget (0 = the
+	// server's default).
+	Insns uint64 `json:"insns,omitempty"`
+	// FastForward skips this many instructions before measurement.
+	FastForward uint64 `json:"fast_forward,omitempty"`
+	// Seed perturbs the workload generators (see sim.Options.Seed).
+	Seed uint64 `json:"seed,omitempty"`
+	// Verify cross-checks every committed instruction against the
+	// functional oracle.
+	Verify bool `json:"verify,omitempty"`
+	// Fault attaches a fault-injection campaign to every cell.
+	Fault *FaultSpec `json:"fault,omitempty"`
+}
+
+// FaultSpec is the serializable fault campaign of a run request; it maps
+// onto fault.Config, one fresh injector per cell.
+type FaultSpec struct {
+	Site      string  `json:"site"` // fu, forward, irb-result, irb-operand
+	Rate      float64 `json:"rate"`
+	Seed      uint64  `json:"seed,omitempty"`
+	MaxFaults uint64  `json:"max_faults,omitempty"`
+}
+
+// CellResult is one grid cell's outcome in a run response.
+type CellResult struct {
+	Bench    string      `json:"bench"`
+	Config   string      `json:"config"`
+	CacheHit bool        `json:"cache_hit"`
+	Result   *sim.Result `json:"result,omitempty"`
+	Error    string      `json:"error,omitempty"`
+}
+
+// Run is the resource returned by POST /v1/runs and GET /v1/runs/{id}.
+type Run struct {
+	ID        string       `json:"id"`
+	Status    string       `json:"status"` // queued, running, done, failed, cancelled
+	Created   time.Time    `json:"created"`
+	Started   *time.Time   `json:"started,omitempty"`
+	Finished  *time.Time   `json:"finished,omitempty"`
+	Cells     int          `json:"cells"`
+	CacheHits int          `json:"cache_hits"`
+	Error     string       `json:"error,omitempty"`
+	Results   []CellResult `json:"results,omitempty"`
+}
+
+// Run statuses.
+const (
+	StatusQueued    = "queued"
+	StatusRunning   = "running"
+	StatusDone      = "done"
+	StatusFailed    = "failed"
+	StatusCancelled = "cancelled"
+)
+
+// Mode is one entry of GET /v1/modes: a registered redundancy mode's
+// identity, capability summary, and tunable knobs.
+type Mode struct {
+	Name        string `json:"name"`
+	Description string `json:"description"`
+	// Streams is the execution copies dispatched per architected
+	// instruction (the default; a knob may widen it).
+	Streams int `json:"streams"`
+	// Compare is where redundant work is checked: none, pair, vote or
+	// epoch.
+	Compare string `json:"compare"`
+	// Detects: the mode detects datapath faults.
+	Detects bool `json:"detects"`
+	// Corrects: the mode repairs detected faults without a rewind.
+	Corrects bool `json:"corrects"`
+	// Knobs are the mode-specific tuning parameters.
+	Knobs []Knob `json:"knobs,omitempty"`
+}
+
+// Knob is one mode-specific tuning parameter.
+type Knob struct {
+	Name string `json:"name"`
+	Doc  string `json:"doc"`
+}
+
+// ModesResponse is the body of GET /v1/modes.
+type ModesResponse struct {
+	Modes []Mode `json:"modes"`
+}
+
+// Error is the body of every non-2xx /v1 response. ValidModes is set
+// when the request named an unknown redundancy mode, so a client can
+// self-correct without a second round trip.
+type Error struct {
+	Error      string   `json:"error"`
+	ValidModes []string `json:"valid_modes,omitempty"`
+}

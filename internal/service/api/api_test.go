@@ -1,0 +1,122 @@
+package api
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// TestGoldenPayloads pins the serialized form of every wire type. These
+// strings are the daemon's compatibility contract: a client deployed
+// against today's service must keep parsing tomorrow's responses, so a
+// failure here means a breaking API change — rename the new field or tag,
+// don't update the golden.
+func TestGoldenPayloads(t *testing.T) {
+	t0 := time.Date(2026, 1, 2, 3, 4, 5, 0, time.UTC)
+	t1 := t0.Add(time.Second)
+	cases := []struct {
+		name string
+		v    any
+		want string
+	}{
+		{
+			"run_request_full",
+			RunRequest{
+				Configs:     []string{"SIE", "DIE-IRB"},
+				Modes:       []string{"TMR"},
+				Benchmarks:  []string{"bzip2"},
+				Insns:       50000,
+				FastForward: 1000,
+				Seed:        7,
+				Verify:      true,
+				Fault:       &FaultSpec{Site: "fu", Rate: 0.0003, Seed: 9, MaxFaults: 2},
+			},
+			`{"configs":["SIE","DIE-IRB"],"modes":["TMR"],"benchmarks":["bzip2"],` +
+				`"insns":50000,"fast_forward":1000,"seed":7,"verify":true,` +
+				`"fault":{"site":"fu","rate":0.0003,"seed":9,"max_faults":2}}`,
+		},
+		{
+			// The minimal request a pre-modes client sends: optional
+			// fields vanish rather than serializing as zero values.
+			"run_request_minimal",
+			RunRequest{Configs: []string{"SIE"}},
+			`{"configs":["SIE"]}`,
+		},
+		{
+			"run_resource",
+			Run{
+				ID:        "run-000001",
+				Status:    StatusDone,
+				Created:   t0,
+				Started:   &t0,
+				Finished:  &t1,
+				Cells:     2,
+				CacheHits: 1,
+				Results: []CellResult{
+					{Bench: "bzip2", Config: "SIE", CacheHit: true},
+					{Bench: "bzip2", Config: "DIE", Error: "cell timeout"},
+				},
+			},
+			`{"id":"run-000001","status":"done","created":"2026-01-02T03:04:05Z",` +
+				`"started":"2026-01-02T03:04:05Z","finished":"2026-01-02T03:04:06Z",` +
+				`"cells":2,"cache_hits":1,"results":[` +
+				`{"bench":"bzip2","config":"SIE","cache_hit":true},` +
+				`{"bench":"bzip2","config":"DIE","cache_hit":false,"error":"cell timeout"}]}`,
+		},
+		{
+			"modes_response",
+			ModesResponse{Modes: []Mode{{
+				Name:        "TMR",
+				Description: "triple modular redundancy",
+				Streams:     3,
+				Compare:     "vote",
+				Detects:     true,
+				Corrects:    true,
+				Knobs:       []Knob{{Name: "vote-width", Doc: "copies dispatched, odd, 3..7"}},
+			}}},
+			`{"modes":[{"name":"TMR","description":"triple modular redundancy",` +
+				`"streams":3,"compare":"vote","detects":true,"corrects":true,` +
+				`"knobs":[{"name":"vote-width","doc":"copies dispatched, odd, 3..7"}]}]}`,
+		},
+		{
+			"error_plain",
+			Error{Error: "unknown config"},
+			`{"error":"unknown config"}`,
+		},
+		{
+			"error_with_modes",
+			Error{Error: `unknown mode "NMR"`, ValidModes: []string{"SIE", "DIE"}},
+			`{"error":"unknown mode \"NMR\"","valid_modes":["SIE","DIE"]}`,
+		},
+	}
+	for _, tc := range cases {
+		b, err := json.Marshal(tc.v)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if string(b) != tc.want {
+			t.Errorf("%s payload changed — this breaks deployed clients.\n got: %s\nwant: %s",
+				tc.name, b, tc.want)
+		}
+	}
+}
+
+// TestGoldenPayloadRoundTrip: the golden forms parse back losslessly, so
+// yesterday's recorded payloads remain readable.
+func TestGoldenPayloadRoundTrip(t *testing.T) {
+	in := `{"configs":["DIE"],"modes":["REPLAY"],"insns":10,"fault":{"site":"fu","rate":0.1}}`
+	var req RunRequest
+	if err := json.Unmarshal([]byte(in), &req); err != nil {
+		t.Fatal(err)
+	}
+	if len(req.Configs) != 1 || len(req.Modes) != 1 || req.Fault == nil || req.Fault.Rate != 0.1 {
+		t.Fatalf("round trip lost fields: %+v", req)
+	}
+	b, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != in {
+		t.Fatalf("re-encoded form drifted:\n got: %s\nwant: %s", b, in)
+	}
+}

@@ -4,77 +4,66 @@ import (
 	"fmt"
 	"sort"
 	"strings"
-	"time"
 
 	"repro/internal/cliutil"
 	"repro/internal/core"
 	"repro/internal/fault"
 	"repro/internal/runner"
+	"repro/internal/service/api"
 	"repro/internal/sim"
 )
 
-// RunRequest is the body of POST /v1/runs: a (configs × benchmarks) grid
-// of simulation cells sharing one set of run options.
-type RunRequest struct {
-	// Configs names the machine configurations to run; see ConfigNames
-	// (GET /v1/configs) for the accepted values.
-	Configs []string `json:"configs"`
-	// Benchmarks restricts the workload set (empty = all 12 SPEC2000
-	// profiles).
-	Benchmarks []string `json:"benchmarks,omitempty"`
-	// Insns is the per-cell architected instruction budget (0 = the
-	// server's default).
-	Insns uint64 `json:"insns,omitempty"`
-	// FastForward skips this many instructions before measurement.
-	FastForward uint64 `json:"fast_forward,omitempty"`
-	// Seed perturbs the workload generators (see sim.Options.Seed).
-	Seed uint64 `json:"seed,omitempty"`
-	// Verify cross-checks every committed instruction against the
-	// functional oracle.
-	Verify bool `json:"verify,omitempty"`
-	// Fault attaches a fault-injection campaign to every cell.
-	Fault *FaultSpec `json:"fault,omitempty"`
-}
-
-// FaultSpec is the serializable fault campaign of a run request; it maps
-// onto fault.Config, one fresh injector per cell.
-type FaultSpec struct {
-	Site      string  `json:"site"` // fu, forward, irb-result, irb-operand
-	Rate      float64 `json:"rate"`
-	Seed      uint64  `json:"seed,omitempty"`
-	MaxFaults uint64  `json:"max_faults,omitempty"`
-}
-
-// CellResult is one grid cell's outcome in a run response.
-type CellResult struct {
-	Bench    string      `json:"bench"`
-	Config   string      `json:"config"`
-	CacheHit bool        `json:"cache_hit"`
-	Result   *sim.Result `json:"result,omitempty"`
-	Error    string      `json:"error,omitempty"`
-}
-
-// Run is the resource returned by POST /v1/runs and GET /v1/runs/{id}.
-type Run struct {
-	ID        string       `json:"id"`
-	Status    string       `json:"status"` // queued, running, done, failed, cancelled
-	Created   time.Time    `json:"created"`
-	Started   *time.Time   `json:"started,omitempty"`
-	Finished  *time.Time   `json:"finished,omitempty"`
-	Cells     int          `json:"cells"`
-	CacheHits int          `json:"cache_hits"`
-	Error     string       `json:"error,omitempty"`
-	Results   []CellResult `json:"results,omitempty"`
-}
+// The wire types live in internal/service/api — the serialization
+// contract clients program against, pinned there by a golden-payload
+// test. The daemon uses them under their traditional names.
+type (
+	RunRequest = api.RunRequest
+	FaultSpec  = api.FaultSpec
+	CellResult = api.CellResult
+	Run        = api.Run
+)
 
 // Run statuses.
 const (
-	StatusQueued    = "queued"
-	StatusRunning   = "running"
-	StatusDone      = "done"
-	StatusFailed    = "failed"
-	StatusCancelled = "cancelled"
+	StatusQueued    = api.StatusQueued
+	StatusRunning   = api.StatusRunning
+	StatusDone      = api.StatusDone
+	StatusFailed    = api.StatusFailed
+	StatusCancelled = api.StatusCancelled
 )
+
+// unknownModeError carries the registry listing to the HTTP layer, which
+// renders it as a structured 400 with valid_modes, so clients can
+// self-correct without another round trip.
+type unknownModeError struct {
+	name  string
+	valid []string
+}
+
+func (e *unknownModeError) Error() string {
+	return fmt.Sprintf("unknown mode %q (see GET /v1/modes)", e.name)
+}
+
+// DescribeModes renders the core mode registry as the GET /v1/modes
+// payload.
+func DescribeModes() []api.Mode {
+	var out []api.Mode
+	for _, mi := range core.Modes() {
+		m := api.Mode{
+			Name:        string(mi.Mode),
+			Description: mi.Description,
+			Streams:     mi.Caps.Streams,
+			Compare:     string(mi.Caps.Compare),
+			Detects:     mi.Caps.Detects,
+			Corrects:    mi.Caps.Corrects,
+		}
+		for _, k := range mi.Knobs {
+			m.Knobs = append(m.Knobs, api.Knob{Name: k.Name, Doc: k.Doc})
+		}
+		out = append(out, m)
+	}
+	return out
+}
 
 // configRegistry maps every named configuration the simulation layer
 // defines — the experiment families of internal/sim — to its core.Config,
@@ -86,6 +75,7 @@ func configRegistry() map[string]core.Config {
 			m[nc.Name] = nc.Cfg
 		}
 	}
+	add(sim.FrontierConfigs())
 	add(sim.Fig2Configs())
 	add(sim.HeadlineConfigs())
 	add(sim.IRBSizeConfigs([]int{128, 256, 512, 1024, 2048, 4096}))
@@ -120,8 +110,26 @@ func ConfigByName(name string) (core.Config, bool) {
 // injector's fingerprint is its spec, which is only valid for fresh
 // injectors).
 func (s *Server) buildJobs(req *RunRequest) ([]runner.Job, error) {
-	if len(req.Configs) == 0 {
-		return nil, fmt.Errorf("configs: at least one configuration name required (see GET /v1/configs)")
+	if len(req.Configs) == 0 && len(req.Modes) == 0 {
+		return nil, fmt.Errorf("configs: at least one configuration or mode name required (see GET /v1/configs, GET /v1/modes)")
+	}
+	// Resolve the request's columns up front: named configurations first,
+	// then registry modes at the paper-baseline machine. Mode names are
+	// validated against the registry before any simulation time is spent.
+	var cols []sim.NamedConfig
+	for _, name := range req.Configs {
+		cfg, ok := ConfigByName(name)
+		if !ok {
+			return nil, fmt.Errorf("unknown config %q (see GET /v1/configs)", name)
+		}
+		cols = append(cols, sim.NamedConfig{Name: name, Cfg: cfg})
+	}
+	for _, name := range req.Modes {
+		mi, ok := core.ModeByName(name)
+		if !ok {
+			return nil, &unknownModeError{name: name, valid: core.ModeNames()}
+		}
+		cols = append(cols, sim.NamedConfig{Name: string(mi.Mode), Cfg: mi.Base()})
 	}
 	if req.Fault != nil {
 		spec := fault.Config{
@@ -146,11 +154,7 @@ func (s *Server) buildJobs(req *RunRequest) ([]runner.Job, error) {
 	}
 	var jobs []runner.Job
 	for _, p := range profiles {
-		for _, name := range req.Configs {
-			cfg, ok := ConfigByName(name)
-			if !ok {
-				return nil, fmt.Errorf("unknown config %q (see GET /v1/configs)", name)
-			}
+		for _, col := range cols {
 			opts := sim.Options{
 				Insns:       insns,
 				Verify:      req.Verify || s.cfg.Verify,
@@ -169,7 +173,7 @@ func (s *Server) buildJobs(req *RunRequest) ([]runner.Job, error) {
 				}
 				opts.Injector = inj
 			}
-			jobs = append(jobs, runner.Job{Name: name, Config: cfg, Profile: p, Opts: opts})
+			jobs = append(jobs, runner.Job{Name: col.Name, Config: col.Cfg, Profile: p, Opts: opts})
 		}
 	}
 	return jobs, nil

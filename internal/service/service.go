@@ -18,6 +18,7 @@ package service
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"net/http/pprof"
@@ -29,6 +30,7 @@ import (
 	"repro/internal/cliutil"
 	"repro/internal/experiments"
 	"repro/internal/runner"
+	"repro/internal/service/api"
 	"repro/internal/sim"
 )
 
@@ -132,6 +134,7 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("GET /v1/experiments", s.instrument("GET /v1/experiments", s.handleListExperiments))
 	mux.Handle("GET /v1/experiments/{name}", s.instrument("GET /v1/experiments/{name}", s.handleExperiment))
 	mux.Handle("GET /v1/configs", s.instrument("GET /v1/configs", s.handleConfigs))
+	mux.Handle("GET /v1/modes", s.instrument("GET /v1/modes", s.handleModes))
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "ok")
@@ -178,6 +181,11 @@ func (s *Server) handlePostRuns(w http.ResponseWriter, r *http.Request) {
 	}
 	jobs, err := s.buildJobs(&req)
 	if err != nil {
+		var me *unknownModeError
+		if errors.As(err, &me) {
+			writeJSON(w, http.StatusBadRequest, api.Error{Error: me.Error(), ValidModes: me.valid})
+			return
+		}
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
@@ -316,6 +324,13 @@ func (s *Server) handleListExperiments(w http.ResponseWriter, _ *http.Request) {
 
 func (s *Server) handleConfigs(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"configs": ConfigNames()})
+}
+
+// handleModes lists the registered redundancy modes — name, description,
+// capability summary and knobs — straight from the core mode registry, so
+// a newly registered mode is discoverable with no service change.
+func (s *Server) handleModes(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, api.ModesResponse{Modes: DescribeModes()})
 }
 
 // handleExperiment runs a named paper experiment under the same

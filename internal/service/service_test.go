@@ -45,6 +45,89 @@ func postRun(t *testing.T, url, body string) (int, Run, http.Header) {
 	return resp.StatusCode, run, resp.Header
 }
 
+// TestModesEndpoint: GET /v1/modes lists every registered mode with its
+// capability summary and knobs, straight from the core registry.
+func TestModesEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	code, body := get(t, ts.URL+"/v1/modes")
+	if code != http.StatusOK {
+		t.Fatalf("GET /v1/modes: status %d", code)
+	}
+	var resp struct {
+		Modes []struct {
+			Name    string `json:"name"`
+			Streams int    `json:"streams"`
+			Compare string `json:"compare"`
+			Detects bool   `json:"detects"`
+			Knobs   []struct {
+				Name string `json:"name"`
+				Doc  string `json:"doc"`
+			} `json:"knobs"`
+		} `json:"modes"`
+	}
+	if err := json.Unmarshal([]byte(body), &resp); err != nil {
+		t.Fatalf("decoding: %v\n%s", err, body)
+	}
+	byName := map[string]int{}
+	for i, m := range resp.Modes {
+		byName[m.Name] = i
+		if m.Streams < 1 || m.Compare == "" {
+			t.Errorf("mode %q: incomplete descriptor %+v", m.Name, m)
+		}
+	}
+	for _, want := range []string{"SIE", "DIE", "DIE-IRB", "SIE-IRB", "REPLAY", "TMR"} {
+		if _, ok := byName[want]; !ok {
+			t.Errorf("mode %q missing from /v1/modes", want)
+		}
+	}
+	tmr := resp.Modes[byName["TMR"]]
+	if !tmr.Detects || tmr.Streams != 3 || len(tmr.Knobs) == 0 {
+		t.Errorf("TMR descriptor wrong: %+v", tmr)
+	}
+	if tmr.Knobs[0].Name != "vote-width" || tmr.Knobs[0].Doc == "" {
+		t.Errorf("TMR knob wrong: %+v", tmr.Knobs)
+	}
+}
+
+// TestRunRequestModes: the modes field resolves through the registry, and
+// an unknown mode is a structured 400 listing the valid names.
+func TestRunRequestModes(t *testing.T) {
+	ctl := stubRunner(t)
+	close(ctl.release)
+	_, ts := newTestServer(t, Config{})
+
+	code, run, _ := postRun(t, ts.URL, `{"modes":["SIE","TMR"],"benchmarks":["bzip2"],"insns":2000}`)
+	if code != http.StatusOK {
+		t.Fatalf("modes-only request: status %d", code)
+	}
+	if run.Cells != 2 {
+		t.Fatalf("modes-only request expanded to %d cells, want 2", run.Cells)
+	}
+
+	resp, err := http.Post(ts.URL+"/v1/runs", "application/json",
+		strings.NewReader(`{"modes":["NMR-9"],"benchmarks":["bzip2"]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown mode: status %d, want 400", resp.StatusCode)
+	}
+	var e struct {
+		Error      string   `json:"error"`
+		ValidModes []string `json:"valid_modes"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(e.Error, "NMR-9") {
+		t.Errorf("error %q does not name the bad mode", e.Error)
+	}
+	if len(e.ValidModes) < 6 {
+		t.Errorf("valid_modes %v does not list the registry", e.ValidModes)
+	}
+}
+
 func get(t *testing.T, url string) (int, string) {
 	t.Helper()
 	resp, err := http.Get(url)

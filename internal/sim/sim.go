@@ -109,11 +109,11 @@ type Result struct {
 
 // ReuseRate returns the fraction of reuse-eligible executions served by
 // the IRB: for dual modes, duplicate-stream reuse hits over reuse hits
-// plus duplicate FU executions; for single-stream SIE-IRB, reuse hits over
-// reuse hits plus all FU issues.
+// plus duplicate FU executions; for modes whose every stream consults the
+// IRB (SIE-IRB), reuse hits over reuse hits plus all FU issues.
 func (r Result) ReuseRate() float64 {
 	den := r.Core.IRBReuseHits + r.Core.DupFUExec
-	if r.Mode == core.SIEIRB {
+	if r.Mode.Caps().IRBAllStreams {
 		den = r.Core.IRBReuseHits + r.Core.IssueSlotsUsed
 	}
 	if den == 0 {
@@ -381,6 +381,25 @@ func commitOracle(c *core.Core, opts Options, prog *program.Program, bench, conf
 type NamedConfig struct {
 	Name string
 	Cfg  core.Config
+}
+
+// FrontierConfigs returns the machines of the redundancy frontier
+// comparison, resolved through the core mode registry: the plain
+// single-stream baseline plus every registered mode that detects faults.
+// The list is what `sweep -exp frontier` places on one
+// IPC-vs-coverage-vs-MTTR table; a newly registered detecting mode joins
+// it with no code change here.
+func FrontierConfigs() []NamedConfig {
+	var out []NamedConfig
+	for _, mi := range core.Modes() {
+		// The baseline is recognized by capability, not by name: one
+		// stream, no commit-time comparison, no reuse buffer.
+		baseline := mi.Caps.Streams == 1 && mi.Caps.Compare == core.CompareNone && !mi.Caps.UsesIRB
+		if baseline || mi.Caps.Detects {
+			out = append(out, NamedConfig{string(mi.Mode), mi.Base()})
+		}
+	}
+	return out
 }
 
 // Fig2Configs returns the eight machines of the paper's Figure 2
