@@ -21,9 +21,11 @@ race:
 vet:
 	$(GO) vet ./...
 
-# Repository lint passes (internal/lint/...) plus the static workload
-# analyzer over every benchmark and kernel; both exit nonzero on findings.
+# go vet, then the repository invariant suite (internal/lint/...: nopanic,
+# determinism, modedispatch, hotalloc, errcontract) and the static workload
+# analyzer over every benchmark and kernel; each exits nonzero on findings.
 lint:
+	$(GO) vet ./...
 	$(GO) run ./cmd/repolint
 	$(GO) run ./cmd/irblint
 

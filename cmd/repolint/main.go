@@ -1,42 +1,157 @@
-// Command repolint runs the repository's own lint passes — currently the
-// nopanic pass, which forbids panic calls in library code unless they are
-// annotated as internal invariants (see internal/lint/nopanic). It exits
-// nonzero when any finding fires, so `make lint` and CI can gate on it.
+// Command repolint runs the repository's invariant suite: the lint
+// passes under internal/lint that encode properties the simulator's
+// correctness arguments lean on but the compiler cannot check —
+//
+//	nopanic      library code may not panic without an invariant annotation
+//	determinism  no wall clock, global rand, or map-order dependence in the simulation core
+//	modedispatch redundancy modes are dispatched via the registry, never by literal comparison
+//	hotalloc     //lint:hotpath functions are allocation-free per the compiler's escape analysis
+//	errcontract  API-boundary errors wrap with %w or use named structured types
+//
+// Every finding is either fixed, annotated at the site with the pass's
+// exempt marker (reason required), or listed in the allowlist file —
+// there is no fourth state, so `repolint` staying quiet means every
+// deviation in the tree is explained.
 //
 // Usage:
 //
-//	repolint            # lint the whole repository
-//	repolint ./internal # lint a subtree
+//	repolint [flags] [root]
+//
+//	-pass name[,name]   run only the named passes (default: all)
+//	-format table|json|sarif
+//	-allow file         allowlist file (default .repolint.allow; missing file = empty)
+//
+// Exit status: 0 clean, 1 findings, 2 the tool itself failed.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"path/filepath"
+	"strings"
 
+	"repro/internal/lint"
+	"repro/internal/lint/determinism"
+	"repro/internal/lint/errcontract"
+	"repro/internal/lint/hotalloc"
+	"repro/internal/lint/modedispatch"
 	"repro/internal/lint/nopanic"
 )
 
+// passes is the suite, in the order findings are reported.
+var passes = []lint.Pass{
+	nopanic.Pass{},
+	determinism.Pass{},
+	modedispatch.Pass{},
+	hotalloc.Pass{},
+	errcontract.Pass{},
+}
+
 func main() {
-	flag.Parse()
-	roots := flag.Args()
-	if len(roots) == 0 {
-		roots = []string{"."}
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with its dependencies in the signature, so the regression
+// tests drive the real flag parsing, pass execution and exit-code logic.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("repolint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	format := fs.String("format", "table", "output format: table, json, or sarif")
+	allowPath := fs.String("allow", ".repolint.allow", "allowlist file (missing file = empty allowlist)")
+	passNames := fs.String("pass", "", "comma-separated pass names to run (default: all)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	root := "."
+	switch fs.NArg() {
+	case 0:
+	case 1:
+		root = fs.Arg(0)
+	default:
+		fmt.Fprintln(stderr, "repolint: at most one root directory")
+		return 2
 	}
 
-	bad := false
-	for _, root := range roots {
-		findings, err := nopanic.CheckDir(root)
+	switch *format {
+	case "table", "json", "sarif":
+	default:
+		fmt.Fprintf(stderr, "repolint: unknown -format %q (want table, json, or sarif)\n", *format)
+		return 2
+	}
+	selected, err := selectPasses(*passNames)
+	if err != nil {
+		fmt.Fprintln(stderr, "repolint:", err)
+		return 2
+	}
+
+	var findings []lint.Finding
+	for _, p := range selected {
+		fnd, err := p.Check(root)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "repolint:", err)
-			os.Exit(2)
+			fmt.Fprintf(stderr, "repolint: %s: %v\n", p.Name(), err)
+			return 2
 		}
-		for _, f := range findings {
-			fmt.Println(f)
-			bad = true
+		findings = append(findings, fnd...)
+	}
+
+	// Report root-relative paths: stable across invocation directories,
+	// and the coordinate system the allowlist's entries are written in.
+	for i := range findings {
+		if rel, err := filepath.Rel(root, findings[i].File); err == nil && !strings.HasPrefix(rel, "..") {
+			findings[i].File = filepath.ToSlash(rel)
 		}
 	}
-	if bad {
-		os.Exit(1)
+
+	allow, err := lint.LoadAllowlist(*allowPath)
+	if err != nil {
+		fmt.Fprintln(stderr, "repolint:", err)
+		return 2
 	}
+	findings = allow.Filter(findings)
+	lint.SortFindings(findings)
+
+	switch *format {
+	case "table":
+		err = lint.WriteTable(stdout, findings)
+	case "json":
+		err = lint.WriteJSON(stdout, findings)
+	case "sarif":
+		err = lint.WriteSARIF(stdout, findings, selected)
+	}
+	if err != nil {
+		fmt.Fprintln(stderr, "repolint:", err)
+		return 2
+	}
+	if len(findings) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// selectPasses resolves the -pass flag against the suite; empty selects
+// everything.
+func selectPasses(names string) ([]lint.Pass, error) {
+	if names == "" {
+		return passes, nil
+	}
+	byName := make(map[string]lint.Pass, len(passes))
+	for _, p := range passes {
+		byName[p.Name()] = p
+	}
+	var out []lint.Pass
+	for _, name := range strings.Split(names, ",") {
+		name = strings.TrimSpace(name)
+		p, ok := byName[name]
+		if !ok {
+			known := make([]string, 0, len(passes))
+			for _, q := range passes {
+				known = append(known, q.Name())
+			}
+			return nil, fmt.Errorf("unknown pass %q (have %s)", name, strings.Join(known, ", "))
+		}
+		out = append(out, p)
+	}
+	return out, nil
 }

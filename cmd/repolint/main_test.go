@@ -1,0 +1,110 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestCleanTreeExitsZero is the suite's own regression: the repository
+// must lint clean with every pass enabled, through the real driver.
+func TestCleanTreeExitsZero(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full suite (type checking + escape analysis); skipped in -short")
+	}
+	root := filepath.Join("..", "..")
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-allow", filepath.Join(root, ".repolint.allow"), root}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d on the repository tree\nstdout:\n%s\nstderr:\n%s", code, &stdout, &stderr)
+	}
+	if stdout.Len() != 0 {
+		t.Fatalf("clean run produced output:\n%s", &stdout)
+	}
+}
+
+// seedViolation materializes a tree with an unannotated panic, which the
+// nopanic pass must catch.
+func seedViolation(t *testing.T) string {
+	t.Helper()
+	root := t.TempDir()
+	src := "package p\n\nfunc F(ok bool) {\n\tif !ok {\n\t\tpanic(\"boom\")\n\t}\n}\n"
+	if err := os.WriteFile(filepath.Join(root, "p.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return root
+}
+
+func TestSeededViolationExitsNonZero(t *testing.T) {
+	root := seedViolation(t)
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-pass", "nopanic", "-allow", filepath.Join(root, "none"), root}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("want exit 1, got %d\nstdout:\n%s\nstderr:\n%s", code, &stdout, &stderr)
+	}
+	if !strings.Contains(stdout.String(), "nopanic") {
+		t.Fatalf("finding does not name its pass:\n%s", &stdout)
+	}
+}
+
+func TestAllowlistSilencesAndGoesStale(t *testing.T) {
+	root := seedViolation(t)
+	allow := filepath.Join(root, "allow")
+
+	// An entry matching the finding silences it: exit 0.
+	if err := os.WriteFile(allow, []byte("nopanic p.go # seeded\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-pass", "nopanic", "-allow", allow, root}, &stdout, &stderr); code != 0 {
+		t.Fatalf("allowlisted finding still fails: exit %d\n%s%s", code, &stdout, &stderr)
+	}
+
+	// Fix the violation without touching the allowlist: the stale entry
+	// itself must now fail the run.
+	if err := os.WriteFile(filepath.Join(root, "p.go"), []byte("package p\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-pass", "nopanic", "-allow", allow, root}, &stdout, &stderr); code != 1 {
+		t.Fatalf("stale allowlist entry did not fail: exit %d\n%s%s", code, &stdout, &stderr)
+	}
+	if !strings.Contains(stdout.String(), "stale entry") {
+		t.Fatalf("missing stale-entry finding:\n%s", &stdout)
+	}
+}
+
+func TestJSONAndSARIFOutputs(t *testing.T) {
+	root := seedViolation(t)
+	for _, format := range []string{"json", "sarif"} {
+		var stdout, stderr bytes.Buffer
+		code := run([]string{"-pass", "nopanic", "-format", format, "-allow", filepath.Join(root, "none"), root}, &stdout, &stderr)
+		if code != 1 {
+			t.Fatalf("%s: want exit 1, got %d\n%s%s", format, code, &stdout, &stderr)
+		}
+		var v any
+		if err := json.Unmarshal(stdout.Bytes(), &v); err != nil {
+			t.Fatalf("%s output is not valid JSON: %v\n%s", format, err, &stdout)
+		}
+		if format == "sarif" && !strings.Contains(stdout.String(), `"2.1.0"`) {
+			t.Fatalf("sarif output lacks version:\n%s", &stdout)
+		}
+	}
+}
+
+func TestBadUsageExitsTwo(t *testing.T) {
+	for _, args := range [][]string{
+		{"-pass", "nosuchpass", "."},
+		{"-format", "xml", "."},
+		{"a", "b"},
+	} {
+		var stdout, stderr bytes.Buffer
+		if code := run(args, &stdout, &stderr); code != 2 {
+			t.Fatalf("args %v: want exit 2, got %d\n%s%s", args, code, &stdout, &stderr)
+		}
+	}
+}

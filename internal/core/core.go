@@ -251,6 +251,8 @@ func (c *Core) Release() {
 // chunk when it runs dry. A recycled uop keeps its generation counter
 // (bumped at free) and its consumers backing array, so the steady-state
 // dispatch path allocates nothing.
+//
+//lint:hotpath
 func (c *Core) allocUop() *uop {
 	if n := len(c.freeUops); n > 0 {
 		u := c.freeUops[n-1]
@@ -259,6 +261,7 @@ func (c *Core) allocUop() *uop {
 		*u = uop{gen: gen, consumers: cons}
 		return u
 	}
+	//hotalloc:exempt amortized arena growth: one chunk allocation serves uopChunk dispatches
 	chunk := make([]uop, uopChunk)
 	for i := range chunk[1:] {
 		c.freeUops = append(c.freeUops, &chunk[1+i])
@@ -269,6 +272,8 @@ func (c *Core) allocUop() *uop {
 // freeUop recycles u at commit or squash. Bumping the generation
 // invalidates every stale reference still held by the event heap,
 // consumer links, rename tables and the waiting list.
+//
+//lint:hotpath
 func (c *Core) freeUop(u *uop) {
 	u.gen++
 	u.pair = nil
@@ -328,6 +333,8 @@ func (c *Core) Run() error {
 // Tick advances the machine one cycle. Stages run commit-first so a result
 // produced in cycle t is consumable in cycle t (wakeup before select) and
 // an instruction dispatched in cycle t issues no earlier than t+1.
+//
+//lint:hotpath
 func (c *Core) Tick() {
 	c.cycle++
 	if c.cycle <= c.stallUntil {
@@ -345,6 +352,7 @@ func (c *Core) Tick() {
 
 // ---------------------------------------------------------------- fetch
 
+//lint:hotpath
 func (c *Core) fetch() {
 	if c.done || c.fetchStopped || c.cycle < c.fetchStallUntil {
 		return
@@ -381,6 +389,7 @@ func (c *Core) fetch() {
 
 // ---------------------------------------------------------------- dispatch
 
+//lint:hotpath
 func (c *Core) dispatch() {
 	need := c.streams
 	slots := c.cfg.DecodeWidth
@@ -487,6 +496,8 @@ func (c *Core) dispatch() {
 
 // newUop builds one instruction copy at dispatch, applying operand fault
 // injection and starting the IRB lookup where the mode calls for it.
+//
+//lint:hotpath
 func (c *Core) newUop(fe *fetchEntry, rec fsim.Retired, wrong, dup bool) *uop {
 	c.seq++
 	u := c.allocUop()
@@ -560,6 +571,8 @@ func (c *Core) streamUsesIRB(dup bool) bool {
 // producers and installs the group as the latest producers of its
 // destination. All shadow copies are wired before the destination is
 // installed, so no copy can consume its own group's result.
+//
+//lint:hotpath
 func (c *Core) wireAndRename(primary *uop, dups []*uop) {
 	c.wireSources(primary, &c.prodP)
 	for _, dupU := range dups {
@@ -595,6 +608,8 @@ func (c *Core) wireAndRename(primary *uop, dups []*uop) {
 // source registers. A rename slot whose generation is stale refers to a
 // producer that already left the pipeline (committed and recycled), which
 // the old pointer-table code read as the uDone state.
+//
+//lint:hotpath
 func (c *Core) wireSources(u *uop, table *[isa.NumRegs]prodRef) {
 	oi := u.rec.Instr.Op.Info()
 	add := func(r isa.Reg) {
@@ -618,6 +633,7 @@ func (c *Core) wireSources(u *uop, table *[isa.NumRegs]prodRef) {
 
 // ---------------------------------------------------------------- issue
 
+//lint:hotpath
 func (c *Core) selectIssue() {
 	slots := c.cfg.IssueWidth
 	if c.cfg.Clustered {
@@ -686,6 +702,8 @@ func (c *Core) selectIssue() {
 // unit arbitration. It reports whether a reuse completion resolved a
 // mispredicted branch and triggered recovery, in which case the caller's
 // scan state is invalid and it must return immediately.
+//
+//lint:hotpath
 func (c *Core) trySelect(u *uop, pass int, slots *int, selDelay uint64) bool {
 	if u.waitCount > 0 || u.readyAt+selDelay > c.cycle {
 		return false
@@ -743,6 +761,8 @@ func (c *Core) trySelect(u *uop, pass int, slots *int, selDelay uint64) bool {
 // reuseTest runs the configured reuse test for a PC-hitting duplicate:
 // operand-value comparison (the paper's default) or the name-based version
 // check of Section 3.3.
+//
+//lint:hotpath
 func (c *Core) reuseTest(u *uop) bool {
 	if c.cfg.IRBNameBased {
 		return u.irbEntry.MatchesVersions(u.ver1, u.ver2)
@@ -753,6 +773,8 @@ func (c *Core) reuseTest(u *uop) bool {
 // allocFU reserves a functional unit for u, honouring the cluster split:
 // with Clustered, primaries draw from cluster 0 and duplicates from
 // cluster 1, falling back to the shared pool for singleton units.
+//
+//lint:hotpath
 func (c *Core) allocFU(u *uop, op isa.Op) bool {
 	cl, occ := op.Info().Class, occupancy(op)
 	pool := c.fus
@@ -783,6 +805,8 @@ func fuBucket(op isa.Op) int {
 // memIssue starts data cache accesses for loads whose address is known,
 // enforcing conservative disambiguation (a load waits until every older
 // store in the LSQ has computed its address) and store-to-load forwarding.
+//
+//lint:hotpath
 func (c *Core) memIssue() {
 	ports := c.cfg.FUs[isa.FUMemPort]
 	olderStoresReady := true
@@ -815,6 +839,8 @@ func (c *Core) memIssue() {
 
 // forwardingStore reports whether an older store in the LSQ matches addr
 // and can forward its data to the load at LSQ position loadIdx.
+//
+//lint:hotpath
 func (c *Core) forwardingStore(loadIdx int, addr uint64) bool {
 	for j := loadIdx - 1; j >= 0; j-- {
 		s := c.lsq.at(j)
@@ -830,6 +856,8 @@ func (c *Core) forwardingStore(loadIdx int, addr uint64) bool {
 // writeback drains all completion events due this cycle: functional unit
 // results, address calculations and load returns. Completions wake
 // consumers and may trigger branch-misprediction recovery.
+//
+//lint:hotpath
 func (c *Core) writeback() {
 	for len(c.events) > 0 && c.events[0].cycle <= c.cycle {
 		e := c.events.pop()
@@ -876,6 +904,8 @@ func (c *Core) writeback() {
 // completeUop marks u done, wakes its consumers and handles control-flow
 // resolution. It reports whether a misprediction recovery squashed the
 // pipeline (callers iterating structures must then stop).
+//
+//lint:hotpath
 func (c *Core) completeUop(u *uop) bool {
 	if u.state == uDone {
 		//nopanic:invariant a uop completes exactly once by the scheduler's bookkeeping
@@ -1014,6 +1044,7 @@ func (c *Core) rebuildRename() {
 
 // ---------------------------------------------------------------- commit
 
+//lint:hotpath
 func (c *Core) commit() {
 	need := c.streams
 	for slots := c.cfg.CommitWidth; slots >= need && c.ruu.len() >= need; slots -= need {

@@ -299,6 +299,17 @@ func (q *eventQueue) schedule(cycle uint64, kind eventKind, u *uop) {
 	q.push(event{cycle: cycle, kind: kind, u: u, gen: u.gen})
 }
 
+// throw reports a broken FIFO occupancy invariant. It is outlined and
+// kept out of the inliner so the panic's message conversion never lands
+// inside a pipeline stage that inlined a push or pop — the hotalloc
+// escape-analysis gate sees those stages allocation-free.
+//
+//go:noinline
+func throw(msg string) {
+	//nopanic:invariant callers guard occupancy before push/pop; reaching here is a scheduling bug
+	panic(msg)
+}
+
 // ring is a bounded FIFO of uops used for the RUU and the LSQ. Entries
 // retire from the head and are squashed from the tail.
 type ring struct {
@@ -325,8 +336,7 @@ func (r *ring) idx(i int) int {
 
 func (r *ring) push(u *uop) {
 	if r.size == len(r.buf) {
-		//nopanic:invariant callers check hasSpace before push
-		panic("core: ring overflow")
+		throw("core: ring overflow")
 	}
 	r.buf[r.idx(r.size)] = u
 	r.size++
@@ -336,8 +346,7 @@ func (r *ring) at(i int) *uop { return r.buf[r.idx(i)] }
 
 func (r *ring) popHead() *uop {
 	if r.size == 0 {
-		//nopanic:invariant callers check emptiness before pop
-		panic("core: ring underflow")
+		throw("core: ring underflow")
 	}
 	u := r.buf[r.head]
 	r.buf[r.head] = nil
@@ -389,8 +398,7 @@ func (q *fetchQueue) full() bool { return q.size == len(q.buf) }
 
 func (q *fetchQueue) push(e fetchEntry) {
 	if q.size == len(q.buf) {
-		//nopanic:invariant fetch checks full before push
-		panic("core: fetch queue overflow")
+		throw("core: fetch queue overflow")
 	}
 	i := q.head + q.size
 	if i >= len(q.buf) {
@@ -404,16 +412,14 @@ func (q *fetchQueue) push(e fetchEntry) {
 // before popFront.
 func (q *fetchQueue) front() *fetchEntry {
 	if q.size == 0 {
-		//nopanic:invariant dispatch checks emptiness before front
-		panic("core: fetch queue underflow")
+		throw("core: fetch queue underflow")
 	}
 	return &q.buf[q.head]
 }
 
 func (q *fetchQueue) popFront() {
 	if q.size == 0 {
-		//nopanic:invariant dispatch checks emptiness before pop
-		panic("core: fetch queue underflow")
+		throw("core: fetch queue underflow")
 	}
 	q.head++
 	if q.head == len(q.buf) {

@@ -76,12 +76,22 @@ func (f *Front) Rewind(recs []Retired) {
 	f.rewind, f.rewindPos = q, 0
 }
 
+// throw reports a broken speculation-mode invariant. It is outlined and
+// kept out of the inliner so the panic's message conversion never lands
+// inside a core pipeline stage that inlined EnterSpec or a step — the
+// hotalloc escape-analysis gate sees those stages allocation-free.
+//
+//go:noinline
+func throw(msg string) {
+	//nopanic:invariant the core brackets speculation with EnterSpec/Squash; reaching here is a sequencing bug
+	panic(msg)
+}
+
 // StepCorrect executes the next correct-path instruction. It must not be
 // called while in speculative mode.
 func (f *Front) StepCorrect() (Retired, error) {
 	if f.spec {
-		//nopanic:invariant the core exits speculative mode before stepping the oracle
-		panic("fsim: StepCorrect during speculative mode")
+		throw("fsim: StepCorrect during speculative mode")
 	}
 	if f.rewindPos < len(f.rewind) {
 		r := f.rewind[f.rewindPos]
@@ -99,8 +109,7 @@ func (f *Front) StepCorrect() (Retired, error) {
 // actual next PC; fetch then proceeds down the predicted (wrong) path.
 func (f *Front) EnterSpec() {
 	if f.spec {
-		//nopanic:invariant the core tracks a single outstanding speculation region
-		panic("fsim: nested EnterSpec")
+		throw("fsim: nested EnterSpec")
 	}
 	f.spec = true
 }
@@ -119,8 +128,7 @@ func (f *Front) Squash() {
 // follows the branch predictor, not the computed next PC.
 func (f *Front) StepSpecAt(pc uint64) Retired {
 	if !f.spec {
-		//nopanic:invariant callers pair StepSpecAt with EnterSpec
-		panic("fsim: StepSpecAt outside speculative mode")
+		throw("fsim: StepSpecAt outside speculative mode")
 	}
 	in := f.M.Prog.Fetch(pc)
 	r := exec(in, pc, f.readSpec, specMemReader{f})

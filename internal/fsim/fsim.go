@@ -17,6 +17,7 @@ package fsim
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/isa"
 	"repro/internal/program"
@@ -61,8 +62,18 @@ type Machine struct {
 // entry point, registers cleared.
 func New(prog *program.Program) *Machine {
 	m := &Machine{Prog: prog, Mem: NewMemory(), PC: prog.Entry}
-	for addr, v := range prog.Data {
-		m.Mem.Write(addr, v)
+	// Install the data segment in address order. Memory contents are
+	// insensitive to install order today (one write per address), but the
+	// sparse page directory's allocation pattern is not, and iterating the
+	// map directly would bake Go's randomized order into anything that
+	// ever observes it.
+	addrs := make([]uint64, 0, len(prog.Data))
+	for addr := range prog.Data {
+		addrs = append(addrs, addr)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	for _, addr := range addrs {
+		m.Mem.Write(addr, prog.Data[addr])
 	}
 	return m
 }

@@ -100,6 +100,8 @@ type Cursor struct {
 // Next returns a pointer to the next record, or nil, false when the trace
 // is exhausted. The record is shared read-only state: callers must not
 // modify it.
+//
+//lint:hotpath
 func (c *Cursor) Next() (*Retired, bool) {
 	if c.pos >= len(c.recs) {
 		return nil, false

@@ -175,6 +175,8 @@ func (b *IRB) Config() Config { return b.cfg }
 // values become usable for the reuse test LookupLat cycles later; the core
 // enforces that timing. A lookup that cannot obtain a port this cycle is a
 // miss.
+//
+//lint:hotpath
 func (b *IRB) Lookup(cycle, pc uint64) (Entry, bool) {
 	b.Stats.Lookups++
 	if !b.allocPort(cycle, false) {

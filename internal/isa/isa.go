@@ -235,12 +235,22 @@ var opInfos = [NumOps]OpInfo{
 	OpCall: {Name: "call", Class: FUIntALU, Latency: 1, HasDest: true, UsesImm: true, IsJump: true},
 }
 
+// badOp reports an undefined opcode. It is outlined from Info and kept
+// out of the inliner so the message-formatting machinery (which the
+// escape analyzer sees as a heap allocation) never lands on the line of
+// an inlined Info call in the pipeline's hot loops.
+//
+//go:noinline
+func badOp(op Op) *OpInfo {
+	//nopanic:invariant decode table covers every defined opcode; an unknown op is memory corruption
+	panic(fmt.Sprintf("isa: undefined opcode %d", op))
+}
+
 // Info returns the static properties of op. It panics on an undefined
 // opcode, which always indicates a generator or decoder bug.
 func (op Op) Info() *OpInfo {
 	if int(op) >= NumOps {
-		//nopanic:invariant decode table covers every defined opcode; an unknown op is memory corruption
-		panic(fmt.Sprintf("isa: undefined opcode %d", op))
+		return badOp(op)
 	}
 	return &opInfos[op]
 }

@@ -1,0 +1,46 @@
+package determinism
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/linttest"
+)
+
+// TestTestdataWantComments drives the pass over the annotated testdata
+// package: one finding per want comment, no extras.
+func TestTestdataWantComments(t *testing.T) {
+	dir := filepath.Join("testdata", "src", "a")
+	linttest.Run(t, dir, func() ([]lint.Finding, error) {
+		return CheckPackage(lint.NewChecker(), dir)
+	})
+}
+
+// TestProtectedTreeIsClean is the repository's own gate: the simulation
+// core and the harness layers must carry no unannotated wall-clock
+// reads, global RNG calls or order-sensitive map iteration.
+func TestProtectedTreeIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the protected packages from source; skipped in -short")
+	}
+	findings, err := Pass{}.Check(filepath.Join("..", "..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+}
+
+// TestMissingPackagesAreSkipped keeps the pass usable on partial trees:
+// a root without the protected packages yields no findings and no error.
+func TestMissingPackagesAreSkipped(t *testing.T) {
+	findings, err := Pass{}.Check(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 0 {
+		t.Fatalf("unexpected findings on empty tree: %v", findings)
+	}
+}

@@ -1,0 +1,93 @@
+// Package a exercises the determinism pass: wall-clock reads, global
+// RNG use and order-sensitive map iteration must fire; injected clock
+// seams with reasons, seeded generators and collect-then-sort loops must
+// not.
+package a
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// readClock reads the wall clock directly: both the call and the
+// function-value reference must fire.
+func readClock() time.Duration {
+	start := time.Now() // want "wall-clock read time.Now"
+	_ = start
+	clock := time.Now          // want "wall-clock read time.Now"
+	return time.Since(clock()) // want "wall-clock read time.Since"
+}
+
+// injectedSeam is the allowed shape: one annotated seam with a reason.
+type injectedSeam struct {
+	now func() time.Time
+}
+
+func newSeam() *injectedSeam {
+	return &injectedSeam{
+		//determinism:exempt the single clock seam; everything downstream receives injected time
+		now: time.Now,
+	}
+}
+
+// unexplainedSeam carries the marker without a reason, which is itself a
+// violation: the annotation does not exempt anything and the next reader
+// cannot audit it, so both lines fire.
+func unexplainedSeam() time.Time {
+	// want-next "needs a reason"
+	//determinism:exempt
+	return time.Now() // want "wall-clock read time.Now"
+}
+
+// globalRand drives the process-global generator: forbidden.
+func globalRand() int {
+	return rand.Intn(10) // want "global math/rand Intn"
+}
+
+// seededRand builds a local seeded generator: allowed.
+func seededRand(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// mapOrder lets map iteration order reach the output stream: forbidden.
+func mapOrder(m map[string]int) []int {
+	var out []int
+	for _, v := range m { // want "map iteration order"
+		if v > 0 {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// collectThenSort only accumulates keys and sorts them before use: the
+// canonical deterministic idiom, allowed.
+func collectThenSort(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// sliceRange iterates a slice, which is ordered: allowed.
+func sliceRange(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}
+
+// exemptAggregation documents a commutative fold over a map: allowed via
+// the annotation because addition is order-insensitive.
+func exemptAggregation(m map[string]int) int {
+	total := 0
+	//determinism:exempt integer addition is commutative; the fold result is order-independent
+	for _, v := range m {
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,53 @@
+package errcontract
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/linttest"
+)
+
+// TestTestdataWantComments drives the pass over the annotated testdata
+// package: one finding per want comment, no extras.
+func TestTestdataWantComments(t *testing.T) {
+	dir := filepath.Join("testdata", "src", "a")
+	linttest.Run(t, dir, func() ([]lint.Finding, error) {
+		files, err := lint.PackageFiles(dir)
+		if err != nil {
+			return nil, err
+		}
+		var out []lint.Finding
+		for _, path := range files {
+			fs, err := CheckFile(path)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, fs...)
+		}
+		return out, nil
+	})
+}
+
+// TestBoundaryPackagesAreClean is the repository's own gate: every
+// fmt.Errorf in the API-boundary packages wraps with %w.
+func TestBoundaryPackagesAreClean(t *testing.T) {
+	findings, err := Pass{}.Check(filepath.Join("..", "..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+}
+
+// TestMissingPackagesAreSkipped keeps the pass usable on partial trees.
+func TestMissingPackagesAreSkipped(t *testing.T) {
+	findings, err := Pass{}.Check(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 0 {
+		t.Fatalf("unexpected findings on empty tree: %v", findings)
+	}
+}

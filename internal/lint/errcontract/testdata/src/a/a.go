@@ -1,0 +1,63 @@
+// Package a exercises the errcontract pass: fmt.Errorf without %w must
+// fire at the API boundary; wrapped causes, sentinel wraps, named error
+// types and annotated exceptions must not.
+package a
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrBudget is the package sentinel messages with no cause wrap.
+var ErrBudget = errors.New("a: budget exhausted")
+
+// flattened severs the error chain: forbidden.
+func flattened(err error) error {
+	return fmt.Errorf("running job: %v", err) // want "fmt.Errorf without %w"
+}
+
+// bareMessage has no cause and no sentinel: forbidden (make it a
+// sentinel or a named type).
+func bareMessage(n int) error {
+	return fmt.Errorf("a: %d cells over budget", n) // want "fmt.Errorf without %w"
+}
+
+// dynamicFormat cannot be audited at all: forbidden.
+func dynamicFormat(format string, err error) error {
+	return fmt.Errorf(format, err) // want "non-literal format"
+}
+
+// wrapped keeps the chain intact: allowed.
+func wrapped(err error) error {
+	return fmt.Errorf("running job: %w", err)
+}
+
+// sentinelWrapped attaches context to a programmable sentinel: allowed.
+func sentinelWrapped(n int) error {
+	return fmt.Errorf("%d cells over budget: %w", n, ErrBudget)
+}
+
+// JobError is a named structured error type: constructing it is the
+// other sanctioned shape, and its Error method may format freely because
+// fmt.Sprintf is not fmt.Errorf.
+type JobError struct {
+	Job string
+	Seq uint64
+	Err error
+}
+
+func (e *JobError) Error() string {
+	return fmt.Sprintf("job %s failed at seq %d: %v", e.Job, e.Seq, e.Err)
+}
+
+func (e *JobError) Unwrap() error { return e.Err }
+
+func named(job string, seq uint64, err error) error {
+	return &JobError{Job: job, Seq: seq, Err: err}
+}
+
+// exempted flattens deliberately and says why: allowed.
+func exempted(err error) error {
+	//errcontract:exempt the wire format embeds the rendered message; clients parse the code, not the chain
+	return fmt.Errorf("wire: %v", err)
+}

@@ -1,0 +1,310 @@
+// Package hotalloc is the lint pass that keeps the simulator's per-cycle
+// code allocation-free. Functions on the cycle loop — the pipeline stage
+// methods, the IRB probe, the trace cursor — are annotated
+//
+//	//lint:hotpath
+//
+// in their doc comment, and the pass holds them to a budget of zero heap
+// allocations by running the compiler's own escape analysis
+// (go build -gcflags=<pkg>=-m) and attributing each "escapes to heap" /
+// "moved to heap" diagnostic to the enclosing function. This is the
+// compiler's verdict on the exact code it compiles, so the check cannot
+// drift from reality the way a syntactic allocation blacklist would.
+//
+// Two classes of diagnostics inside a hot function are not findings:
+//
+//   - Panic arguments. A panic is already the end of the run; the
+//     allocation building its message is free on every cycle that does
+//     not take it. Diagnostics whose position falls lexically inside a
+//     panic(...) call are dropped. (Allocations inlined from a callee's
+//     panic path do not get this pardon — outline such callees with
+//     //go:noinline instead, as isa.badOp does.)
+//
+//   - Annotated amortized allocations:
+//
+//     //hotalloc:exempt <reason>
+//
+//     on the diagnostic's line or the line above, for the rare
+//     allocation that is deliberate and amortized (the uop arena grows
+//     by chunks, for example). An exempt marker with no reason is
+//     itself a finding.
+//
+// The pass only builds packages that contain at least one annotated
+// function, so repositories (and test trees) without annotations never
+// shell out to the compiler.
+package hotalloc
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+// Annotation marks a function as hot-path in its doc comment.
+const Annotation = "//lint:hotpath"
+
+// Marker allows one deliberate, amortized allocation, with a mandatory
+// reason.
+const Marker = "//hotalloc:exempt"
+
+// Pass is the hotalloc pass, ready for the repolint driver.
+type Pass struct{}
+
+func (Pass) Name() string { return "hotalloc" }
+func (Pass) Doc() string {
+	return "functions annotated //lint:hotpath must be free of heap allocations per the compiler's escape analysis"
+}
+
+// Check scans root for annotated functions and verifies each annotated
+// package with the compiler's escape analysis.
+func (Pass) Check(root string) ([]lint.Finding, error) {
+	return CheckRoot(root)
+}
+
+// span is one annotated function's extent in a file.
+type span struct {
+	file       string // path relative to root, slash-separated
+	name       string
+	start, end int // line range, inclusive
+}
+
+// fileFacts is what the source scan collects per file: annotated function
+// spans, lexical panic-argument spans, and exempt markers by line.
+type fileFacts struct {
+	spans  []span
+	panics [][2]int       // [start,end] line ranges of panic(...) calls
+	marked map[int]string // Marker lines -> reason
+}
+
+// diagRE matches the compiler's positioned diagnostics. The file path is
+// printed relative to the build's working directory (the repo root).
+var diagRE = regexp.MustCompile(`^(.+\.go):(\d+):(\d+): (.*)$`)
+
+// CheckRoot runs the pass over the module rooted at root. The module
+// path is only resolved (and the compiler only invoked) when the tree
+// actually contains annotations, so annotation-free trees — including
+// other passes' testdata — cost nothing and need no go.mod.
+func CheckRoot(root string) ([]lint.Finding, error) {
+	files, err := lint.GoFiles(root)
+	if err != nil {
+		return nil, err
+	}
+
+	var out []lint.Finding
+	facts := make(map[string]*fileFacts) // relative file path -> facts
+	pkgs := make(map[string]bool)        // relative dirs with annotations
+	fset := token.NewFileSet()
+	for _, path := range files {
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return nil, fmt.Errorf("hotalloc: %w", err)
+		}
+		rel = filepath.ToSlash(rel)
+		ff, markerFindings, err := scanFile(fset, path, rel)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, markerFindings...)
+		if ff == nil {
+			continue
+		}
+		facts[rel] = ff
+		if len(ff.spans) > 0 {
+			pkgs[filepath.ToSlash(filepath.Dir(rel))] = true
+		}
+	}
+
+	dirs := make([]string, 0, len(pkgs))
+	for d := range pkgs {
+		dirs = append(dirs, d)
+	}
+	sort.Strings(dirs)
+	if len(dirs) == 0 {
+		lint.SortFindings(out)
+		return out, nil
+	}
+	modPath, err := modulePath(root)
+	if err != nil {
+		return nil, err
+	}
+	for _, dir := range dirs {
+		fs, err := checkPackage(root, modPath, dir, facts)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, fs...)
+	}
+	lint.SortFindings(out)
+	return out, nil
+}
+
+// scanFile parses one source file and extracts its hot-path facts. It
+// returns nil facts when the file has neither annotations nor markers
+// nor panics (nothing the diagnostics could be matched against).
+// Reasonless exempt markers are returned as findings immediately — they
+// never suppress anything.
+func scanFile(fset *token.FileSet, path, rel string) (*fileFacts, []lint.Finding, error) {
+	f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+	if err != nil {
+		return nil, nil, fmt.Errorf("hotalloc: %w", err)
+	}
+	ff := &fileFacts{marked: lint.MarkedLines(fset, f, Marker)}
+	var out []lint.Finding
+	for line, reason := range ff.marked {
+		if reason == "" {
+			out = append(out, lint.NewFinding("hotalloc",
+				token.Position{Filename: rel, Line: line, Column: 1},
+				Marker+" needs a reason: say why this allocation is deliberate and amortized"))
+		}
+	}
+	for _, decl := range f.Decls {
+		fn, ok := decl.(*ast.FuncDecl)
+		if !ok || fn.Doc == nil {
+			continue
+		}
+		for _, c := range fn.Doc.List {
+			if strings.HasPrefix(c.Text, Annotation) {
+				ff.spans = append(ff.spans, span{
+					file:  rel,
+					name:  fn.Name.Name,
+					start: fset.Position(fn.Pos()).Line,
+					end:   fset.Position(fn.End()).Line,
+				})
+				break
+			}
+		}
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+			ff.panics = append(ff.panics, [2]int{
+				fset.Position(call.Pos()).Line,
+				fset.Position(call.End()).Line,
+			})
+		}
+		return true
+	})
+	if len(ff.spans) == 0 && len(ff.panics) == 0 && len(ff.marked) == 0 {
+		return nil, out, nil
+	}
+	return ff, out, nil
+}
+
+// checkPackage builds one annotated package with escape analysis enabled
+// and converts in-span diagnostics to findings.
+func checkPackage(root, modPath, dir string, facts map[string]*fileFacts) ([]lint.Finding, error) {
+	importPath := modPath
+	if dir != "." {
+		importPath = modPath + "/" + dir
+	}
+	cmd := exec.Command("go", "build", "-gcflags="+importPath+"=-m", "./"+dir)
+	cmd.Dir = root
+	var buf bytes.Buffer
+	cmd.Stdout = &buf
+	cmd.Stderr = &buf
+	if err := cmd.Run(); err != nil {
+		if _, ok := err.(*exec.ExitError); !ok {
+			return nil, fmt.Errorf("hotalloc: running escape analysis for %s: %w", dir, err)
+		}
+		// A failed build is a finding, not a pass error: the tree the
+		// pass was pointed at does not compile.
+		return []lint.Finding{lint.NewFinding("hotalloc",
+			token.Position{Filename: dir, Line: 1, Column: 1},
+			fmt.Sprintf("package does not build, escape analysis unavailable: %s",
+				firstLine(buf.String())))}, nil
+	}
+
+	var out []lint.Finding
+	sc := bufio.NewScanner(&buf)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		m := diagRE.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		msg := m[4]
+		if !strings.Contains(msg, "escapes to heap") && !strings.HasPrefix(msg, "moved to heap:") {
+			continue
+		}
+		file := filepath.ToSlash(m[1])
+		line, _ := strconv.Atoi(m[2])
+		col, _ := strconv.Atoi(m[3])
+		ff := facts[file]
+		if ff == nil {
+			continue
+		}
+		fn := enclosing(ff.spans, line)
+		if fn == "" {
+			continue
+		}
+		if inPanic(ff.panics, line) {
+			continue
+		}
+		if reason, ok := lint.Exempt(ff.marked, line); ok && reason != "" {
+			continue
+		}
+		out = append(out, lint.NewFinding("hotalloc",
+			token.Position{Filename: file, Line: line, Column: col},
+			fmt.Sprintf("heap allocation in %s function %s: %s", Annotation, fn, msg)))
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("hotalloc: reading compiler output: %w", err)
+	}
+	return out, nil
+}
+
+func enclosing(spans []span, line int) string {
+	for _, s := range spans {
+		if line >= s.start && line <= s.end {
+			return s.name
+		}
+	}
+	return ""
+}
+
+func inPanic(panics [][2]int, line int) bool {
+	for _, p := range panics {
+		if line >= p[0] && line <= p[1] {
+			return true
+		}
+	}
+	return false
+}
+
+// modulePath reads the module path from root's go.mod.
+func modulePath(root string) (string, error) {
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return "", fmt.Errorf("hotalloc: %w", err)
+	}
+	for _, ln := range strings.Split(string(data), "\n") {
+		ln = strings.TrimSpace(ln)
+		if rest, ok := strings.CutPrefix(ln, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("hotalloc: no module line in %s", filepath.Join(root, "go.mod"))
+}
+
+func firstLine(s string) string {
+	s = strings.TrimSpace(s)
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		s = s[:i]
+	}
+	return s
+}

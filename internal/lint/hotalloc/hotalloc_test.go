@@ -1,0 +1,189 @@
+package hotalloc
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeModule materializes a tiny standalone module so the pass runs the
+// real compiler against a tree we control.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	root := t.TempDir()
+	for name, src := range files {
+		path := filepath.Join(root, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+const goMod = "module hotalloctest\n\ngo 1.22\n"
+
+// cleanSrc is a hot function the escape analyzer is happy with: scratch
+// stays on the stack, the panic path's message is pardoned, and the one
+// deliberate allocation is annotated.
+const cleanSrc = `package p
+
+type ring struct {
+	buf  []int
+	free []int
+}
+
+// Step is the per-cycle path.
+//
+//lint:hotpath
+func (r *ring) Step(i, v int) int {
+	if i >= len(r.buf) {
+		panic("p: ring overflow")
+	}
+	var scratch [8]int
+	for k := range scratch {
+		scratch[k] = v + k
+	}
+	r.buf[i] = scratch[0]
+	if len(r.free) == 0 {
+		//hotalloc:exempt amortized: one chunk refill serves many steps
+		r.free = make([]int, 64)
+	}
+	n := len(r.free) - 1
+	out := r.free[n]
+	r.free = r.free[:n]
+	return out
+}
+
+// Grow is off the hot path and may allocate freely.
+func (r *ring) Grow(n int) {
+	r.buf = append(r.buf, make([]int, n)...)
+}
+`
+
+// dirtySrc plants a deliberate per-call allocation inside the annotated
+// function: the ISSUE's acceptance demonstration.
+const dirtySrc = `package p
+
+// Sums is the per-cycle path, but it allocates a fresh slice every call.
+//
+//lint:hotpath
+func Sums(vs []int) []int {
+	out := make([]int, 0, len(vs))
+	for _, v := range vs {
+		out = append(out, v*v)
+	}
+	return out
+}
+`
+
+func TestCleanHotFunctionPasses(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shells out to go build; skipped in -short")
+	}
+	root := writeModule(t, map[string]string{
+		"go.mod": goMod,
+		"p/p.go": cleanSrc,
+	})
+	findings, err := CheckRoot(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		t.Errorf("unexpected finding: %s", f)
+	}
+}
+
+// TestDeliberateAllocationFails is the acceptance demonstration: a heap
+// allocation introduced into an annotated hot-path function must produce
+// a finding naming that function.
+func TestDeliberateAllocationFails(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shells out to go build; skipped in -short")
+	}
+	root := writeModule(t, map[string]string{
+		"go.mod": goMod,
+		"p/p.go": dirtySrc,
+	})
+	findings, err := CheckRoot(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) == 0 {
+		t.Fatal("deliberate allocation in a //lint:hotpath function produced no finding")
+	}
+	for _, f := range findings {
+		if !strings.Contains(f.Message, "Sums") {
+			t.Errorf("finding does not name the hot function: %s", f)
+		}
+	}
+}
+
+// TestReasonlessExemptIsAFinding: the escape hatch must carry a reason.
+func TestReasonlessExemptIsAFinding(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"go.mod": goMod,
+		"p/p.go": "package p\n\nfunc f() []int {\n\t//hotalloc:exempt\n\treturn make([]int, 8)\n}\n",
+	})
+	findings, err := CheckRoot(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 1 || !strings.Contains(findings[0].Message, "needs a reason") {
+		t.Fatalf("want one needs-a-reason finding, got %v", findings)
+	}
+}
+
+// TestBrokenPackageIsAFinding: a tree that does not compile yields a
+// diagnosable finding instead of a pass error.
+func TestBrokenPackageIsAFinding(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shells out to go build; skipped in -short")
+	}
+	root := writeModule(t, map[string]string{
+		"go.mod": goMod,
+		"p/p.go": "package p\n\n//lint:hotpath\nfunc f() { undefined() }\n",
+	})
+	findings, err := CheckRoot(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 1 || !strings.Contains(findings[0].Message, "does not build") {
+		t.Fatalf("want one does-not-build finding, got %v", findings)
+	}
+}
+
+// TestRepoHotPathsAreClean is the repository's own gate: every annotated
+// function in the tree passes escape analysis.
+func TestRepoHotPathsAreClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shells out to go build; skipped in -short")
+	}
+	findings, err := CheckRoot(filepath.Join("..", "..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+}
+
+// TestNoAnnotationsNoBuild: a tree without annotations must not shell
+// out at all (and in particular must not fail on a missing toolchain
+// target), returning instantly with no findings.
+func TestNoAnnotationsNoBuild(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"go.mod": goMod,
+		"p/p.go": "package p\n\nfunc f() []int { return make([]int, 8) }\n",
+	})
+	findings, err := CheckRoot(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 0 {
+		t.Fatalf("unexpected findings: %v", findings)
+	}
+}

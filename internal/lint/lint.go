@@ -1,0 +1,436 @@
+// Package lint is the shared core of the repository's invariant suite:
+// the Pass interface every analyzer implements, the Finding type they
+// report, the allowlist that can silence individual findings, and the
+// table/JSON/SARIF renderers cmd/repolint drives them through.
+//
+// Every pass is stdlib-only (go/ast + go/types; hotalloc additionally
+// shells out to the go toolchain already required to build the repo), so
+// the suite runs offline inside `make lint` and CI without the x/tools
+// analysis framework. Each pass checks one invariant the simulator's
+// headline guarantees rest on:
+//
+//   - nopanic: library code returns errors instead of panicking
+//   - determinism: the simulation core reads no wall clock, no global
+//     RNG, and iterates no map in an order-sensitive way
+//   - modedispatch: redundancy-mode capability decisions flow through
+//     the core mode registry, never through mode-literal comparisons
+//   - hotalloc: functions annotated //lint:hotpath stay allocation-free
+//     under the compiler's escape analysis
+//   - errcontract: API-boundary packages wrap errors (%w) or construct
+//     named structured error types
+package lint
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Finding is one invariant violation, positioned for file:line reports.
+type Finding struct {
+	Pass    string         `json:"pass"`
+	Pos     token.Position `json:"-"`
+	Message string         `json:"message"`
+
+	// Flattened position for the JSON encoding.
+	File string `json:"file"`
+	Line int    `json:"line"`
+	Col  int    `json:"col"`
+}
+
+// NewFinding builds a Finding with the position flattened.
+func NewFinding(pass string, pos token.Position, message string) Finding {
+	return Finding{
+		Pass:    pass,
+		Pos:     pos,
+		Message: message,
+		File:    filepath.ToSlash(pos.Filename),
+		Line:    pos.Line,
+		Col:     pos.Column,
+	}
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", f.File, f.Line, f.Col, f.Pass, f.Message)
+}
+
+// Pass is one invariant checker. Check walks the tree rooted at root —
+// the repository root for repo-wide passes, or any package tree in tests —
+// and returns its findings ordered by position. A Pass must be safe to
+// run on a tree that does not contain its subject (it returns no
+// findings, not an error), so the driver can run the whole suite on
+// partial trees.
+type Pass interface {
+	Name() string
+	// Doc is the one-line description shown by repolint and embedded in
+	// the SARIF rule metadata.
+	Doc() string
+	Check(root string) ([]Finding, error)
+}
+
+// SortFindings orders findings by file, line, column, pass.
+func SortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Pass < b.Pass
+	})
+}
+
+// ---------------------------------------------------------------- files
+
+// GoFiles returns the non-test .go files under root, skipping testdata
+// trees and hidden directories, sorted for deterministic reports.
+func GoFiles(root string) ([]string, error) {
+	var files []string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if name == "testdata" || (strings.HasPrefix(name, ".") && path != root) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(path, ".go") && !strings.HasSuffix(path, "_test.go") {
+			files = append(files, path)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(files)
+	return files, nil
+}
+
+// PackageFiles returns the non-test .go files directly inside dir,
+// sorted. It returns nil (no error) when dir does not exist, so passes
+// with fixed package sets tolerate partial trees.
+func PackageFiles(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		files = append(files, filepath.Join(dir, name))
+	}
+	sort.Strings(files)
+	return files, nil
+}
+
+// MarkedLines returns the line numbers of comments carrying marker (an
+// exact comment prefix such as "//determinism:exempt"), mapped to the
+// text following the marker (the author's reason, possibly empty). A
+// statement on line L is conventionally exempt when L or L-1 is marked.
+func MarkedLines(fset *token.FileSet, f *ast.File, marker string) map[int]string {
+	marked := map[int]string{}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if strings.HasPrefix(c.Text, marker) {
+				reason := strings.TrimSpace(strings.TrimPrefix(c.Text, marker))
+				marked[fset.Position(c.Pos()).Line] = reason
+			}
+		}
+	}
+	return marked
+}
+
+// Exempt reports whether the statement at line is covered by a marked
+// line (same line or the line above), and returns the reason.
+func Exempt(marked map[int]string, line int) (string, bool) {
+	if r, ok := marked[line]; ok {
+		return r, true
+	}
+	r, ok := marked[line-1]
+	return r, ok
+}
+
+// ------------------------------------------------------------ typecheck
+
+// Package is one parsed and (partially) type-checked package directory.
+type Package struct {
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Info  *types.Info
+	Pkg   *types.Package
+}
+
+// Checker parses and type-checks package directories from source. One
+// Checker shares an importer across packages, so dependencies (including
+// the standard library) are loaded once per process. Type errors are
+// tolerated: passes get whatever type information could be resolved,
+// which keeps the suite usable on seeded or partial trees.
+type Checker struct {
+	imp types.Importer
+}
+
+// NewChecker builds a Checker backed by the stdlib source importer.
+func NewChecker() *Checker {
+	return &Checker{}
+}
+
+// Check parses the non-test files of the package in dir and type-checks
+// them, returning nil when the directory holds no Go files.
+func (c *Checker) Check(dir string) (*Package, error) {
+	files, err := PackageFiles(dir)
+	if err != nil || len(files) == 0 {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	var parsed []*ast.File
+	for _, path := range files {
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %w", err)
+		}
+		parsed = append(parsed, f)
+	}
+	if c.imp == nil {
+		c.imp = importer.ForCompiler(fset, "source", nil)
+	}
+	info := &types.Info{
+		Types: map[ast.Expr]types.TypeAndValue{},
+		Uses:  map[*ast.Ident]types.Object{},
+	}
+	conf := types.Config{
+		Importer: c.imp,
+		Error:    func(error) {}, // tolerate partial type information
+	}
+	pkg, _ := conf.Check(dir, fset, parsed, info)
+	return &Package{Dir: dir, Fset: fset, Files: parsed, Info: info, Pkg: pkg}, nil
+}
+
+// ------------------------------------------------------------ allowlist
+
+// AllowEntry silences findings of one pass at one file (and optionally
+// one line). Entries come from the allowlist file, one per line:
+//
+//	<pass> <file>[:<line>]   # comment
+//
+// with '#' starting a comment and blank lines ignored. File paths are
+// slash-separated and relative to the repository root.
+type AllowEntry struct {
+	Pass string
+	File string
+	Line int // 0 = whole file
+	used bool
+}
+
+// Allowlist filters findings against explicit, reviewable entries.
+type Allowlist struct {
+	Path    string
+	Entries []AllowEntry
+}
+
+// LoadAllowlist reads path. A missing file yields an empty allowlist.
+func LoadAllowlist(path string) (*Allowlist, error) {
+	al := &Allowlist{Path: path}
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return al, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if i := strings.Index(line, "#"); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("lint: %s:%d: want \"<pass> <file>[:<line>]\", got %q", path, lineNo, sc.Text())
+		}
+		e := AllowEntry{Pass: fields[0], File: fields[1]}
+		if i := strings.LastIndex(e.File, ":"); i >= 0 {
+			n, err := strconv.Atoi(e.File[i+1:])
+			if err != nil {
+				return nil, fmt.Errorf("lint: %s:%d: bad line number in %q", path, lineNo, fields[1])
+			}
+			e.File, e.Line = e.File[:i], n
+		}
+		al.Entries = append(al.Entries, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return al, nil
+}
+
+// Filter removes allowed findings and returns the rest. Entries that
+// silenced nothing are themselves reported as findings: a stale allowlist
+// line is an unexplained annotation, exactly what the suite exists to
+// forbid.
+func (al *Allowlist) Filter(findings []Finding) []Finding {
+	var out []Finding
+	for _, f := range findings {
+		allowed := false
+		for i := range al.Entries {
+			e := &al.Entries[i]
+			if e.Pass == f.Pass && e.File == f.File && (e.Line == 0 || e.Line == f.Line) {
+				e.used = true
+				allowed = true
+			}
+		}
+		if !allowed {
+			out = append(out, f)
+		}
+	}
+	for _, e := range al.Entries {
+		if !e.used {
+			pos := token.Position{Filename: al.Path}
+			out = append(out, NewFinding("allowlist",
+				pos, fmt.Sprintf("stale entry %q silences nothing; remove it", e.Pass+" "+e.File)))
+		}
+	}
+	SortFindings(out)
+	return out
+}
+
+// --------------------------------------------------------------- output
+
+// WriteTable renders findings one per line, the grep-friendly default.
+func WriteTable(w io.Writer, findings []Finding) error {
+	for _, f := range findings {
+		if _, err := fmt.Fprintln(w, f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteJSON renders findings as a JSON array (never null).
+func WriteJSON(w io.Writer, findings []Finding) error {
+	if findings == nil {
+		findings = []Finding{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(findings)
+}
+
+// sarif mirrors the fragment of SARIF 2.1.0 the suite emits: one run,
+// one rule per pass, one result per finding.
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name  string      `json:"name"`
+	Rules []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string            `json:"id"`
+	ShortDescription map[string]string `json:"shortDescription"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   map[string]any  `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation map[string]string `json:"artifactLocation"`
+	Region           map[string]int    `json:"region"`
+}
+
+// WriteSARIF renders findings in the SARIF 2.1.0 format CI code-scanning
+// uploads consume. passes supplies the rule metadata (name -> doc); rules
+// are emitted for every pass so a clean run still documents the suite.
+func WriteSARIF(w io.Writer, findings []Finding, passes []Pass) error {
+	run := sarifRun{
+		Tool:    sarifTool{Driver: sarifDriver{Name: "repolint"}},
+		Results: []sarifResult{},
+	}
+	for _, p := range passes {
+		run.Tool.Driver.Rules = append(run.Tool.Driver.Rules, sarifRule{
+			ID:               p.Name(),
+			ShortDescription: map[string]string{"text": p.Doc()},
+		})
+	}
+	for _, f := range findings {
+		line, col := f.Line, f.Col
+		if line <= 0 {
+			line = 1
+		}
+		if col <= 0 {
+			col = 1
+		}
+		run.Results = append(run.Results, sarifResult{
+			RuleID:  f.Pass,
+			Level:   "error",
+			Message: map[string]any{"text": f.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysical{
+					ArtifactLocation: map[string]string{"uri": f.File},
+					Region:           map[string]int{"startLine": line, "startColumn": col},
+				},
+			}},
+		})
+	}
+	log := sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs:    []sarifRun{run},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(log)
+}

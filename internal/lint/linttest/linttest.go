@@ -1,0 +1,107 @@
+// Package linttest is the analysistest-style harness the repository's
+// lint passes share: a testdata Go file annotates the lines that must
+// fire with
+//
+//	// want "fragment of the expected message"
+//
+// comments, and Run checks the pass's findings against them both ways —
+// every want comment must be matched by a finding on its line whose text
+// contains the fragment, and every finding must land on a wanted line.
+// Extracted from the original nopanic test so each new pass gets the
+// same coverage contract: at least one catch and one allowed case per
+// testdata package.
+package linttest
+
+import (
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+// want is one expectation: file base name, line, message fragment.
+type want struct {
+	file string
+	line int
+}
+
+// Wants parses the `// want "..."` comments of every .go file directly
+// inside dir (including _test-suffixed and testdata inputs — the harness
+// reads them as data, not as code under test).
+func Wants(t *testing.T, dir string) map[want]string {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wants := map[want]string{}
+	for _, e := range ents {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		fset := token.NewFileSet()
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parsing testdata %s: %v", path, err)
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				line := fset.Position(c.Pos()).Line
+				// `// want-next "..."` expects the finding on the line
+				// below — for lines that cannot carry a trailing comment,
+				// like a bare annotation marker.
+				if rest, ok := strings.CutPrefix(text, "want-next "); ok {
+					text, line = "want "+rest, line+1
+				}
+				if !strings.HasPrefix(text, "want ") {
+					continue
+				}
+				frag := strings.Trim(strings.TrimPrefix(text, "want "), "`\"")
+				wants[want{file: e.Name(), line: line}] = frag
+			}
+		}
+	}
+	if len(wants) == 0 {
+		t.Fatalf("testdata %s has no want comments", dir)
+	}
+	return wants
+}
+
+// Run checks findings produced by check against the want comments in
+// dir. Findings are matched by (file base name, line) so the checker may
+// report either absolute or root-relative paths.
+func Run(t *testing.T, dir string, check func() ([]lint.Finding, error)) {
+	t.Helper()
+	wants := Wants(t, dir)
+
+	findings, err := check()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[want]string{}
+	for _, f := range findings {
+		got[want{file: filepath.Base(f.File), line: f.Line}] = f.String()
+	}
+
+	for w, frag := range wants {
+		msg, ok := got[w]
+		if !ok {
+			t.Errorf("%s:%d: want finding matching %q, got none", w.file, w.line, frag)
+			continue
+		}
+		if !strings.Contains(msg, frag) {
+			t.Errorf("%s:%d: finding %q does not match %q", w.file, w.line, msg, frag)
+		}
+	}
+	for w, msg := range got {
+		if _, ok := wants[w]; !ok {
+			t.Errorf("%s:%d: unexpected finding %q", w.file, w.line, msg)
+		}
+	}
+}

@@ -1,0 +1,203 @@
+// Package modedispatch is the lint pass that keeps redundancy-mode
+// dispatch inside the core mode registry. Since the registry redesign,
+// every layer above internal/core is supposed to ask a mode for its
+// capabilities (core.Mode.Caps, core.ModeInfo) instead of recognizing
+// specific modes by name — that is what lets a newly registered mode flow
+// through the runner, the experiments and the service with zero changes.
+// A literal comparison like
+//
+//	if cfg.Mode == core.DIEIRB { ... }
+//
+// outside internal/core silently re-centralizes mode knowledge and breaks
+// the next registered mode, so the pass forbids comparing core.Mode
+// values against constants (==, != or switch cases) everywhere except the
+// core package itself. The escape hatch, for the rare tool that truly is
+// about one specific mode, is
+//
+//	//modedispatch:exempt <reason>
+//
+// on the comparison's line or the line above. Test files are not checked:
+// tests pin modes by name on purpose.
+package modedispatch
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+// Marker is the annotation that allows a deliberate mode-literal
+// comparison, with a mandatory reason.
+const Marker = "//modedispatch:exempt"
+
+// corePkgSuffix identifies the package that owns the Mode type and the
+// registry; it is the one place literal comparisons are legitimate.
+const corePkgSuffix = "internal/core"
+
+// Pass is the modedispatch pass, ready for the repolint driver.
+type Pass struct{}
+
+func (Pass) Name() string { return "modedispatch" }
+func (Pass) Doc() string {
+	return "capability decisions must flow through the core mode registry, not mode-literal comparisons"
+}
+
+// Check walks every package under root except internal/core and flags
+// comparisons of core.Mode values against constants. Packages that do not
+// mention the core package are skipped without type-checking.
+func (Pass) Check(root string) ([]lint.Finding, error) {
+	dirs, err := candidateDirs(root)
+	if err != nil {
+		return nil, err
+	}
+	checker := lint.NewChecker()
+	var out []lint.Finding
+	for _, dir := range dirs {
+		fs, err := CheckPackage(checker, dir)
+		if err != nil {
+			return nil, fmt.Errorf("modedispatch: %s: %w", dir, err)
+		}
+		out = append(out, fs...)
+	}
+	lint.SortFindings(out)
+	return out, nil
+}
+
+// candidateDirs returns the package directories under root that mention
+// the core package and are not the core package, testdata, or hidden.
+func candidateDirs(root string) ([]string, error) {
+	seen := map[string]bool{}
+	var dirs []string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if name == "testdata" || (strings.HasPrefix(name, ".") && path != root) {
+				return filepath.SkipDir
+			}
+			if filepath.ToSlash(path) == filepath.ToSlash(filepath.Join(root, corePkgSuffix)) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		dir := filepath.Dir(path)
+		if seen[dir] {
+			return nil
+		}
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		// Cheap pre-filter: a package that never names the core import
+		// path cannot compare core.Mode values.
+		if strings.Contains(string(src), corePkgSuffix+`"`) {
+			seen[dir] = true
+			dirs = append(dirs, dir)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+// CheckPackage checks one package directory unconditionally (the unit the
+// testdata harness drives).
+func CheckPackage(checker *lint.Checker, dir string) ([]lint.Finding, error) {
+	pkg, err := checker.Check(dir)
+	if pkg == nil || err != nil {
+		return nil, err
+	}
+	var out []lint.Finding
+	for _, f := range pkg.Files {
+		out = append(out, checkFile(pkg, f)...)
+	}
+	return out, nil
+}
+
+// isMode reports whether t (or its pointer element) is the core Mode type.
+func isMode(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Mode" && obj.Pkg() != nil &&
+		strings.HasSuffix(obj.Pkg().Path(), corePkgSuffix)
+}
+
+func checkFile(pkg *lint.Package, f *ast.File) []lint.Finding {
+	marked := lint.MarkedLines(pkg.Fset, f, Marker)
+	var out []lint.Finding
+
+	typeOf := func(e ast.Expr) types.Type {
+		tv, ok := pkg.Info.Types[e]
+		if !ok {
+			return nil
+		}
+		return tv.Type
+	}
+	isConst := func(e ast.Expr) bool {
+		tv, ok := pkg.Info.Types[e]
+		return ok && tv.Value != nil
+	}
+	report := func(n ast.Node, what string) {
+		pos := pkg.Fset.Position(n.Pos())
+		if reason, ok := lint.Exempt(marked, pos.Line); ok && reason != "" {
+			return
+		}
+		out = append(out, lint.NewFinding("modedispatch", pos,
+			fmt.Sprintf("%s outside internal/core: dispatch on the registry's capabilities (Mode.Caps, ModeInfo), or annotate with %s <reason>", what, Marker)))
+	}
+
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BinaryExpr:
+			if n.Op.String() != "==" && n.Op.String() != "!=" {
+				return true
+			}
+			xt, yt := typeOf(n.X), typeOf(n.Y)
+			if xt == nil || yt == nil || (!isMode(xt) && !isMode(yt)) {
+				return true
+			}
+			if isConst(n.X) || isConst(n.Y) {
+				report(n, "core.Mode compared against a literal")
+			}
+		case *ast.SwitchStmt:
+			if n.Tag == nil {
+				return true
+			}
+			tt := typeOf(n.Tag)
+			if tt == nil || !isMode(tt) {
+				return true
+			}
+			for _, stmt := range n.Body.List {
+				cc, ok := stmt.(*ast.CaseClause)
+				if !ok {
+					continue
+				}
+				for _, e := range cc.List {
+					if isConst(e) {
+						report(e, "switch on core.Mode with a literal case")
+					}
+				}
+			}
+		}
+		return true
+	})
+	return out
+}

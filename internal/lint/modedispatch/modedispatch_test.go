@@ -1,0 +1,44 @@
+package modedispatch
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/linttest"
+)
+
+// TestTestdataWantComments drives the pass over the annotated testdata
+// package, which imports the real core package so the Mode type resolves.
+func TestTestdataWantComments(t *testing.T) {
+	dir := filepath.Join("testdata", "src", "a")
+	linttest.Run(t, dir, func() ([]lint.Finding, error) {
+		return CheckPackage(lint.NewChecker(), dir)
+	})
+}
+
+// TestRepoIsClean is the repository's own gate: no layer above
+// internal/core may compare modes against literals.
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks every core-importing package from source; skipped in -short")
+	}
+	findings, err := Pass{}.Check(filepath.Join("..", "..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+}
+
+// TestEmptyTree keeps the pass usable on trees without the core package.
+func TestEmptyTree(t *testing.T) {
+	findings, err := Pass{}.Check(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 0 {
+		t.Fatalf("unexpected findings on empty tree: %v", findings)
+	}
+}

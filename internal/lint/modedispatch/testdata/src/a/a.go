@@ -1,0 +1,59 @@
+// Package a exercises the modedispatch pass: comparing core.Mode values
+// against literals must fire; dispatching on registry capabilities, mode
+// variable-to-variable comparison, and annotated special cases must not.
+package a
+
+import "repro/internal/core"
+
+// literalCompare recognizes specific modes by identity: forbidden.
+func literalCompare(cfg core.Config) bool {
+	if cfg.Mode == core.DIE { // want "core.Mode compared against a literal"
+		return true
+	}
+	return cfg.Mode != core.Mode("SIE") // want "core.Mode compared against a literal"
+}
+
+// stringLiteralCompare against an untyped constant is still a mode
+// identity check: forbidden.
+func stringLiteralCompare(m core.Mode) bool {
+	return m == "DIE-IRB" // want "core.Mode compared against a literal"
+}
+
+// literalSwitch dispatches by mode name: every constant case fires.
+func literalSwitch(m core.Mode) int {
+	switch m {
+	case core.SIE: // want "switch on core.Mode with a literal case"
+		return 1
+	case core.TMR: // want "switch on core.Mode with a literal case"
+		return 3
+	}
+	return 0
+}
+
+// capabilityDispatch is the intended shape: ask the registry what the
+// mode can do. Allowed.
+func capabilityDispatch(cfg core.Config) int {
+	caps := cfg.Mode.Caps()
+	if caps.UsesIRB {
+		return 2 * caps.Streams
+	}
+	return caps.Streams
+}
+
+// variableCompare of two mode values carries no literal knowledge:
+// allowed (e.g. "did the sweep change mode between cells").
+func variableCompare(a, b core.Mode) bool {
+	return a == b
+}
+
+// exemptTool is genuinely about one mode and says so: allowed.
+func exemptTool(m core.Mode) bool {
+	//modedispatch:exempt this debug helper prints the REPLAY epoch table and is meaningless for other modes
+	return m == core.REPLAY
+}
+
+// compareKinds are capability enums, not modes; comparing them against
+// their constants is exactly how capability dispatch works. Allowed.
+func compareKinds(cfg core.Config) bool {
+	return cfg.Mode.Caps().Compare == core.CompareVote
+}

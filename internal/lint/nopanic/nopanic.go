@@ -20,51 +20,35 @@ import (
 	"go/ast"
 	"go/parser"
 	"go/token"
-	"io/fs"
-	"path/filepath"
-	"sort"
-	"strings"
+
+	"repro/internal/lint"
 )
 
 // Marker is the comment directive that allowlists a panic.
 const Marker = "//nopanic:invariant"
 
-// Finding is one disallowed panic call.
-type Finding struct {
-	Pos  token.Position // file:line:col of the panic call
-	Func string         // enclosing function, for the report
+// Pass is the nopanic pass, ready for the repolint driver.
+type Pass struct{}
+
+func (Pass) Name() string { return "nopanic" }
+func (Pass) Doc() string {
+	return "library code must return errors; a panic needs a " + Marker + " annotation"
 }
 
-func (f Finding) String() string {
-	return fmt.Sprintf("%s: panic in %s (return an error, or annotate with %s)",
-		f.Pos, f.Func, Marker)
-}
-
-// CheckDir walks every non-test .go file under root (skipping testdata
+// Check walks every non-test .go file under root (skipping testdata
 // trees) and returns the disallowed panic calls, ordered by position.
-func CheckDir(root string) ([]Finding, error) {
-	var files []string
-	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
-		if err != nil {
-			return err
-		}
-		if d.IsDir() {
-			if d.Name() == "testdata" {
-				return filepath.SkipDir
-			}
-			return nil
-		}
-		if strings.HasSuffix(path, ".go") && !strings.HasSuffix(path, "_test.go") {
-			files = append(files, path)
-		}
-		return nil
-	})
+func (Pass) Check(root string) ([]lint.Finding, error) {
+	return CheckDir(root)
+}
+
+// CheckDir is Check as a free function, for tests and callers that do not
+// need the Pass indirection.
+func CheckDir(root string) ([]lint.Finding, error) {
+	files, err := lint.GoFiles(root)
 	if err != nil {
 		return nil, err
 	}
-	sort.Strings(files)
-
-	var out []Finding
+	var out []lint.Finding
 	for _, path := range files {
 		fs, err := CheckFile(path)
 		if err != nil {
@@ -76,7 +60,7 @@ func CheckDir(root string) ([]Finding, error) {
 }
 
 // CheckFile parses one Go source file and returns its disallowed panics.
-func CheckFile(path string) ([]Finding, error) {
+func CheckFile(path string) ([]lint.Finding, error) {
 	fset := token.NewFileSet()
 	f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
 	if err != nil {
@@ -85,16 +69,9 @@ func CheckFile(path string) ([]Finding, error) {
 
 	// Lines carrying the allowlist marker; a panic on line L is allowed
 	// when L or L-1 is marked.
-	marked := map[int]bool{}
-	for _, cg := range f.Comments {
-		for _, c := range cg.List {
-			if strings.HasPrefix(c.Text, Marker) {
-				marked[fset.Position(c.Pos()).Line] = true
-			}
-		}
-	}
+	marked := lint.MarkedLines(fset, f, Marker)
 
-	var out []Finding
+	var out []lint.Finding
 	for _, decl := range f.Decls {
 		fd, ok := decl.(*ast.FuncDecl)
 		if ok && fd.Body != nil {
@@ -106,14 +83,14 @@ func CheckFile(path string) ([]Finding, error) {
 
 // checkFunc reports the unannotated panic calls in one function body,
 // honouring local shadowing of the panic builtin.
-func checkFunc(fset *token.FileSet, fd *ast.FuncDecl, marked map[int]bool) []Finding {
+func checkFunc(fset *token.FileSet, fd *ast.FuncDecl, marked map[int]string) []lint.Finding {
 	name := fd.Name.Name
 	if fd.Recv != nil && len(fd.Recv.List) == 1 {
 		name = recvType(fd.Recv.List[0].Type) + "." + name
 	}
 	shadowed := paramsShadowPanic(fd)
 
-	var out []Finding
+	var out []lint.Finding
 	ast.Inspect(fd.Body, func(n ast.Node) bool {
 		if shadowed {
 			return false
@@ -133,10 +110,11 @@ func checkFunc(fset *token.FileSet, fd *ast.FuncDecl, marked map[int]bool) []Fin
 				return true
 			}
 			pos := fset.Position(n.Pos())
-			if marked[pos.Line] || marked[pos.Line-1] {
+			if _, ok := lint.Exempt(marked, pos.Line); ok {
 				return true
 			}
-			out = append(out, Finding{Pos: pos, Func: name})
+			out = append(out, lint.NewFinding("nopanic", pos,
+				fmt.Sprintf("panic in %s (return an error, or annotate with %s)", name, Marker)))
 		}
 		return true
 	})

@@ -1,64 +1,22 @@
 package nopanic
 
 import (
-	"go/parser"
-	"go/token"
 	"path/filepath"
-	"strings"
 	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/linttest"
 )
 
-// TestTestdataWantComments checks CheckFile against the `// want` comments
-// in the testdata file, analysistest-style: every line annotated with a
-// want comment must produce a finding whose text matches the quoted
-// fragment, and no other line may produce one.
+// TestTestdataWantComments checks the pass against the `// want` comments
+// in the testdata package via the shared linttest harness: every
+// annotated line must produce a finding matching the quoted fragment,
+// and no other line may produce one.
 func TestTestdataWantComments(t *testing.T) {
-	path := filepath.Join("testdata", "src", "a", "a.go")
-
-	wants := map[int]string{} // line -> expected fragment
-	fset := token.NewFileSet()
-	f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
-	if err != nil {
-		t.Fatal(err)
-	}
-	for _, cg := range f.Comments {
-		for _, c := range cg.List {
-			text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
-			if !strings.HasPrefix(text, "want ") {
-				continue
-			}
-			frag := strings.Trim(strings.TrimPrefix(text, "want "), "`\"")
-			wants[fset.Position(c.Pos()).Line] = frag
-		}
-	}
-	if len(wants) == 0 {
-		t.Fatal("testdata has no want comments")
-	}
-
-	findings, err := CheckFile(path)
-	if err != nil {
-		t.Fatal(err)
-	}
-	got := map[int]string{}
-	for _, fd := range findings {
-		got[fd.Pos.Line] = fd.String()
-	}
-
-	for line, frag := range wants {
-		msg, ok := got[line]
-		if !ok {
-			t.Errorf("line %d: want finding matching %q, got none", line, frag)
-			continue
-		}
-		if !strings.Contains(msg, frag) {
-			t.Errorf("line %d: finding %q does not match %q", line, msg, frag)
-		}
-	}
-	for line, msg := range got {
-		if _, ok := wants[line]; !ok {
-			t.Errorf("line %d: unexpected finding %q", line, msg)
-		}
-	}
+	dir := filepath.Join("testdata", "src", "a")
+	linttest.Run(t, dir, func() ([]lint.Finding, error) {
+		return CheckDir(dir)
+	})
 }
 
 // TestCheckDirSkipsTestsAndTestdata ensures the directory walk exempts

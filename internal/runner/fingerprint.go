@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"sort"
 
@@ -27,7 +28,22 @@ type Fingerprinter interface {
 // (an injector without a Fingerprint, typically) is not reducible to a
 // canonical spec. Uncacheable jobs still run; they just never hit or fill
 // Options.Cache.
-var ErrUncacheable = fmt.Errorf("runner: job is not cacheable")
+var ErrUncacheable = errors.New("runner: job is not cacheable")
+
+// optsKey is the canonical projection of sim.Options into the
+// fingerprint. It is a package-level type so the completeness test can
+// hold it against sim.Options by reflection: every exported Options
+// field must appear here by name or in that test's documented exclusion
+// set, which is how a future Options field fails the test instead of
+// silently aliasing distinct results in the cache.
+type optsKey struct {
+	Insns       uint64
+	Verify      bool
+	FastForward uint64
+	Seed        uint64
+	Injector    string `json:",omitempty"`
+	Program     string `json:",omitempty"`
+}
 
 // Fingerprint returns a stable content hash identifying everything that
 // determines the job's simulation outcome: the machine configuration, the
@@ -41,14 +57,6 @@ var ErrUncacheable = fmt.Errorf("runner: job is not cacheable")
 // hits), Options.Trace (replay is bit-identical to interpretation by
 // construction), and anything observational (progress callbacks).
 func (j Job) Fingerprint() (string, error) {
-	type optsKey struct {
-		Insns       uint64
-		Verify      bool
-		FastForward uint64
-		Seed        uint64
-		Injector    string `json:",omitempty"`
-		Program     string `json:",omitempty"`
-	}
 	ok := optsKey{
 		Insns:       j.Opts.Insns,
 		Verify:      j.Opts.Verify,

@@ -1,0 +1,113 @@
+package runner
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// The fingerprint's completeness is a structural property: every input
+// that can steer a simulation must reach the hash, or the result cache
+// will alias distinct runs. These tests hold the fingerprint's shape
+// against the input types by reflection, so adding a field to
+// sim.Options, core.Config or workload.Profile without deciding its
+// cache treatment fails here with instructions, not in production with
+// wrong cached numbers.
+
+// optsExcluded are the sim.Options fields deliberately left out of
+// optsKey. Every entry must carry the reason it cannot change a result.
+var optsExcluded = map[string]string{
+	"Trace": "replay is bit-identical to interpretation by construction; the trace's program is the profile's",
+}
+
+// jobExcluded are the Job fields deliberately left out of the payload.
+var jobExcluded = map[string]string{
+	"Name": "display label only, rewritten on cache hits; never reaches the simulator",
+}
+
+func TestFingerprintCoversOptions(t *testing.T) {
+	key := reflect.TypeOf(optsKey{})
+	keyed := make(map[string]bool, key.NumField())
+	for i := 0; i < key.NumField(); i++ {
+		keyed[key.Field(i).Name] = true
+	}
+	opts := reflect.TypeOf(sim.Options{})
+	for i := 0; i < opts.NumField(); i++ {
+		name := opts.Field(i).Name
+		switch {
+		case keyed[name] && optsExcluded[name] != "":
+			t.Errorf("sim.Options.%s is both in optsKey and excluded; drop one", name)
+		case !keyed[name] && optsExcluded[name] == "":
+			t.Errorf("sim.Options.%s is not fingerprinted: add it to optsKey (and project it in Fingerprint), or add it to optsExcluded with the reason it cannot change a result", name)
+		}
+	}
+	// The reverse direction: a key field naming no Options field is dead
+	// weight that suggests a rename slipped by.
+	for name := range keyed {
+		if _, ok := opts.FieldByName(name); !ok {
+			t.Errorf("optsKey.%s matches no sim.Options field; was the field renamed?", name)
+		}
+	}
+	for name := range optsExcluded {
+		if _, ok := opts.FieldByName(name); !ok {
+			t.Errorf("optsExcluded lists %q, which is not a sim.Options field", name)
+		}
+	}
+}
+
+func TestFingerprintCoversJob(t *testing.T) {
+	covered := map[string]bool{ // fields the payload struct carries
+		"Config":  true,
+		"Profile": true,
+		"Opts":    true,
+	}
+	job := reflect.TypeOf(Job{})
+	for i := 0; i < job.NumField(); i++ {
+		name := job.Field(i).Name
+		if !covered[name] && jobExcluded[name] == "" {
+			t.Errorf("Job.%s is neither fingerprinted nor excluded with a reason", name)
+		}
+	}
+}
+
+// TestFingerprintConfigAndProfileAreFullyMarshaled guards the other leg:
+// Config and Profile enter the hash via json.Marshal of the whole value,
+// which silently drops unexported fields and fields tagged json:"-". Any
+// such field would be invisible to the cache key.
+func TestFingerprintConfigAndProfileAreFullyMarshaled(t *testing.T) {
+	checkJSONVisible(t, reflect.TypeOf(core.Config{}), "core.Config")
+	checkJSONVisible(t, reflect.TypeOf(workload.Profile{}), "workload.Profile")
+}
+
+func checkJSONVisible(t *testing.T, typ reflect.Type, path string) {
+	t.Helper()
+	if typ.Kind() == reflect.Pointer || typ.Kind() == reflect.Slice ||
+		typ.Kind() == reflect.Array || typ.Kind() == reflect.Map {
+		checkJSONVisible(t, typ.Elem(), path+"[]")
+		return
+	}
+	if typ.Kind() != reflect.Struct {
+		return
+	}
+	for i := 0; i < typ.NumField(); i++ {
+		f := typ.Field(i)
+		fp := path + "." + f.Name
+		if !f.IsExported() {
+			t.Errorf("%s is unexported: json.Marshal drops it, so it never reaches the fingerprint; export it or move it out of the marshaled type", fp)
+			continue
+		}
+		if tag := f.Tag.Get("json"); tag == "-" {
+			t.Errorf("%s is tagged json:\"-\": it never reaches the fingerprint; untag it or fingerprint it explicitly", fp)
+			continue
+		} else if strings.Contains(tag, "omitempty") {
+			// omitempty is fine for the key: an absent field and its zero
+			// value steer the simulator identically.
+			_ = tag
+		}
+		checkJSONVisible(t, f.Type, fp)
+	}
+}

@@ -198,6 +198,14 @@ func (e *CellTimeoutError) Error() string {
 		e.Bench, e.Config, e.Timeout, e.Attempts)
 }
 
+// now is the sweep's single sanctioned wall-clock read, feeding only the
+// Progress callback's Elapsed/ETA fields — never a simulation result. It
+// is a variable for the same reason simRun is: harness tests substitute a
+// fake clock.
+//
+//determinism:exempt sole injected clock seam; feeds progress reporting only, tests substitute it
+var now = time.Now
+
 // simRun is sim.RunContext, indirected so the harness tests can substitute
 // panicking or hanging simulations without involving a real core.
 var simRun = sim.RunContext
@@ -321,7 +329,7 @@ func Run(ctx context.Context, jobs []Job, opts Options) ([]Outcome, error) {
 	}
 
 	var (
-		start = time.Now()
+		start = now()
 		mu    sync.Mutex
 		done  int
 	)
@@ -337,7 +345,7 @@ func Run(ctx context.Context, jobs []Job, opts Options) ([]Outcome, error) {
 			Total:   len(jobs),
 			Bench:   jobs[i].Profile.Name,
 			Config:  jobs[i].Name,
-			Elapsed: time.Since(start),
+			Elapsed: now().Sub(start),
 		}
 		if left := len(jobs) - done; left > 0 {
 			p.ETA = p.Elapsed / time.Duration(done) * time.Duration(left)

@@ -29,9 +29,17 @@ type routeCode struct {
 	code  int
 }
 
+// now is the daemon's single sanctioned wall-clock read. Every timestamp
+// the service layer produces — run records, latency observations, the
+// uptime gauge — flows through this seam, so tests can freeze time and
+// the determinism lint can verify no other clock sneaks in.
+//
+//determinism:exempt sole injected clock seam; operational timestamps and metrics only, tests substitute it
+var now = time.Now
+
 func newMetrics() *metrics {
 	return &metrics{
-		start:    time.Now(),
+		start:    now(),
 		requests: make(map[routeCode]uint64),
 		runs:     make(map[string]uint64),
 	}
@@ -100,7 +108,7 @@ func (m *metrics) render(w io.Writer, queueDepth int, cache cacheStats) {
 	fmt.Fprintf(w, "simserved_cells_total{source=\"simulated\"} %d\n", m.cellsSim)
 	fmt.Fprintf(w, "simserved_cells_total{source=\"cache\"} %d\n", m.cellsHit)
 
-	uptime := time.Since(m.start).Seconds()
+	uptime := now().Sub(m.start).Seconds()
 	fmt.Fprintln(w, "# HELP simserved_cells_per_second Lifetime average simulated cells per second.")
 	fmt.Fprintln(w, "# TYPE simserved_cells_per_second gauge")
 	rate := 0.0

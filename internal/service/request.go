@@ -1,6 +1,7 @@
 package service
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -42,6 +43,21 @@ type unknownModeError struct {
 
 func (e *unknownModeError) Error() string {
 	return fmt.Sprintf("unknown mode %q (see GET /v1/modes)", e.name)
+}
+
+// ErrNoConfigs rejects a run request naming neither configurations nor
+// modes; the HTTP layer renders it as a 400.
+var ErrNoConfigs = errors.New("configs: at least one configuration or mode name required (see GET /v1/configs, GET /v1/modes)")
+
+// unknownConfigError mirrors unknownModeError for the named-configuration
+// column source, keeping the rejection selectable with errors.As instead
+// of message matching.
+type unknownConfigError struct {
+	name string
+}
+
+func (e *unknownConfigError) Error() string {
+	return fmt.Sprintf("unknown config %q (see GET /v1/configs)", e.name)
 }
 
 // DescribeModes renders the core mode registry as the GET /v1/modes
@@ -111,7 +127,7 @@ func ConfigByName(name string) (core.Config, bool) {
 // injectors).
 func (s *Server) buildJobs(req *RunRequest) ([]runner.Job, error) {
 	if len(req.Configs) == 0 && len(req.Modes) == 0 {
-		return nil, fmt.Errorf("configs: at least one configuration or mode name required (see GET /v1/configs, GET /v1/modes)")
+		return nil, ErrNoConfigs
 	}
 	// Resolve the request's columns up front: named configurations first,
 	// then registry modes at the paper-baseline machine. Mode names are
@@ -120,7 +136,7 @@ func (s *Server) buildJobs(req *RunRequest) ([]runner.Job, error) {
 	for _, name := range req.Configs {
 		cfg, ok := ConfigByName(name)
 		if !ok {
-			return nil, fmt.Errorf("unknown config %q (see GET /v1/configs)", name)
+			return nil, &unknownConfigError{name: name}
 		}
 		cols = append(cols, sim.NamedConfig{Name: name, Cfg: cfg})
 	}

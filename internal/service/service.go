@@ -219,7 +219,7 @@ func (s *Server) handlePostRuns(w http.ResponseWriter, r *http.Request) {
 	defer func() { <-s.slots }()
 
 	s.markRunning(run.ID)
-	start := time.Now()
+	start := now()
 	outs, runErr := s.execute(r, jobs)
 
 	results := make([]CellResult, len(outs))
@@ -253,7 +253,7 @@ func (s *Server) handlePostRuns(w http.ResponseWriter, r *http.Request) {
 		status, errMsg = StatusFailed, runErr.Error()
 	}
 	s.finishRun(run.ID, status, results, hitCells, errMsg)
-	s.met.observeRun(status, simCells, hitCells, time.Since(start))
+	s.met.observeRun(status, simCells, hitCells, now().Sub(start))
 
 	if status == StatusCancelled {
 		return // the client is gone; nothing to write
@@ -395,18 +395,18 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 	}
 	defer func() { <-s.slots }()
 
-	start := time.Now()
+	start := now()
 	tbl, err := named.Run(opts)
 	switch {
 	case r.Context().Err() != nil:
-		s.met.observeRun(StatusCancelled, 0, 0, time.Since(start))
+		s.met.observeRun(StatusCancelled, 0, 0, now().Sub(start))
 		return
 	case err != nil:
-		s.met.observeRun(StatusFailed, 0, 0, time.Since(start))
+		s.met.observeRun(StatusFailed, 0, 0, now().Sub(start))
 		writeError(w, http.StatusInternalServerError, err.Error())
 		return
 	}
-	s.met.observeRun(StatusDone, 0, 0, time.Since(start))
+	s.met.observeRun(StatusDone, 0, 0, now().Sub(start))
 	out, err := cliutil.Render(tbl, format)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
@@ -434,7 +434,7 @@ func (s *Server) newRun(cells int) Run {
 	defer s.mu.Unlock()
 	s.nextID++
 	id := fmt.Sprintf("run-%06d", s.nextID)
-	run := &Run{ID: id, Status: StatusQueued, Created: time.Now(), Cells: cells}
+	run := &Run{ID: id, Status: StatusQueued, Created: now(), Cells: cells}
 	s.runs[id] = run
 	s.order = append(s.order, id)
 	s.evictRunsLocked()
@@ -465,8 +465,8 @@ func (s *Server) markRunning(id string) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if run, ok := s.runs[id]; ok {
-		now := time.Now()
-		run.Status, run.Started = StatusRunning, &now
+		t := now()
+		run.Status, run.Started = StatusRunning, &t
 	}
 }
 
@@ -477,8 +477,8 @@ func (s *Server) finishRun(id, status string, results []CellResult, cacheHits in
 	if !ok {
 		return
 	}
-	now := time.Now()
-	run.Status, run.Finished = status, &now
+	t := now()
+	run.Status, run.Finished = status, &t
 	run.Results, run.CacheHits, run.Error = results, cacheHits, errMsg
 }
 

@@ -90,6 +90,25 @@ func (e *DivergenceError) Error() string {
 
 func (e *DivergenceError) Unwrap() error { return e.OracleErr }
 
+// Sentinel errors for the programmatically distinguishable run failures.
+// RunContext wraps each with the run's particulars via %w, so callers
+// select on the condition with errors.Is and never on message text.
+var (
+	// ErrTraceMismatch: Options.Trace was captured from a different
+	// program than the one the run was asked to execute.
+	ErrTraceMismatch = errors.New("sim: trace does not match requested program")
+	// ErrHaltedEarly: the functional machine halted before the
+	// fast-forward window completed.
+	ErrHaltedEarly = errors.New("sim: machine halted during fast-forward")
+	// ErrProgramTooShort: a generated program ran out of instructions
+	// before the measured budget was committed.
+	ErrProgramTooShort = errors.New("sim: program too short for instruction budget")
+	// ErrTraceExhausted: the verification oracle's recorded stream ended
+	// before the timing core stopped committing (surfaced inside a
+	// *DivergenceError's OracleErr chain).
+	ErrTraceExhausted = errors.New("sim: trace exhausted before run completed")
+)
+
 // DefaultInsns is the per-benchmark instruction budget used by the
 // experiment harness; large enough for the caches, predictor and IRB to
 // reach steady state, small enough for full sweeps on a laptop.
@@ -204,12 +223,12 @@ func RunContext(ctx context.Context, name string, cfg core.Config, p workload.Pr
 		// profile). Catching a mismatched hand-off here turns a silent
 		// wrong-benchmark result into an immediate error.
 		if opts.Program != nil && opts.Program != tr.Prog() {
-			return Result{}, fmt.Errorf("sim: trace captured from %q does not match Options.Program %q",
-				tr.Prog().Name, opts.Program.Name)
+			return Result{}, fmt.Errorf("%w: captured from %q, Options.Program is %q",
+				ErrTraceMismatch, tr.Prog().Name, opts.Program.Name)
 		}
 		if opts.Program == nil && tr.Prog().Name != p.Name {
-			return Result{}, fmt.Errorf("sim: trace captured from %q does not match profile %q",
-				tr.Prog().Name, p.Name)
+			return Result{}, fmt.Errorf("%w: captured from %q, profile is %q",
+				ErrTraceMismatch, tr.Prog().Name, p.Name)
 		}
 	}
 	prog, err := ProgramFor(p, opts)
@@ -248,7 +267,7 @@ func RunContext(ctx context.Context, name string, cfg core.Config, p workload.Pr
 			return Result{}, ferr
 		}
 		if ran < opts.FastForward || m.Halted {
-			return Result{}, fmt.Errorf("sim: %s halted during fast-forward (%d/%d)",
+			return Result{}, fmt.Errorf("%w: %s ran %d/%d", ErrHaltedEarly,
 				p.Name, ran, opts.FastForward)
 		}
 	}
@@ -293,8 +312,8 @@ func RunContext(ctx context.Context, name string, cfg core.Config, p workload.Pr
 		return Result{}, fmt.Errorf("sim: %s on %s: %w", p.Name, name, err)
 	}
 	if opts.Program == nil && c.Stats.Committed < opts.Insns {
-		return Result{}, fmt.Errorf("sim: %s on %s committed only %d/%d instructions (program too short)",
-			p.Name, name, c.Stats.Committed, opts.Insns)
+		return Result{}, fmt.Errorf("%w: %s on %s committed only %d/%d instructions",
+			ErrProgramTooShort, p.Name, name, c.Stats.Committed, opts.Insns)
 	}
 	res := Result{
 		Bench:  p.Name,
@@ -343,7 +362,7 @@ func commitOracle(c *core.Core, opts Options, prog *program.Program, bench, conf
 			want, ok := cur.Next()
 			if !ok {
 				abort(&DivergenceError{Seq: rec.Seq,
-					OracleErr: fmt.Errorf("fsim: trace of %q exhausted at seq %d", prog.Name, rec.Seq)})
+					OracleErr: fmt.Errorf("%w: trace of %q ended at seq %d", ErrTraceExhausted, prog.Name, rec.Seq)})
 				return
 			}
 			if !sameCommit(rec, want) {
