@@ -16,18 +16,25 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
 	"runtime"
+	"runtime/debug"
+	"strings"
 	"testing"
 	"time"
 
 	"repro/internal/cliutil"
+	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/fault"
 	"repro/internal/fsim"
 	"repro/internal/irb"
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
@@ -43,14 +50,37 @@ type Result struct {
 
 // Record is the file-level envelope.
 type Record struct {
-	Date      string   `json:"date"`
-	GoVersion string   `json:"go_version"`
-	GOOS      string   `json:"goos"`
-	GOARCH    string   `json:"goarch"`
-	CPUs      int      `json:"cpus"`
-	Short     bool     `json:"short,omitempty"`
-	Notes     string   `json:"notes,omitempty"`
-	Results   []Result `json:"results"`
+	Date      string `json:"date"`
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	CPUs      int    `json:"cpus"`
+	// GoMaxProcs is the effective worker ceiling (GOMAXPROCS at startup);
+	// on cgroup-limited machines it can be far below CPUs, and it — not
+	// CPUs — is what the parallel grid numbers scale with.
+	GoMaxProcs int      `json:"gomaxprocs"`
+	Commit     string   `json:"commit,omitempty"`
+	Short      bool     `json:"short,omitempty"`
+	Notes      string   `json:"notes,omitempty"`
+	Results    []Result `json:"results"`
+}
+
+// gitCommit resolves the commit the benchmark binary was built from: the
+// embedded VCS stamp when the toolchain recorded one (go build), else a
+// direct git query (go run strips the stamp).
+func gitCommit() string {
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range bi.Settings {
+			if s.Key == "vcs.revision" {
+				return s.Value
+			}
+		}
+	}
+	out, err := exec.Command("git", "rev-parse", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
 }
 
 func main() {
@@ -61,13 +91,15 @@ func main() {
 	flag.Parse()
 
 	rec := Record{
-		Date:      time.Now().Format("2006-01-02"),
-		GoVersion: runtime.Version(),
-		GOOS:      runtime.GOOS,
-		GOARCH:    runtime.GOARCH,
-		CPUs:      runtime.NumCPU(),
-		Short:     *short,
-		Notes:     *notes,
+		Date:       time.Now().Format("2006-01-02"),
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		CPUs:       runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Commit:     gitCommit(),
+		Short:      *short,
+		Notes:      *notes,
 	}
 	path := *out
 	if path == "" {
@@ -128,6 +160,87 @@ func main() {
 				}
 			}
 		})
+	}
+
+	// BatchThroughput measures the lockstep core's aggregate bandwidth:
+	// one leader serving K injector lanes whose rate is so low they stay
+	// convergent, so each operation simulates K*insns lane-instructions
+	// for about one scalar run's wall clock. K=1 prices the probe layer
+	// itself against SimulatorThroughput/DIE.
+	for _, k := range []int{1, 4, 8, 16} {
+		lanes := make([]sim.BatchLane, k)
+		for i := range lanes {
+			inj, err := fault.New(fault.Config{Site: fault.FU, Rate: 1e-9, Seed: uint64(i + 1)})
+			if err != nil {
+				fail(err)
+			}
+			lanes[i] = sim.BatchLane{Name: fmt.Sprintf("lane%d", i), Injector: inj}
+		}
+		measure(fmt.Sprintf("BatchThroughput/K=%d", k), "aggregate_insns_per_s",
+			float64(k)*float64(insns), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					// NewBatchSim resets each lane injector, so reuse across
+					// iterations replays the identical campaign.
+					if _, err := sim.RunBatchContext(nil, "DIE", core.BaseDIE(), gzip,
+						sim.Options{Insns: insns, Trace: tr}, lanes); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+	}
+
+	// GridFaultCampaign is the macro-benchmark behind the batch planner: a
+	// recovery-campaign cell — one config × one workload × many seeds plus
+	// the fault-free baseline — swept through the runner with batching on
+	// and off. The campaign rate is low enough that most lanes converge,
+	// which is the regime the planner wins in; diverged lanes re-run
+	// scalar, exactly as production sweeps do.
+	campaignSeeds := 32
+	if *short {
+		campaignSeeds = 8
+	}
+	campaign := func() []runner.Job {
+		jobs := []runner.Job{{
+			Name: "DIE/clean", Config: core.BaseDIE(), Profile: gzip,
+			Opts: sim.Options{Insns: insns, Trace: tr},
+		}}
+		for s := 1; s <= campaignSeeds; s++ {
+			inj, err := fault.New(fault.Config{Site: fault.FU, Rate: 2e-7, Seed: uint64(s)})
+			if err != nil {
+				fail(err)
+			}
+			jobs = append(jobs, runner.Job{
+				Name: fmt.Sprintf("DIE/fu-s%d", s), Config: core.BaseDIE(), Profile: gzip,
+				Opts: sim.Options{Insns: insns, Trace: tr, Injector: inj},
+			})
+		}
+		return jobs
+	}
+	campaignInsns := float64(campaignSeeds+1) * float64(insns)
+	for _, v := range []struct {
+		name    string
+		noBatch bool
+	}{{"batched", false}, {"scalar", true}} {
+		jobs := campaign()
+		measure("GridFaultCampaign/"+v.name, "aggregate_insns_per_s", campaignInsns,
+			func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					// The runner resets batchable injectors before every
+					// dispatch, so the job set is reusable across iterations.
+					outs, err := runner.Run(context.Background(), jobs,
+						runner.Options{Parallelism: 1, NoBatch: v.noBatch})
+					if err != nil {
+						b.Fatal(err)
+					}
+					for _, o := range outs {
+						if o.Err != nil {
+							b.Fatal(o.Err)
+						}
+					}
+				}
+			})
 	}
 
 	grid := func(name string, opts experiments.Options) {

@@ -1,0 +1,206 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/irb"
+)
+
+// BatchableInjector is the capability a fault injector needs to ride in a
+// batch lane: beyond corrupting values it must expose how many faults it
+// has applied (the batch's divergence detector) and be restorable to its
+// freshly-constructed state (so a diverged lane can re-run scalar and
+// reproduce the exact campaign a fresh run would).
+type BatchableInjector interface {
+	FaultInjector
+	// InjectedCount reports the number of faults applied so far. It must
+	// increase exactly when an injection method fires, whether or not the
+	// fired strike changed an observable value.
+	InjectedCount() uint64
+	// Reset restores the injector to its freshly-constructed state:
+	// reseeded PRNG, cleared strike bookkeeping, zero injected count.
+	Reset()
+}
+
+// ErrBatchDrained is the error a batch leader aborts with when every lane
+// has diverged and no fault-free lane needs the full run: finishing the
+// leader would compute a result nobody consumes. Callers treat it as an
+// early exit, not a failure.
+var ErrBatchDrained = errors.New("core: every batch lane diverged")
+
+// BatchSim steps K same-shape simulation cells in lockstep through one
+// core. The cells must agree on everything but their fault injector —
+// configuration, workload, options — so their fault-free trajectories are
+// the *same* trajectory, and the expensive per-cell state (register file,
+// scoreboard, IRB occupancy, uop arena, event heap, per-stream commit
+// state) collapses into one shared copy stepped once. What remains
+// per-lane is laid out struct-of-arrays below: the injector, its last
+// observed fire count, the diverged flag and the strike point.
+//
+// BatchSim installs itself as the leader core's FaultInjector and fans
+// every injection opportunity out to each active lane's injector, passing
+// the leader's clean values through unchanged. Until a lane's injector
+// first fires, the lane's hypothetical scalar run is bit-identical to the
+// leader's — the injector returns every value untouched, so it steers
+// nothing — and therefore the probe call sequence the lane's injector sees
+// here is exactly the call sequence its own scalar run would produce. A
+// lane whose injector never fires ends the run with scalar-identical
+// injector state, and the leader's results and statistics are its results
+// and statistics, bit for bit. A lane whose injector does fire (a changed
+// return value or a bumped InjectedCount) has just diverged from the
+// shared trajectory; it is evicted from the batch on the spot and re-run
+// scalar by the caller, its injector Reset first. Eviction is how
+// per-lane early-exit works: a diverging lane retires from the batch
+// without stalling its siblings.
+//
+// The IRB-array site needs one extra guard: lane injectors must not
+// corrupt the leader's real reuse buffer, so AfterIRBInsert probes run
+// against a scratch IRB of the same geometry. Corruption calls on it are
+// harmless no-ops (the probed PC was never inserted there), the injector's
+// PRNG draws are identical either way, and the fire is detected through
+// InjectedCount.
+type BatchSim struct {
+	c       *Core
+	scratch *irb.IRB // AfterIRBInsert probe target; nil when the mode has no IRB
+
+	// Per-lane state, struct-of-arrays. inj[i] == nil marks a fault-free
+	// lane: it never diverges and is served the leader's result.
+	inj      []BatchableInjector
+	injected []uint64 // last observed InjectedCount per lane
+	diverged []bool
+	struck   []uint64 // leader seq at divergence (0: IRB array or wrong path)
+
+	active    int // injector lanes not yet diverged
+	faultFree int // lanes with no injector; they keep the leader alive
+}
+
+// NewBatchSim builds a batch over the given core, one lane per injector
+// (nil entries are fault-free lanes), resets every injector and installs
+// the batch as the core's fault injector. The injectors must be distinct
+// objects — one injector in two lanes would be probed twice per
+// opportunity and observe a call sequence no scalar run produces. Call
+// before Core.Run; the core must not carry an injector of its own.
+func NewBatchSim(c *Core, lanes []FaultInjector) (*BatchSim, error) {
+	if len(lanes) == 0 {
+		return nil, fmt.Errorf("core: batch needs at least one lane")
+	}
+	if c.inj != nil {
+		return nil, fmt.Errorf("core: batch leader already has an injector")
+	}
+	b := &BatchSim{
+		c:        c,
+		inj:      make([]BatchableInjector, len(lanes)),
+		injected: make([]uint64, len(lanes)),
+		diverged: make([]bool, len(lanes)),
+		struck:   make([]uint64, len(lanes)),
+	}
+	for i, inj := range lanes {
+		if inj == nil {
+			b.faultFree++
+			continue
+		}
+		bi, ok := inj.(BatchableInjector)
+		if !ok {
+			return nil, fmt.Errorf("core: lane %d injector %T is not batchable (no InjectedCount/Reset)", i, inj)
+		}
+		bi.Reset()
+		b.inj[i] = bi
+		b.injected[i] = bi.InjectedCount()
+		b.active++
+	}
+	if c.reuse != nil {
+		scr, err := irb.New(c.cfg.IRB)
+		if err != nil {
+			return nil, err
+		}
+		b.scratch = scr
+	}
+	c.SetInjector(b)
+	return b, nil
+}
+
+// Lanes returns the number of lanes in the batch.
+func (b *BatchSim) Lanes() int { return len(b.inj) }
+
+// Active returns the number of injector lanes that have not diverged.
+func (b *BatchSim) Active() int { return b.active }
+
+// Diverged reports whether lane i has left the batch, and if so the
+// architected sequence number of the leader instruction whose injection
+// opportunity fired (0 when the strike hit the IRB array or a wrong-path
+// copy, which carry no architected sequence).
+func (b *BatchSim) Diverged(i int) (seq uint64, diverged bool) {
+	return b.struck[i], b.diverged[i]
+}
+
+// evict retires lane i from the batch at the opportunity that fired. When
+// the last injector lane leaves and no fault-free lane needs the full run,
+// the leader aborts with ErrBatchDrained — unless the run is already over
+// (an oracle divergence or a completed program must keep its own outcome).
+func (b *BatchSim) evict(i int, seq uint64) {
+	b.diverged[i] = true
+	b.struck[i] = seq
+	b.active--
+	if b.active == 0 && b.faultFree == 0 && !b.c.done {
+		b.c.Abort(ErrBatchDrained)
+	}
+}
+
+// FUResult implements FaultInjector for the batch leader: the leader's
+// signature passes through clean while each active lane's injector is
+// probed with it. A changed return value or a bumped fire count means the
+// lane's scalar run would differ from the shared trajectory from this
+// opportunity on, so the lane is evicted.
+//
+//lint:hotpath
+func (b *BatchSim) FUResult(seq, pc uint64, dup bool, sig uint64) uint64 {
+	if b.active > 0 {
+		for i, inj := range b.inj {
+			if inj == nil || b.diverged[i] {
+				continue
+			}
+			if inj.FUResult(seq, pc, dup, sig) != sig || inj.InjectedCount() != b.injected[i] {
+				b.evict(i, seq)
+			}
+		}
+	}
+	return sig
+}
+
+// Operand implements FaultInjector; see FUResult.
+//
+//lint:hotpath
+func (b *BatchSim) Operand(seq, pc uint64, dup bool, which int, val uint64) uint64 {
+	if b.active > 0 {
+		for i, inj := range b.inj {
+			if inj == nil || b.diverged[i] {
+				continue
+			}
+			if inj.Operand(seq, pc, dup, which, val) != val || inj.InjectedCount() != b.injected[i] {
+				b.evict(i, seq)
+			}
+		}
+	}
+	return val
+}
+
+// AfterIRBInsert implements FaultInjector. Lane injectors are probed
+// against the scratch IRB — never the leader's live buffer — so a firing
+// strike corrupts nothing shared; it is observed through the fire count
+// alone and evicts the lane like any other divergence.
+//
+//lint:hotpath
+func (b *BatchSim) AfterIRBInsert(pc uint64, _ *irb.IRB) {
+	if b.active > 0 {
+		for i, inj := range b.inj {
+			if inj == nil || b.diverged[i] {
+				continue
+			}
+			inj.AfterIRBInsert(pc, b.scratch)
+			if inj.InjectedCount() != b.injected[i] {
+				b.evict(i, 0)
+			}
+		}
+	}
+}

@@ -94,9 +94,28 @@ func New(cfg Config) (*Injector, error) {
 	}
 	return &Injector{
 		cfg:    cfg,
-		rng:    rand.New(rand.NewPCG(cfg.Seed, cfg.Seed^0xdeadbeefcafef00d)),
+		rng:    newRNG(cfg.Seed),
 		struck: make(map[uint64]struct{}),
 	}, nil
+}
+
+// newRNG builds the injector's seeded PRNG; Reset rebuilds the identical
+// stream from the same seed.
+func newRNG(seed uint64) *rand.Rand {
+	return rand.New(rand.NewPCG(seed, seed^0xdeadbeefcafef00d))
+}
+
+// InjectedCount implements core.BatchableInjector.
+func (i *Injector) InjectedCount() uint64 { return i.Injected }
+
+// Reset implements core.BatchableInjector: it restores the injector to its
+// freshly-constructed state — reseeded PRNG, cleared strike bookkeeping,
+// zero fault count — so the next run it steers is bit-identical to one
+// steered by a fresh New(cfg) injector.
+func (i *Injector) Reset() {
+	i.rng = newRNG(i.cfg.Seed)
+	clear(i.struck)
+	i.Injected = 0
 }
 
 // suppressed reports whether the instruction with the given architected
@@ -190,6 +209,14 @@ type Persistent struct {
 	// Injected counts faults actually applied.
 	Injected uint64
 }
+
+// InjectedCount implements core.BatchableInjector.
+func (p *Persistent) InjectedCount() uint64 { return p.Injected }
+
+// Reset implements core.BatchableInjector. A stuck-at fault has no PRNG or
+// per-instruction bookkeeping; only the applied-fault count is consumed
+// state.
+func (p *Persistent) Reset() { p.Injected = 0 }
 
 func (p *Persistent) fire() bool {
 	if p.MaxFaults > 0 && p.Injected >= p.MaxFaults {

@@ -1,0 +1,60 @@
+package fault
+
+import "testing"
+
+// TestInjectorResetRestoresFreshStream: after consuming an arbitrary
+// prefix of decisions, Reset must make the injector replay exactly the
+// campaign a freshly constructed injector with the same config would —
+// the property the batched runner's scalar re-runs stand on.
+func TestInjectorResetRestoresFreshStream(t *testing.T) {
+	cfg := Config{Site: FU, Rate: 0.02, Seed: 99}
+	used, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Burn a prefix: PRNG draws, strike bookkeeping, fault count.
+	for seq := uint64(1); seq <= 500; seq++ {
+		used.FUResult(seq, seq*4, false, 0xabcdef)
+	}
+	if used.Injected == 0 {
+		t.Fatal("prefix consumed no faults; raise the rate or length")
+	}
+	used.Reset()
+	if used.Injected != 0 {
+		t.Fatalf("Injected = %d after Reset, want 0", used.Injected)
+	}
+
+	fresh, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seq := uint64(1); seq <= 2_000; seq++ {
+		a := used.FUResult(seq, seq*4, false, 0xabcdef)
+		b := fresh.FUResult(seq, seq*4, false, 0xabcdef)
+		if a != b {
+			t.Fatalf("seq %d: reset injector returned %#x, fresh returned %#x", seq, a, b)
+		}
+	}
+	if used.Injected != fresh.Injected {
+		t.Fatalf("reset injector fired %d faults, fresh fired %d", used.Injected, fresh.Injected)
+	}
+}
+
+// TestPersistentReset: the stuck-at injector's only consumed state is its
+// applied-fault count.
+func TestPersistentReset(t *testing.T) {
+	p := &Persistent{Site: FU, PC: 8, Bit: 3, MaxFaults: 1}
+	if got := p.FUResult(1, 8, false, 0); got == 0 {
+		t.Fatal("persistent fault did not fire")
+	}
+	if p.FUResult(2, 8, false, 0) != 0 {
+		t.Fatal("MaxFaults=1 injector fired twice")
+	}
+	p.Reset()
+	if p.InjectedCount() != 0 {
+		t.Fatalf("InjectedCount = %d after Reset, want 0", p.InjectedCount())
+	}
+	if got := p.FUResult(3, 8, false, 0); got == 0 {
+		t.Fatal("reset persistent fault did not fire again")
+	}
+}

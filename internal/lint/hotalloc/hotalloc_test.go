@@ -80,6 +80,37 @@ func Sums(vs []int) []int {
 }
 `
 
+// laneDirtySrc models the batched core's probe loop with a seeded
+// mistake: building a per-lane scratch slice inside the per-opportunity
+// hot path. One allocation per lane per injection opportunity is exactly
+// the regression the batch step path's annotations exist to catch.
+const laneDirtySrc = `package p
+
+type batch struct {
+	lanes    []func(uint64) uint64
+	diverged []bool
+}
+
+// Probe fans one leader value out to every live lane.
+//
+//lint:hotpath
+func (b *batch) Probe(sig uint64) int {
+	vals := make([]uint64, len(b.lanes)) // per-lane scratch: the seeded bug
+	evicted := 0
+	for i, lane := range b.lanes {
+		if b.diverged[i] {
+			continue
+		}
+		vals[i] = lane(sig)
+		if vals[i] != sig {
+			b.diverged[i] = true
+			evicted++
+		}
+	}
+	return evicted
+}
+`
+
 func TestCleanHotFunctionPasses(t *testing.T) {
 	if testing.Short() {
 		t.Skip("shells out to go build; skipped in -short")
@@ -118,6 +149,31 @@ func TestDeliberateAllocationFails(t *testing.T) {
 	for _, f := range findings {
 		if !strings.Contains(f.Message, "Sums") {
 			t.Errorf("finding does not name the hot function: %s", f)
+		}
+	}
+}
+
+// TestPerLaneAllocationFails: a per-lane scratch allocation seeded into a
+// batch-probe-shaped hot function must fail the lint — the guard that
+// keeps the lockstep core's per-opportunity fan-out allocation-free.
+func TestPerLaneAllocationFails(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shells out to go build; skipped in -short")
+	}
+	root := writeModule(t, map[string]string{
+		"go.mod": goMod,
+		"p/p.go": laneDirtySrc,
+	})
+	findings, err := CheckRoot(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) == 0 {
+		t.Fatal("per-lane allocation in a //lint:hotpath probe produced no finding")
+	}
+	for _, f := range findings {
+		if !strings.Contains(f.Message, "Probe") {
+			t.Errorf("finding does not name the probe function: %s", f)
 		}
 	}
 }

@@ -148,8 +148,10 @@ type Progress struct {
 // Options configure a batch run.
 type Options struct {
 	// Parallelism is the worker count; <= 0 selects
-	// runtime.GOMAXPROCS(0). 1 runs the jobs serially in input order,
-	// reproducing the pre-runner serial sweep bit-for-bit.
+	// runtime.GOMAXPROCS(0). 1 runs the tasks serially — in input order
+	// when nothing batches (reproducing the pre-runner serial sweep
+	// bit-for-bit), batch groups first otherwise; either way every cell's
+	// Result is bit-identical to its serial scalar run's.
 	Parallelism int
 	// Progress, when non-nil, is invoked after every completed cell.
 	// Calls are serialized by the runner, so the callback needs no
@@ -167,6 +169,14 @@ type Options struct {
 	// deterministic in a job's fingerprinted inputs, so a hit is
 	// bit-identical to a fresh run.
 	Cache Cache
+	// NoBatch disables the batch planner: every cell runs scalar, as
+	// before the batched core existed. Batching is on by default because
+	// it changes nothing observable — cells that are identical up to
+	// their fault injector (a campaign's seeds and sites over one
+	// config×workload cell) share one lockstep leader run, and each
+	// lane's result, error, progress report and cache entry is
+	// bit-identical to its scalar run's.
+	NoBatch bool
 }
 
 // CellPanicError reports that one sweep cell's simulation panicked. The
@@ -226,13 +236,26 @@ func runCellOnce(ctx context.Context, j Job) (res sim.Result, err error) {
 	return simRun(ctx, j.Name, j.Config, j.Profile, j.Opts)
 }
 
+// resetInjector restores a batchable injector to its freshly-constructed
+// state, so a cell re-dispatched after a timeout or a batch divergence
+// replays the exact campaign a fresh run would instead of resuming a
+// partially consumed PRNG. Injectors without the capability are left
+// alone (their single-attempt semantics are unchanged).
+func resetInjector(j Job) {
+	if bi, ok := j.Opts.Injector.(core.BatchableInjector); ok {
+		bi.Reset()
+	}
+}
+
 // runCell executes one cell under the per-cell timeout with one retry.
 func runCell(ctx context.Context, j Job, timeout time.Duration) (sim.Result, error) {
 	if timeout <= 0 {
+		resetInjector(j)
 		return runCellOnce(ctx, j)
 	}
 	const attempts = 2
 	for a := 0; a < attempts; a++ {
+		resetInjector(j)
 		cellCtx, cancel := context.WithTimeout(ctx, timeout)
 		res, err := runCellOnce(cellCtx, j)
 		cancel()
@@ -309,29 +332,49 @@ func Run(ctx context.Context, jobs []Job, opts Options) ([]Outcome, error) {
 		}
 	}
 
-	// Dispatch order: heaviest cells first (LPT) so the widest configs
-	// never start last and stretch the tail. One worker keeps the input
-	// order — with no concurrency there is no tail to balance, and the
-	// serial sweep stays exactly the old double loop.
-	order := make([]int, 0, len(jobs))
+	// The batch planner groups cells that are identical up to their fault
+	// injector; each group runs as one lockstep leader (phase one), and
+	// lanes whose injector fires fall back to scalar cells (phase two).
+	// Everything else — singleton cells, non-batchable injectors — is a
+	// phase-one scalar task.
+	var groups [][]int
+	batched := make([]bool, len(jobs))
+	if !opts.NoBatch {
+		groups = planBatches(jobs, func(i int) bool { return !outs[i].CacheHit })
+		for _, g := range groups {
+			for _, i := range g {
+				batched[i] = true
+			}
+		}
+	}
+
+	// Dispatch order: heaviest tasks first (LPT) so the widest configs
+	// and the biggest batches never start last and stretch the tail. One
+	// worker keeps the input order — with no concurrency there is no tail
+	// to balance.
+	tasks := make([]task, 0, len(jobs))
+	for _, g := range groups {
+		tasks = append(tasks, task{lanes: g, batch: true})
+	}
 	for i := range jobs {
-		if !outs[i].CacheHit {
-			order = append(order, i)
+		if !outs[i].CacheHit && !batched[i] {
+			tasks = append(tasks, task{lanes: []int{i}})
 		}
 	}
 	if workers > 1 {
-		sort.SliceStable(order, func(a, b int) bool {
-			return jobs[order[a]].Cost() > jobs[order[b]].Cost()
+		sort.SliceStable(tasks, func(a, b int) bool {
+			return tasks[a].cost(jobs) > tasks[b].cost(jobs)
 		})
 	}
-	if workers > len(order) && len(order) > 0 {
-		workers = len(order)
+	if workers > len(tasks) && len(tasks) > 0 {
+		workers = len(tasks)
 	}
 
 	var (
-		start = now()
-		mu    sync.Mutex
-		done  int
+		start   = now()
+		mu      sync.Mutex
+		done    int
+		pending []int // batch lanes awaiting a scalar re-run
 	)
 	report := func(i int) {
 		mu.Lock()
@@ -353,22 +396,77 @@ func Run(ctx context.Context, jobs []Job, opts Options) ([]Outcome, error) {
 		opts.Progress(p)
 	}
 
-	feed := make(chan int)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range feed {
-				r, err := runCell(ctx, jobs[i], opts.CellTimeout)
-				outs[i].Result, outs[i].Err = r, err
-				if err == nil && keys != nil && keys[i] != "" {
-					opts.Cache.Put(keys[i], r)
-				}
-				report(i)
-			}
-		}()
+	// finish commits one cell's terminal state; store stores a successful
+	// result in the cache. Both are called from worker goroutines, each
+	// cell exactly once.
+	finish := func(i int, r sim.Result, err error) {
+		outs[i].Result, outs[i].Err = r, err
+		if err == nil && keys != nil && keys[i] != "" {
+			opts.Cache.Put(keys[i], r)
+		}
+		report(i)
 	}
+	exec := func(t task) {
+		if !t.batch {
+			i := t.lanes[0]
+			r, err := runCell(ctx, jobs[i], opts.CellTimeout)
+			finish(i, r, err)
+			return
+		}
+		bouts, err := runBatchGroup(ctx, jobs, t.lanes, opts.CellTimeout)
+		if err != nil {
+			// The leader could not complete — a timeout, a cancel, a
+			// config error, a panic. Every lane falls back to a scalar
+			// cell, which reproduces real errors with per-cell identity
+			// and per-cell timeout/retry semantics.
+			mu.Lock()
+			pending = append(pending, t.lanes...)
+			mu.Unlock()
+			return
+		}
+		for k, i := range t.lanes {
+			if bouts[k].Diverged {
+				mu.Lock()
+				pending = append(pending, i)
+				mu.Unlock()
+				continue
+			}
+			finish(i, bouts[k].Result, nil)
+		}
+	}
+	// runPhase drains one task list through a worker pool, stopping the
+	// dispatch when the sweep's context ends.
+	runPhase := func(ts []task) {
+		n := workers
+		if n > len(ts) {
+			n = len(ts)
+		}
+		if n < 1 {
+			return
+		}
+		feed := make(chan task)
+		var wg sync.WaitGroup
+		for w := 0; w < n; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for t := range feed {
+					exec(t)
+				}
+			}()
+		}
+	dispatch:
+		for _, t := range ts {
+			select {
+			case feed <- t:
+			case <-ctx.Done():
+				break dispatch
+			}
+		}
+		close(feed)
+		wg.Wait()
+	}
+
 	// Cache hits count as completed cells for progress purposes; they are
 	// reported up front so Done still reaches Total.
 	for i := range outs {
@@ -376,16 +474,19 @@ func Run(ctx context.Context, jobs []Job, opts Options) ([]Outcome, error) {
 			report(i)
 		}
 	}
-dispatch:
-	for _, i := range order {
-		select {
-		case feed <- i:
-		case <-ctx.Done():
-			break dispatch
+	runPhase(tasks)
+	if len(pending) > 0 {
+		// Phase two: scalar re-runs of diverged and fallen-back batch
+		// lanes, in job order for determinism. runCell resets each lane's
+		// injector first, so the re-run replays the lane's campaign from
+		// scratch — bit-identical to a sweep that never batched it.
+		sort.Ints(pending)
+		rerun := make([]task, len(pending))
+		for k, i := range pending {
+			rerun[k] = task{lanes: []int{i}}
 		}
+		runPhase(rerun)
 	}
-	close(feed)
-	wg.Wait()
 
 	var errs []error
 	if cerr := ctx.Err(); cerr != nil {

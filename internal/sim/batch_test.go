@@ -1,0 +1,193 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/irb"
+)
+
+// The batch machinery's contract rests on the stock injectors being
+// batchable; assert it at compile time where the dependency direction
+// allows (fault deliberately does not import core outside its tests).
+var (
+	_ core.BatchableInjector = (*fault.Injector)(nil)
+	_ core.BatchableInjector = (*fault.Persistent)(nil)
+)
+
+// rawInjector implements core.FaultInjector but not BatchableInjector.
+type rawInjector struct{}
+
+func (rawInjector) FUResult(seq, pc uint64, dup bool, sig uint64) uint64           { return sig }
+func (rawInjector) Operand(seq, pc uint64, dup bool, which int, val uint64) uint64 { return val }
+func (rawInjector) AfterIRBInsert(pc uint64, b *irb.IRB)                           {}
+
+// TestBatchFaultFreeLaneMatchesScalar: a batch whose only lane carries no
+// injector is exactly a scalar run — the leader's probing layer must be
+// invisible in every statistic.
+func TestBatchFaultFreeLaneMatchesScalar(t *testing.T) {
+	p := gzipProfile(t)
+	opts := Options{Insns: 12_000, Verify: true}
+	want, err := Run("DIE-IRB", core.BaseDIEIRB(), p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outs, err := RunBatchContext(nil, "DIE-IRB", core.BaseDIEIRB(), p, opts, []BatchLane{{Name: "DIE-IRB"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outs) != 1 || outs[0].Diverged {
+		t.Fatalf("outcomes = %+v, want one convergent lane", outs)
+	}
+	if !reflect.DeepEqual(outs[0].Result, want) {
+		t.Errorf("batched fault-free lane differs from scalar run:\nbatch:  %+v\nscalar: %+v",
+			outs[0].Result, want)
+	}
+}
+
+// laneSpec is one injector lane of the differential test grid: rates are
+// chosen so the grid exercises both convergent lanes (which the batch
+// serves directly) and diverged lanes (which re-run scalar after Reset).
+type laneSpec struct {
+	site fault.Site
+	rate float64
+	seed uint64
+}
+
+// TestBatchLaneBitIdentityAllModes is the tentpole's acceptance
+// differential, driven from the mode registry so a newly registered mode
+// is covered without touching this test: for every mode, every batch
+// lane's terminal state — Result and injector fault count — must be
+// bit-identical to the lane's own scalar run with a fresh injector.
+// Diverged lanes take the production fallback path (Reset, then a scalar
+// run with the same injector object), so the test also proves Reset
+// restores fresh-injector equivalence.
+func TestBatchLaneBitIdentityAllModes(t *testing.T) {
+	p := gzipProfile(t)
+	specs := []laneSpec{
+		{fault.FU, 1e-6, 11}, // almost surely convergent
+		{fault.FU, 2e-3, 12}, // almost surely diverged
+		{fault.Forward, 1e-3, 13},
+		{fault.IRBResult, 1e-3, 14}, // exercises the scratch-IRB probe on IRB modes
+	}
+	opts := Options{Insns: 6_000, Verify: true}
+	var convergent, diverged int
+	for _, mi := range core.Modes() {
+		cfg := mi.Base()
+		lanes := []BatchLane{{Name: fmt.Sprintf("%s/clean", mi.Mode)}}
+		injs := []*fault.Injector{nil}
+		for _, s := range specs {
+			inj, err := fault.New(fault.Config{Site: s.site, Rate: s.rate, Seed: s.seed})
+			if err != nil {
+				t.Fatal(err)
+			}
+			lanes = append(lanes, BatchLane{
+				Name:     fmt.Sprintf("%s/%s-%d", mi.Mode, s.site, s.seed),
+				Injector: inj,
+			})
+			injs = append(injs, inj)
+		}
+		outs, err := RunBatchContext(nil, "lead", cfg, p, opts, lanes)
+		if err != nil {
+			t.Fatalf("%s: batch run failed: %v", mi.Mode, err)
+		}
+		for i, out := range outs {
+			// The scalar reference uses a fresh injector with the identical
+			// campaign spec; the batch lane must be indistinguishable from it.
+			var ref *fault.Injector
+			refOpts := opts
+			if injs[i] != nil {
+				ref, err = fault.New(fault.Config{
+					Site: specs[i-1].site, Rate: specs[i-1].rate, Seed: specs[i-1].seed,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				refOpts.Injector = ref
+			}
+			want, err := Run(lanes[i].Name, cfg, p, refOpts)
+			if err != nil {
+				t.Fatalf("%s lane %d: scalar reference failed: %v", mi.Mode, i, err)
+			}
+			got := out.Result
+			if out.Diverged {
+				diverged++
+				// Production fallback: Reset and re-run scalar with the same
+				// injector object the batch consumed.
+				laneOpts := opts
+				injs[i].Reset()
+				laneOpts.Injector = injs[i]
+				got, err = Run(lanes[i].Name, cfg, p, laneOpts)
+				if err != nil {
+					t.Fatalf("%s lane %d: scalar re-run failed: %v", mi.Mode, i, err)
+				}
+			} else {
+				convergent++
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("%s lane %q: batched result differs from scalar:\nbatch:  %+v\nscalar: %+v",
+					mi.Mode, lanes[i].Name, got, want)
+			}
+			if injs[i] != nil && injs[i].Injected != ref.Injected {
+				t.Errorf("%s lane %q: injector fired %d faults, scalar reference %d",
+					mi.Mode, lanes[i].Name, injs[i].Injected, ref.Injected)
+			}
+		}
+	}
+	if convergent == 0 || diverged == 0 {
+		t.Errorf("grid exercised %d convergent / %d diverged lanes; want both paths covered",
+			convergent, diverged)
+	}
+}
+
+// TestBatchDrainedAllLanesDiverge: when every lane's injector fires and no
+// fault-free lane keeps the leader useful, the run ends early with every
+// outcome flagged diverged — not an error, since each lane re-runs scalar.
+func TestBatchDrainedAllLanesDiverge(t *testing.T) {
+	p := gzipProfile(t)
+	var lanes []BatchLane
+	for seed := uint64(1); seed <= 3; seed++ {
+		inj, err := fault.New(fault.Config{Site: fault.FU, Rate: 0.05, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		lanes = append(lanes, BatchLane{Name: fmt.Sprintf("s%d", seed), Injector: inj})
+	}
+	outs, err := RunBatchContext(nil, "DIE", core.BaseDIE(), p, Options{Insns: 30_000}, lanes)
+	if err != nil {
+		t.Fatalf("drained batch returned an error: %v", err)
+	}
+	for i, out := range outs {
+		if !out.Diverged {
+			t.Errorf("lane %d did not diverge at rate 0.05 over 30k instructions", i)
+		}
+	}
+}
+
+// TestRunBatchMisuse: the batch entry point rejects malformed lane sets
+// with ErrBatchMisuse rather than producing a half-configured run.
+func TestRunBatchMisuse(t *testing.T) {
+	p := gzipProfile(t)
+	inj, err := fault.New(fault.Config{Site: fault.FU, Rate: 1e-3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = RunBatchContext(nil, "DIE", core.BaseDIE(), p,
+		Options{Insns: 1_000, Injector: inj}, []BatchLane{{Name: "x"}})
+	if !errors.Is(err, ErrBatchMisuse) {
+		t.Errorf("Options.Injector on a batch run: err = %v, want ErrBatchMisuse", err)
+	}
+	_, err = RunBatchContext(nil, "DIE", core.BaseDIE(), p, Options{Insns: 1_000}, nil)
+	if !errors.Is(err, ErrBatchMisuse) {
+		t.Errorf("zero lanes: err = %v, want ErrBatchMisuse", err)
+	}
+	_, err = RunBatchContext(nil, "DIE", core.BaseDIE(), p, Options{Insns: 1_000},
+		[]BatchLane{{Name: "raw", Injector: rawInjector{}}})
+	if err == nil {
+		t.Error("non-batchable injector lane accepted")
+	}
+}

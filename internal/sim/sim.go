@@ -107,6 +107,9 @@ var (
 	// before the timing core stopped committing (surfaced inside a
 	// *DivergenceError's OracleErr chain).
 	ErrTraceExhausted = errors.New("sim: trace exhausted before run completed")
+	// ErrBatchMisuse: RunBatchContext was handed a shape it cannot honor
+	// (no lanes, or an injector in Options instead of a lane).
+	ErrBatchMisuse = errors.New("sim: invalid batch run specification")
 )
 
 // DefaultInsns is the per-benchmark instruction budget used by the
@@ -210,68 +213,10 @@ func RunContext(ctx context.Context, name string, cfg core.Config, p workload.Pr
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	if err := ctx.Err(); err != nil {
-		return Result{}, err
-	}
 	if opts.Insns == 0 {
 		opts.Insns = DefaultInsns
 	}
-	if tr := opts.Trace; tr != nil {
-		// A trace fixes the executed program, so it must agree with the
-		// other program sources: the explicit Program override by identity,
-		// the profile by name (generated programs are named after their
-		// profile). Catching a mismatched hand-off here turns a silent
-		// wrong-benchmark result into an immediate error.
-		if opts.Program != nil && opts.Program != tr.Prog() {
-			return Result{}, fmt.Errorf("%w: captured from %q, Options.Program is %q",
-				ErrTraceMismatch, tr.Prog().Name, opts.Program.Name)
-		}
-		if opts.Program == nil && tr.Prog().Name != p.Name {
-			return Result{}, fmt.Errorf("%w: captured from %q, profile is %q",
-				ErrTraceMismatch, tr.Prog().Name, p.Name)
-		}
-	}
-	prog, err := ProgramFor(p, opts)
-	if err != nil {
-		return Result{}, err
-	}
-	if opts.Program != nil {
-		p.Name = prog.Name
-	}
-	// Preflight: reject ill-formed programs with a structured diagnostic
-	// before spending any cycles on them. The first finding is available
-	// via errors.As(err, &(*analysis.Diagnostic)). Runs sharing a trace
-	// share one memoized check instead of re-analyzing per cell.
-	var preErr error
-	if opts.Trace != nil {
-		preErr = opts.Trace.Preflight(analysis.Check)
-	} else {
-		preErr = analysis.Check(prog)
-	}
-	if preErr != nil {
-		return Result{}, fmt.Errorf("sim: preflight rejected %s: %w", prog.Name, preErr)
-	}
-	cfg.MaxInsns = opts.Insns
-	// The dispatch front replays the captured stream when a trace is
-	// available — applying recorded values instead of decoding and
-	// evaluating — and falls back to interpretation past the trace's end.
-	var m *fsim.Machine
-	if opts.Trace != nil {
-		m = fsim.NewReplay(opts.Trace)
-	} else {
-		m = fsim.New(prog)
-	}
-	if opts.FastForward > 0 {
-		ran, ferr := m.Run(opts.FastForward)
-		if ferr != nil {
-			return Result{}, ferr
-		}
-		if ran < opts.FastForward || m.Halted {
-			return Result{}, fmt.Errorf("%w: %s ran %d/%d", ErrHaltedEarly,
-				p.Name, ran, opts.FastForward)
-		}
-	}
-	c, err := core.NewAt(cfg, m)
+	c, prog, p, err := prepareRun(ctx, cfg, p, opts)
 	if err != nil {
 		return Result{}, err
 	}
@@ -295,30 +240,117 @@ func RunContext(ctx context.Context, name string, cfg core.Config, p workload.Pr
 		defer stop()
 	}
 	if err := c.Run(); err != nil {
-		var div *DivergenceError
-		if errors.As(err, &div) {
-			return Result{}, div
-		}
-		var uf *core.UnrecoverableFaultError
-		if errors.As(err, &uf) {
-			// A persistent fault exhausted the bounded retry budget:
-			// a structured per-run outcome, like a divergence.
-			uf.Bench, uf.Config = p.Name, name
-			return Result{}, uf
-		}
-		if errors.Is(err, core.ErrStopped) && ctx.Err() != nil {
-			return Result{}, ctx.Err()
-		}
-		return Result{}, fmt.Errorf("sim: %s on %s: %w", p.Name, name, err)
+		return Result{}, mapRunErr(err, ctx, p.Name, name)
 	}
 	if opts.Program == nil && c.Stats.Committed < opts.Insns {
 		return Result{}, fmt.Errorf("%w: %s on %s committed only %d/%d instructions",
 			ErrProgramTooShort, p.Name, name, c.Stats.Committed, opts.Insns)
 	}
+	return harvest(c, p.Name, name, cfg.Mode), nil
+}
+
+// prepareRun performs everything that precedes the cycle loop, shared by
+// the scalar and batched drivers: the trace-agreement checks, program
+// resolution, the preflight analysis, the functional machine (replaying
+// the trace when one is attached), the fast-forward window, and core
+// construction. It returns the profile with its display name resolved (a
+// pinned program reports its own name as the benchmark). On success the
+// caller owns the core and must Release it.
+func prepareRun(ctx context.Context, cfg core.Config, p workload.Profile, opts Options) (*core.Core, *program.Program, workload.Profile, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, nil, p, err
+	}
+	if tr := opts.Trace; tr != nil {
+		// A trace fixes the executed program, so it must agree with the
+		// other program sources: the explicit Program override by identity,
+		// the profile by name (generated programs are named after their
+		// profile). Catching a mismatched hand-off here turns a silent
+		// wrong-benchmark result into an immediate error.
+		if opts.Program != nil && opts.Program != tr.Prog() {
+			return nil, nil, p, fmt.Errorf("%w: captured from %q, Options.Program is %q",
+				ErrTraceMismatch, tr.Prog().Name, opts.Program.Name)
+		}
+		if opts.Program == nil && tr.Prog().Name != p.Name {
+			return nil, nil, p, fmt.Errorf("%w: captured from %q, profile is %q",
+				ErrTraceMismatch, tr.Prog().Name, p.Name)
+		}
+	}
+	prog, err := ProgramFor(p, opts)
+	if err != nil {
+		return nil, nil, p, err
+	}
+	if opts.Program != nil {
+		p.Name = prog.Name
+	}
+	// Preflight: reject ill-formed programs with a structured diagnostic
+	// before spending any cycles on them. The first finding is available
+	// via errors.As(err, &(*analysis.Diagnostic)). Runs sharing a trace
+	// share one memoized check instead of re-analyzing per cell.
+	var preErr error
+	if opts.Trace != nil {
+		preErr = opts.Trace.Preflight(analysis.Check)
+	} else {
+		preErr = analysis.Check(prog)
+	}
+	if preErr != nil {
+		return nil, nil, p, fmt.Errorf("sim: preflight rejected %s: %w", prog.Name, preErr)
+	}
+	cfg.MaxInsns = opts.Insns
+	// The dispatch front replays the captured stream when a trace is
+	// available — applying recorded values instead of decoding and
+	// evaluating — and falls back to interpretation past the trace's end.
+	var m *fsim.Machine
+	if opts.Trace != nil {
+		m = fsim.NewReplay(opts.Trace)
+	} else {
+		m = fsim.New(prog)
+	}
+	if opts.FastForward > 0 {
+		ran, ferr := m.Run(opts.FastForward)
+		if ferr != nil {
+			return nil, nil, p, ferr
+		}
+		if ran < opts.FastForward || m.Halted {
+			return nil, nil, p, fmt.Errorf("%w: %s ran %d/%d", ErrHaltedEarly,
+				p.Name, ran, opts.FastForward)
+		}
+	}
+	c, err := core.NewAt(cfg, m)
+	if err != nil {
+		return nil, nil, p, err
+	}
+	return c, prog, p, nil
+}
+
+// mapRunErr converts a core.Run error into the driver's documented error
+// surface: a *DivergenceError passes through, an *UnrecoverableFaultError
+// is stamped with the run's identity, a stop caused by the caller's
+// context becomes that context's error, and anything else is wrapped with
+// the run's name.
+func mapRunErr(err error, ctx context.Context, bench, config string) error {
+	var div *DivergenceError
+	if errors.As(err, &div) {
+		return div
+	}
+	var uf *core.UnrecoverableFaultError
+	if errors.As(err, &uf) {
+		// A persistent fault exhausted the bounded retry budget:
+		// a structured per-run outcome, like a divergence.
+		uf.Bench, uf.Config = bench, config
+		return uf
+	}
+	if errors.Is(err, core.ErrStopped) && ctx.Err() != nil {
+		return ctx.Err()
+	}
+	return fmt.Errorf("sim: %s on %s: %w", bench, config, err)
+}
+
+// harvest copies a finished core's statistics into a Result.
+func harvest(c *core.Core, bench, config string, mode core.Mode) Result {
 	res := Result{
-		Bench:  p.Name,
-		Config: name,
-		Mode:   cfg.Mode,
+		Bench:  bench,
+		Config: config,
+		Mode:   mode,
 		IPC:    c.Stats.IPC(),
 		Core:   c.Stats,
 		Bpred:  c.Bpred().Stats,
@@ -330,7 +362,7 @@ func RunContext(ctx context.Context, name string, cfg core.Config, p workload.Pr
 		st := b.Stats
 		res.IRB = &st
 	}
-	return res, nil
+	return res
 }
 
 // sameCommit reports whether the core's retired record agrees with the
