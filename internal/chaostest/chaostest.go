@@ -1,0 +1,151 @@
+// Package chaostest is a fault-injection harness for HTTP clients: an
+// http.RoundTripper that drops requests, delays them, and tears
+// connections down mid-response-body, all steered by a seeded PRNG so a
+// failing schedule replays exactly. It is the network-layer sibling of
+// internal/fault — the simulator injects bit flips into datapaths, this
+// injects partition-shaped faults into the fabric's control plane — and
+// exists so the coordinator/worker recovery paths (lease expiry, retry
+// with backoff, duplicate-completion detection) are exercised by tests
+// rather than trusted.
+//
+// The package is test infrastructure: it lives outside the determinism
+// lint's sphere and may sleep for real, but it never reads the wall
+// clock or the global math/rand.
+package chaostest
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// ErrDropped is the error a dropped request fails with, before any bytes
+// reach the server — the shape of a connection refused or a black-holed
+// packet.
+var ErrDropped = errors.New("chaostest: request dropped")
+
+// ErrBodyCut is the error surfaced by a response body the transport
+// disconnects mid-read — the shape of a peer dying between the status
+// line and the last byte.
+var ErrBodyCut = errors.New("chaostest: response body cut mid-stream")
+
+// Transport wraps a base http.RoundTripper with seeded fault injection.
+// The probability fields may be set freely before first use and must not
+// be mutated concurrently with requests.
+type Transport struct {
+	// Base performs the real round trips (nil = http.DefaultTransport).
+	Base http.RoundTripper
+
+	// DropProb is the probability a request fails with ErrDropped before
+	// it is sent.
+	DropProb float64
+	// CutBodyProb is the probability a successful response's body is
+	// truncated after a random prefix and then fails with ErrBodyCut.
+	CutBodyProb float64
+	// MaxLatency, when positive, delays each surviving request by a
+	// uniform draw from [0, MaxLatency).
+	MaxLatency time.Duration
+
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	// Injection counters, for asserting that a test actually exercised
+	// the fault paths it claims to.
+	drops, cuts, delays, sent int
+}
+
+// New builds a Transport over base whose fault schedule is a pure
+// function of seed.
+func New(seed uint64, base http.RoundTripper) *Transport {
+	return &Transport{Base: base, rng: rand.New(rand.NewPCG(seed, 0x9e3779b97f4a7c15))}
+}
+
+// Counts reports how many requests were dropped, had their response body
+// cut, were delayed, and were passed through to the base transport.
+func (t *Transport) Counts() (drops, cuts, delays, sent int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.drops, t.cuts, t.delays, t.sent
+}
+
+// decide draws the whole fault plan for one request under the lock, so
+// concurrent requests consume the PRNG in well-defined single draws.
+func (t *Transport) decide() (drop bool, delay time.Duration, cutAfter int64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.DropProb > 0 && t.rng.Float64() < t.DropProb {
+		t.drops++
+		return true, 0, -1
+	}
+	if t.MaxLatency > 0 {
+		delay = time.Duration(t.rng.Int64N(int64(t.MaxLatency)))
+		t.delays++
+	}
+	cutAfter = -1
+	if t.CutBodyProb > 0 && t.rng.Float64() < t.CutBodyProb {
+		// Cut after a small random prefix: enough for headers and a torn
+		// JSON payload, never the whole body.
+		cutAfter = t.rng.Int64N(64)
+		t.cuts++
+	}
+	t.sent++
+	return false, delay, cutAfter
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	drop, delay, cutAfter := t.decide()
+	if drop {
+		// Consume and close the body like a real transport would have.
+		if req.Body != nil {
+			io.Copy(io.Discard, req.Body)
+			req.Body.Close()
+		}
+		return nil, fmt.Errorf("%w: %s %s", ErrDropped, req.Method, req.URL.Path)
+	}
+	if delay > 0 {
+		select {
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		case <-time.After(delay):
+		}
+	}
+	base := t.Base
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	resp, err := base.RoundTrip(req)
+	if err != nil || cutAfter < 0 {
+		return resp, err
+	}
+	resp.Body = &cutReader{rc: resp.Body, remaining: cutAfter}
+	return resp, nil
+}
+
+// cutReader yields at most remaining bytes and then fails the read, the
+// way a torn TCP connection surfaces to a JSON decoder.
+type cutReader struct {
+	rc        io.ReadCloser
+	remaining int64
+}
+
+func (c *cutReader) Read(p []byte) (int, error) {
+	if c.remaining <= 0 {
+		return 0, fmt.Errorf("%w", ErrBodyCut)
+	}
+	if int64(len(p)) > c.remaining {
+		p = p[:c.remaining]
+	}
+	n, err := c.rc.Read(p)
+	c.remaining -= int64(n)
+	if err == nil && c.remaining <= 0 {
+		err = fmt.Errorf("%w", ErrBodyCut)
+	}
+	return n, err
+}
+
+func (c *cutReader) Close() error { return c.rc.Close() }

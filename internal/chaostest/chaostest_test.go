@@ -1,0 +1,145 @@
+package chaostest
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func newBackend(t *testing.T) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.Copy(io.Discard, r.Body)
+		io.WriteString(w, strings.Repeat("x", 4096))
+	}))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// TestFaultsFireAndAreCounted: with nonzero probabilities the transport
+// injects drops and body cuts, and its counters account for every request.
+func TestFaultsFireAndAreCounted(t *testing.T) {
+	ts := newBackend(t)
+	tr := New(42, nil)
+	tr.DropProb = 0.3
+	tr.CutBodyProb = 0.3
+	client := &http.Client{Transport: tr}
+
+	const n = 100
+	var dropped, cut, whole int
+	for i := 0; i < n; i++ {
+		resp, err := client.Get(ts.URL)
+		if err != nil {
+			if !strings.Contains(err.Error(), ErrDropped.Error()) {
+				t.Fatalf("request %d: unexpected error %v", i, err)
+			}
+			dropped++
+			continue
+		}
+		_, rerr := io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if rerr != nil {
+			cut++
+		} else {
+			whole++
+		}
+	}
+	drops, cuts, _, sent := tr.Counts()
+	if dropped == 0 || cut == 0 || whole == 0 {
+		t.Fatalf("fault mix degenerate: dropped=%d cut=%d whole=%d", dropped, cut, whole)
+	}
+	if drops != dropped || cuts != cut || drops+sent != n {
+		t.Fatalf("counters disagree: drops=%d/%d cuts=%d/%d sent=%d", drops, dropped, cuts, cut, sent)
+	}
+}
+
+// TestSeedReplaysSchedule: the same seed produces the same drop/cut
+// decisions in the same order.
+func TestSeedReplaysSchedule(t *testing.T) {
+	ts := newBackend(t)
+	run := func(seed uint64) []string {
+		tr := New(seed, nil)
+		tr.DropProb = 0.4
+		tr.CutBodyProb = 0.4
+		client := &http.Client{Transport: tr}
+		var outcomes []string
+		for i := 0; i < 40; i++ {
+			resp, err := client.Get(ts.URL)
+			switch {
+			case err != nil:
+				outcomes = append(outcomes, "drop")
+			default:
+				_, rerr := io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if rerr != nil {
+					outcomes = append(outcomes, "cut")
+				} else {
+					outcomes = append(outcomes, "ok")
+				}
+			}
+		}
+		return outcomes
+	}
+	a, b := run(7), run(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("schedule diverged at request %d: %v vs %v", i, a, b)
+		}
+	}
+	c := run(8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+// TestCutBodySurfacesMidRead: a cut body yields a strict prefix and then
+// an error wrapping ErrBodyCut, never a clean EOF with short content.
+func TestCutBodySurfacesMidRead(t *testing.T) {
+	ts := newBackend(t)
+	tr := New(3, nil)
+	tr.CutBodyProb = 1
+	client := &http.Client{Transport: tr}
+	resp, err := client.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	n, rerr := io.Copy(io.Discard, resp.Body)
+	if rerr == nil {
+		t.Fatalf("read %d bytes with no error, want mid-stream cut", n)
+	}
+	if !errors.Is(rerr, ErrBodyCut) && !strings.Contains(rerr.Error(), ErrBodyCut.Error()) {
+		t.Fatalf("cut error %v does not identify ErrBodyCut", rerr)
+	}
+	if n >= 4096 {
+		t.Fatalf("cut after %d bytes, want a strict prefix of 4096", n)
+	}
+}
+
+// TestZeroProbabilityIsTransparent: with all faults off the transport
+// passes everything through untouched.
+func TestZeroProbabilityIsTransparent(t *testing.T) {
+	ts := newBackend(t)
+	client := &http.Client{Transport: New(1, nil)}
+	for i := 0; i < 10; i++ {
+		resp, err := client.Get(ts.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n, rerr := io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if rerr != nil || n != 4096 {
+			t.Fatalf("transparent pass-through read %d bytes, err %v", n, rerr)
+		}
+	}
+}

@@ -1,0 +1,645 @@
+package fabric
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand/v2"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/backoff"
+	"repro/internal/fault"
+	"repro/internal/runner"
+	"repro/internal/service/api"
+	"repro/internal/sim"
+)
+
+// now is the fabric's single sanctioned wall-clock read: lease deadlines,
+// heartbeat ages and backoff gates all flow through it, so tests freeze
+// time and drive the lease state machine deterministically.
+//
+//determinism:exempt sole injected clock seam; lease deadlines and heartbeat ages only, tests substitute it
+var now = time.Now
+
+// CoordinatorConfig shapes the lease state machine. The zero value
+// selects the documented defaults; NewCoordinator normalizes it.
+type CoordinatorConfig struct {
+	// LeaseTTL is how long a granted lease lives without a heartbeat
+	// renewal (default 10s).
+	LeaseTTL time.Duration
+	// HeartbeatEvery is the renewal cadence told to workers
+	// (default LeaseTTL/4).
+	HeartbeatEvery time.Duration
+	// SweepEvery is the expiry scan cadence of Start's background loop
+	// (default LeaseTTL/4). Tests bypass it by calling Tick directly.
+	SweepEvery time.Duration
+	// DeadAfter is the missed-heartbeat budget: a worker silent for
+	// DeadAfter*HeartbeatEvery is marked dead and its leases expire
+	// immediately (default 3).
+	DeadAfter int
+	// LeaseBatch caps the cells granted per lease call (default 8).
+	LeaseBatch int
+	// MaxAttempts is the lease-expiry budget per cell: beyond it the cell
+	// degrades to in-process execution instead of waiting on a fleet that
+	// keeps losing it (default 5).
+	MaxAttempts int
+	// Backoff is the re-queue schedule for cells whose lease expired
+	// (zero value = backoff.Default()).
+	Backoff backoff.Policy
+	// Seed seeds the jitter PRNG (0 = 1), keeping the retry schedule
+	// replayable.
+	Seed uint64
+	// Local executes a cell in-process — the degraded mode when no
+	// workers are live, a cell is not wire-shippable, or its retry budget
+	// is exhausted. Defaults to the direct simulation path.
+	Local func(ctx context.Context, j runner.Job) (sim.Result, error)
+}
+
+// RemoteCellError is the structured error of a cell a worker completed
+// unsuccessfully: the simulation's own failure (a divergence, an
+// escalated persistent fault), reported by the worker that ran it.
+// Transport failures never take this shape — a worker that cannot report
+// surfaces as a lease expiry and a retry instead.
+type RemoteCellError struct {
+	Worker string
+	Msg    string
+}
+
+func (e *RemoteCellError) Error() string {
+	return fmt.Sprintf("fabric: worker %s: %s", e.Worker, e.Msg)
+}
+
+type cellState int
+
+const (
+	cellPending cellState = iota
+	cellLeased
+	cellDone
+)
+
+// outcome settles one Execute call.
+type outcome struct {
+	res      sim.Result
+	err      error
+	cacheHit bool
+	// local routes the waiting Execute back to in-process execution (the
+	// fleet died or the retry budget ran out).
+	local bool
+}
+
+type cell struct {
+	id        uint64
+	job       runner.Job
+	wire      api.Cell
+	key       string // ring + duplicate-identity key (fingerprint)
+	attempts  int    // lease expiries suffered
+	notBefore time.Time
+	state     cellState
+	leaseID   string
+	done      chan outcome // cap 1; settled exactly once
+	// resultJSON is the canonical serialization of the first accepted
+	// result, against which any late duplicate completion is asserted
+	// bit-identical (the PR-3 invariant, applied to the fabric).
+	resultJSON []byte
+}
+
+type lease struct {
+	id       string
+	cellID   uint64
+	worker   string
+	deadline time.Time
+}
+
+type workerState struct {
+	id       string
+	lastSeen time.Time
+	dead     bool
+}
+
+// Metrics is a consistent snapshot of the fabric counters, rendered by
+// the service layer on /metrics.
+type Metrics struct {
+	WorkersLive, WorkersDead   int
+	CellsPending, LeasesActive int
+
+	LeaseExpiries        uint64 // leases that timed out
+	CellsRetried         uint64 // cells re-queued after an expiry
+	CellsCompleted       uint64 // cells settled by worker completions
+	CellsLocal           uint64 // cells executed in-process (degraded mode)
+	DeadWorkers          uint64 // dead-worker transitions
+	DuplicateCompletions uint64 // late completions for already-settled cells
+	RetryMismatches      uint64 // duplicates that were NOT bit-identical
+	LateCompletions      uint64 // completions accepted after their lease expired
+	IgnoredCompletions   uint64 // completions for cells no longer tracked
+}
+
+// Coordinator shards grid cells across pull-based workers and survives
+// their crashes: every granted cell is covered by a heartbeat-renewed
+// lease, an expired lease re-queues the cell with capped jittered
+// backoff, and a fleet with no live workers degrades to in-process
+// execution. It plugs into the grid runner as its Execute seam, so the
+// planner, result cache, progress reporting and error capture above it
+// are exactly the standalone daemon's.
+type Coordinator struct {
+	cfg CoordinatorConfig
+
+	mu       sync.Mutex
+	rng      *rand.Rand
+	cells    map[uint64]*cell
+	pending  []uint64 // cell IDs, FIFO; done/leased entries are skipped lazily
+	leases   map[string]*lease
+	workers  map[string]*workerState
+	live     int // workers not marked dead
+	ring     *ring
+	nextCell uint64
+	nextLse  uint64
+	met      Metrics
+}
+
+// NewCoordinator builds a Coordinator, applying defaults for zero
+// config fields.
+func NewCoordinator(cfg CoordinatorConfig) *Coordinator {
+	if cfg.LeaseTTL <= 0 {
+		cfg.LeaseTTL = 10 * time.Second
+	}
+	if cfg.HeartbeatEvery <= 0 {
+		cfg.HeartbeatEvery = cfg.LeaseTTL / 4
+	}
+	if cfg.SweepEvery <= 0 {
+		cfg.SweepEvery = cfg.LeaseTTL / 4
+	}
+	if cfg.DeadAfter <= 0 {
+		cfg.DeadAfter = 3
+	}
+	if cfg.LeaseBatch <= 0 {
+		cfg.LeaseBatch = 8
+	}
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = 5
+	}
+	if cfg.Backoff == (backoff.Policy{}) {
+		cfg.Backoff = backoff.Default()
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	if cfg.Local == nil {
+		cfg.Local = localRun
+	}
+	return &Coordinator{
+		cfg:     cfg,
+		rng:     rand.New(rand.NewPCG(seed, 0xfab51c)),
+		cells:   make(map[uint64]*cell),
+		leases:  make(map[string]*lease),
+		workers: make(map[string]*workerState),
+		ring:    newRing(nil),
+	}
+}
+
+// localRun is the default in-process execution path: the plain
+// deterministic simulation call, bit-identical to what a worker would
+// have produced.
+func localRun(ctx context.Context, j runner.Job) (sim.Result, error) {
+	return sim.RunContext(ctx, j.Name, j.Config, j.Profile, j.Opts)
+}
+
+// Start launches the background expiry sweeper; it stops when ctx ends.
+func (c *Coordinator) Start(ctx context.Context) {
+	go func() {
+		t := time.NewTicker(c.cfg.SweepEvery)
+		defer t.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-t.C:
+				c.Tick()
+			}
+		}
+	}()
+}
+
+// Metrics returns a snapshot of the fabric counters.
+func (c *Coordinator) Metrics() Metrics {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	m := c.met
+	m.WorkersLive = c.live
+	m.WorkersDead = len(c.workers) - c.live
+	for _, id := range c.pending {
+		if cl, ok := c.cells[id]; ok && cl.state == cellPending {
+			m.CellsPending++
+		}
+	}
+	m.LeasesActive = len(c.leases)
+	return m
+}
+
+// Execute is the runner's dispatch seam: it ships one cell to the worker
+// fleet and blocks until the cell settles — surviving lease expiries,
+// retries and worker deaths along the way — or falls back to in-process
+// execution when the fleet cannot take the cell. Safe for concurrent use
+// by the runner's worker pool.
+func (c *Coordinator) Execute(ctx context.Context, j runner.Job) (sim.Result, error) {
+	cl, remote := c.enqueue(j)
+	if !remote {
+		return c.runLocal(ctx, j)
+	}
+	select {
+	case out := <-cl.done:
+		if out.local {
+			// The fleet vanished or the retry budget ran out: the sweep
+			// handed the cell back for in-process execution.
+			return c.runLocal(ctx, j)
+		}
+		return out.res, out.err
+	case <-ctx.Done():
+		c.abandon(cl)
+		return sim.Result{}, ctx.Err()
+	}
+}
+
+// runLocal executes one cell in-process (the degraded mode) and counts it.
+func (c *Coordinator) runLocal(ctx context.Context, j runner.Job) (sim.Result, error) {
+	c.mu.Lock()
+	c.met.CellsLocal++
+	c.mu.Unlock()
+	return c.cfg.Local(ctx, j)
+}
+
+// enqueue registers one cell for remote execution, or reports
+// remote=false when the cell must run in-process (no live workers, or
+// the job cannot cross the wire).
+func (c *Coordinator) enqueue(j runner.Job) (*cell, bool) {
+	wire, shippable := cellFromJob(j)
+	if !shippable {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.live == 0 {
+		return nil, false
+	}
+	c.nextCell++
+	cl := &cell{
+		id:   c.nextCell,
+		job:  j,
+		wire: wire,
+		key:  wire.Fingerprint,
+		done: make(chan outcome, 1),
+	}
+	cl.wire.ID = cl.id
+	c.cells[cl.id] = cl
+	c.pending = append(c.pending, cl.id)
+	return cl, true
+}
+
+// abandon drops a cell whose Execute caller is gone (run cancelled); a
+// late completion for it is counted as ignored.
+func (c *Coordinator) abandon(cl *cell) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if cl.leaseID != "" {
+		delete(c.leases, cl.leaseID)
+	}
+	delete(c.cells, cl.id)
+}
+
+// rebuildRingLocked recomputes the consistent-hash ring from the live
+// worker set (collect-then-sort, so map order never escapes).
+func (c *Coordinator) rebuildRingLocked() {
+	var ids []string
+	for id := range c.workers {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	live := ids[:0]
+	for _, id := range ids {
+		if !c.workers[id].dead {
+			live = append(live, id)
+		}
+	}
+	c.ring = newRing(live)
+}
+
+// Lease grants a batch of pending cells to the calling worker,
+// registering (or reviving) it on the way. Cells whose ring owner is the
+// caller are granted first — the affinity that makes each worker's
+// content-addressed cache a shard of one distributed tier — but a worker
+// with no owned cells steals others' so no cell waits on a busy owner.
+func (c *Coordinator) Lease(req api.LeaseRequest) api.LeaseResponse {
+	t := now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+
+	w, ok := c.workers[req.Worker]
+	if !ok {
+		w = &workerState{id: req.Worker, dead: true} // revived just below
+		c.workers[req.Worker] = w
+	}
+	if w.dead {
+		w.dead = false
+		c.live++
+		c.rebuildRingLocked()
+	}
+	w.lastSeen = t
+
+	max := req.Max
+	if max <= 0 || max > c.cfg.LeaseBatch {
+		max = c.cfg.LeaseBatch
+	}
+
+	// Partition the eligible pending cells into ring-owned and stealable,
+	// preserving queue order within each class; compact the queue on the
+	// way (settled and leased entries drop out here).
+	var owned, other, keep []uint64
+	for _, id := range c.pending {
+		cl, okc := c.cells[id]
+		if !okc || cl.state != cellPending {
+			continue
+		}
+		if cl.notBefore.After(t) {
+			keep = append(keep, id)
+			continue
+		}
+		if c.ring.owner(cl.ringKey()) == req.Worker {
+			owned = append(owned, id)
+		} else {
+			other = append(other, id)
+		}
+	}
+	grant := owned
+	if len(grant) < max {
+		grant = append(grant, other...)
+	} else {
+		other = append([]uint64(nil), other...)
+		keep = append(keep, other...)
+	}
+	if len(grant) > max {
+		keep = append(keep, grant[max:]...)
+		grant = grant[:max]
+	}
+	sort.Slice(keep, func(a, b int) bool { return keep[a] < keep[b] })
+	c.pending = keep
+
+	resp := api.LeaseResponse{
+		TTLMillis:       c.cfg.LeaseTTL.Milliseconds(),
+		HeartbeatMillis: c.cfg.HeartbeatEvery.Milliseconds(),
+		PollMillis:      c.cfg.SweepEvery.Milliseconds(),
+	}
+	for _, id := range grant {
+		cl := c.cells[id]
+		c.nextLse++
+		lid := fmt.Sprintf("lease-%08d", c.nextLse)
+		cl.state, cl.leaseID = cellLeased, lid
+		c.leases[lid] = &lease{id: lid, cellID: id, worker: req.Worker, deadline: t.Add(c.cfg.LeaseTTL)}
+		resp.Leases = append(resp.Leases, api.Lease{ID: lid, Cell: cl.wire})
+	}
+	return resp
+}
+
+// ringKey is the cell's consistent-hash key: the fingerprint when the
+// cell is cacheable (so cache affinity holds), otherwise a stable
+// fallback from its identity.
+func (cl *cell) ringKey() string {
+	if cl.key != "" {
+		return cl.key
+	}
+	return cl.wire.Name + "/" + cl.wire.Profile.Name
+}
+
+// Heartbeat renews the worker's liveness and every lease it holds.
+// Known=false tells a worker the coordinator no longer tracks it (a
+// restart or a dead-worker expiry): its leases are gone, and whatever it
+// still completes will be deduplicated.
+func (c *Coordinator) Heartbeat(req api.HeartbeatRequest) api.HeartbeatResponse {
+	t := now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	w, ok := c.workers[req.Worker]
+	if !ok || w.dead {
+		return api.HeartbeatResponse{Known: false}
+	}
+	w.lastSeen = t
+	var ids []string
+	for id := range c.leases {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		if l := c.leases[id]; l.worker == req.Worker {
+			l.deadline = t.Add(c.cfg.LeaseTTL)
+		}
+	}
+	return api.HeartbeatResponse{Known: true}
+}
+
+// Complete settles a batch of finished cells. A completion whose lease
+// expired is still accepted if the cell has not been settled elsewhere
+// (a retry avoided); one for an already-settled cell is asserted
+// bit-identical to the accepted result and discarded — a retried cell
+// that differed from its first try would be a determinism bug, and it is
+// counted, never silently dropped.
+func (c *Coordinator) Complete(req api.CompleteRequest) api.CompleteResponse {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var resp api.CompleteResponse
+	for _, comp := range req.Cells {
+		var cl *cell
+		if l, ok := c.leases[comp.LeaseID]; ok {
+			cl = c.cells[l.cellID]
+		} else if cand, ok := c.cells[comp.CellID]; ok {
+			cl = cand
+		}
+		if cl == nil {
+			c.met.IgnoredCompletions++
+			continue
+		}
+		if cl.state == cellDone {
+			c.met.DuplicateCompletions++
+			if !bytesEqual(cl.resultJSON, canonicalResult(comp)) {
+				c.met.RetryMismatches++
+			}
+			resp.Duplicates++
+			continue
+		}
+		if cl.leaseID != "" && cl.leaseID != comp.LeaseID {
+			// The cell was re-leased after this worker's lease expired;
+			// its late completion wins the race and the re-leasing
+			// worker's copy will arrive as the duplicate.
+			delete(c.leases, cl.leaseID)
+		}
+		if _, ok := c.leases[comp.LeaseID]; !ok && comp.LeaseID != "" {
+			c.met.LateCompletions++
+		}
+		delete(c.leases, comp.LeaseID)
+		cl.state, cl.leaseID = cellDone, ""
+		cl.resultJSON = canonicalResult(comp)
+		out := outcome{cacheHit: comp.CacheHit}
+		if comp.Error != "" {
+			out.err = &RemoteCellError{Worker: req.Worker, Msg: comp.Error}
+		} else if comp.Result != nil {
+			out.res = *comp.Result
+			out.res.Config = cl.job.Name // display name, as the cache does
+		}
+		cl.done <- out
+		c.met.CellsCompleted++
+		resp.Accepted++
+	}
+	return resp
+}
+
+// canonicalResult serializes a completion's payload for the
+// bit-identity assertion between a first-try and a retried completion.
+func canonicalResult(comp api.CellCompletion) []byte {
+	b, err := json.Marshal(struct {
+		Result *sim.Result `json:"result,omitempty"`
+		Error  string      `json:"error,omitempty"`
+	}{comp.Result, comp.Error})
+	if err != nil {
+		return nil
+	}
+	return b
+}
+
+func bytesEqual(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Tick runs one expiry sweep: workers past their missed-heartbeat budget
+// are marked dead, expired leases re-queue their cells with capped
+// jittered backoff, and cells whose retry budget is gone — or that have
+// no live workers left to go to — are routed back to their waiting
+// Execute for in-process execution. Start drives it on a timer;
+// tests call it directly under a frozen clock.
+func (c *Coordinator) Tick() {
+	t := now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+
+	// Dead workers first, so their leases expire in the same sweep.
+	deadline := time.Duration(c.cfg.DeadAfter) * c.cfg.HeartbeatEvery
+	var wids []string
+	for id := range c.workers {
+		wids = append(wids, id)
+	}
+	sort.Strings(wids)
+	ringStale := false
+	for _, id := range wids {
+		w := c.workers[id]
+		if !w.dead && t.Sub(w.lastSeen) > deadline {
+			w.dead = true
+			c.live--
+			c.met.DeadWorkers++
+			ringStale = true
+		}
+	}
+	if ringStale {
+		c.rebuildRingLocked()
+	}
+
+	var lids []string
+	for id := range c.leases {
+		lids = append(lids, id)
+	}
+	sort.Strings(lids)
+	live := c.live
+	for _, lid := range lids {
+		l := c.leases[lid]
+		if !l.deadline.Before(t) && c.workers[l.worker] != nil && !c.workers[l.worker].dead {
+			continue
+		}
+		delete(c.leases, lid)
+		cl, ok := c.cells[l.cellID]
+		if !ok || cl.state != cellLeased {
+			continue
+		}
+		c.met.LeaseExpiries++
+		cl.attempts++
+		cl.leaseID = ""
+		if cl.attempts > c.cfg.MaxAttempts || live == 0 {
+			// Degrade: hand the cell back to its Execute for in-process
+			// execution instead of queueing on a fleet that keeps losing
+			// it.
+			cl.state = cellDone
+			delete(c.cells, cl.id)
+			cl.done <- outcome{local: true}
+			continue
+		}
+		cl.state = cellPending
+		cl.notBefore = t.Add(c.cfg.Backoff.Delay(cl.attempts-1, c.rng))
+		c.pending = append(c.pending, cl.id)
+		c.met.CellsRetried++
+	}
+}
+
+// cellFromJob projects a runner.Job onto the wire, or reports that the
+// job cannot cross it (a pinned program, or a fault injector that is not
+// reconstructible from a spec) and must run in-process.
+func cellFromJob(j runner.Job) (api.Cell, bool) {
+	if j.Opts.Program != nil {
+		return api.Cell{}, false
+	}
+	wire := api.Cell{
+		Name:        j.Name,
+		Config:      j.Config,
+		Profile:     j.Profile,
+		Insns:       j.Opts.Insns,
+		FastForward: j.Opts.FastForward,
+		Seed:        j.Opts.Seed,
+		Verify:      j.Opts.Verify,
+	}
+	if j.Opts.Injector != nil {
+		inj, ok := j.Opts.Injector.(*fault.Injector)
+		if !ok {
+			return api.Cell{}, false
+		}
+		spec := inj.Spec()
+		wire.Fault = &api.FaultSpec{
+			Site:      string(spec.Site),
+			Rate:      spec.Rate,
+			Seed:      spec.Seed,
+			MaxFaults: spec.MaxFaults,
+		}
+	}
+	if key, err := j.Fingerprint(); err == nil {
+		wire.Fingerprint = key
+	}
+	return wire, true
+}
+
+// JobFromCell rebuilds the runner.Job a wire cell describes — the worker
+// side of cellFromJob. The rebuilt job fingerprints identically, so the
+// worker's cache probe and the coordinator's sharding agree.
+func JobFromCell(c api.Cell) (runner.Job, error) {
+	opts := sim.Options{
+		Insns:       c.Insns,
+		Verify:      c.Verify,
+		FastForward: c.FastForward,
+		Seed:        c.Seed,
+	}
+	if c.Fault != nil {
+		inj, err := fault.New(fault.Config{
+			Site:      fault.Site(c.Fault.Site),
+			Rate:      c.Fault.Rate,
+			Seed:      c.Fault.Seed,
+			MaxFaults: c.Fault.MaxFaults,
+		})
+		if err != nil {
+			return runner.Job{}, fmt.Errorf("fabric: rebuilding cell %d injector: %w", c.ID, err)
+		}
+		opts.Injector = inj
+	}
+	return runner.Job{Name: c.Name, Config: c.Config, Profile: c.Profile, Opts: opts}, nil
+}

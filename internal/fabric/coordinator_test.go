@@ -1,0 +1,445 @@
+package fabric
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/backoff"
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/program"
+	"repro/internal/runner"
+	"repro/internal/service/api"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// fakeClock freezes the fabric's clock seam for a test and restores it
+// afterwards. Tests that swap the clock must not run in parallel.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func freezeClock(t *testing.T) *fakeClock {
+	t.Helper()
+	fc := &fakeClock{t: time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)}
+	prev := now
+	now = fc.now
+	t.Cleanup(func() { now = prev })
+	return fc
+}
+
+func (fc *fakeClock) now() time.Time {
+	fc.mu.Lock()
+	defer fc.mu.Unlock()
+	return fc.t
+}
+
+func (fc *fakeClock) advance(d time.Duration) {
+	fc.mu.Lock()
+	defer fc.mu.Unlock()
+	fc.t = fc.t.Add(d)
+}
+
+// testJob builds one shippable grid cell.
+func testJob(t *testing.T, name string, insns uint64) runner.Job {
+	t.Helper()
+	p, ok := workload.ByName("gzip")
+	if !ok {
+		t.Fatal("gzip profile missing")
+	}
+	return runner.Job{Name: name, Config: core.BaseSIE(), Profile: p,
+		Opts: sim.Options{Insns: insns}}
+}
+
+// testConfig is a fast deterministic coordinator config: no jitter, tiny
+// backoff, Local fails loudly so an unexpected degrade is visible.
+func testConfig(t *testing.T) CoordinatorConfig {
+	t.Helper()
+	return CoordinatorConfig{
+		LeaseTTL: 10 * time.Second,
+		Backoff:  backoff.Policy{Base: time.Second, Cap: 8 * time.Second, Factor: 2},
+		Local: func(context.Context, runner.Job) (sim.Result, error) {
+			err := errors.New("unexpected local execution")
+			t.Error(err)
+			return sim.Result{}, err
+		},
+	}
+}
+
+// startExecute runs Execute in a goroutine and returns the channel its
+// settlement lands on.
+func startExecute(c *Coordinator, j runner.Job) <-chan runner.Outcome {
+	ch := make(chan runner.Outcome, 1)
+	go func() {
+		res, err := c.Execute(context.Background(), j)
+		ch <- runner.Outcome{Result: res, Err: err}
+	}()
+	return ch
+}
+
+// leaseAll polls Lease until the worker holds n cells (Execute enqueues
+// asynchronously, so the first poll may race the enqueue).
+func leaseAll(t *testing.T, c *Coordinator, worker string, n int) []api.Lease {
+	t.Helper()
+	var got []api.Lease
+	deadline := time.Now().Add(5 * time.Second)
+	for len(got) < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("worker %s leased %d cells, want %d", worker, len(got), n)
+		}
+		resp := c.Lease(api.LeaseRequest{Worker: worker, Max: n - len(got)})
+		got = append(got, resp.Leases...)
+		if len(resp.Leases) == 0 {
+			time.Sleep(time.Millisecond)
+		}
+	}
+	return got
+}
+
+// TestExecuteCompletesThroughWorker is the happy path: a cell flows
+// coordinator → lease → completion → Execute return, with the display
+// name rewritten the way the in-process cache path does.
+func TestExecuteCompletesThroughWorker(t *testing.T) {
+	freezeClock(t)
+	c := NewCoordinator(testConfig(t))
+	c.Lease(api.LeaseRequest{Worker: "w1"}) // register
+
+	done := startExecute(c, testJob(t, "SIE", 5000))
+	leases := leaseAll(t, c, "w1", 1)
+	if leases[0].Cell.Name != "SIE" || leases[0].Cell.Insns != 5000 {
+		t.Fatalf("leased cell %+v does not match the job", leases[0].Cell)
+	}
+
+	res := sim.Result{Bench: "gzip", Config: "wire-name"}
+	res.Core.Committed = 5000
+	resp := c.Complete(api.CompleteRequest{Worker: "w1", Cells: []api.CellCompletion{
+		{LeaseID: leases[0].ID, CellID: leases[0].Cell.ID, Result: &res},
+	}})
+	if resp.Accepted != 1 || resp.Duplicates != 0 {
+		t.Fatalf("completion response %+v, want 1 accepted", resp)
+	}
+
+	out := <-done
+	if out.Err != nil {
+		t.Fatalf("Execute returned error: %v", out.Err)
+	}
+	if out.Result.Config != "SIE" {
+		t.Errorf("result config %q, want display name SIE", out.Result.Config)
+	}
+	if out.Result.Core.Committed != 5000 {
+		t.Errorf("result lost its payload: %+v", out.Result.Core)
+	}
+	m := c.Metrics()
+	if m.CellsCompleted != 1 || m.CellsLocal != 0 || m.LeasesActive != 0 {
+		t.Errorf("metrics %+v, want one completed remote cell", m)
+	}
+}
+
+// TestExecuteLocalWhenNoWorkers degrades to in-process execution when the
+// fleet is empty.
+func TestExecuteLocalWhenNoWorkers(t *testing.T) {
+	cfg := testConfig(t)
+	ran := false
+	cfg.Local = func(_ context.Context, j runner.Job) (sim.Result, error) {
+		ran = true
+		return sim.Result{Config: j.Name}, nil
+	}
+	c := NewCoordinator(cfg)
+	res, err := c.Execute(context.Background(), testJob(t, "SIE", 1000))
+	if err != nil || !ran {
+		t.Fatalf("local fallback did not run: res=%+v err=%v ran=%v", res, err, ran)
+	}
+	if m := c.Metrics(); m.CellsLocal != 1 {
+		t.Errorf("CellsLocal = %d, want 1", m.CellsLocal)
+	}
+}
+
+// TestExecuteLocalForUnshippableJob: a job pinned to an in-memory program
+// cannot cross the wire and must run in-process even with workers live.
+func TestExecuteLocalForUnshippableJob(t *testing.T) {
+	cfg := testConfig(t)
+	ran := false
+	cfg.Local = func(_ context.Context, j runner.Job) (sim.Result, error) {
+		ran = true
+		return sim.Result{}, nil
+	}
+	c := NewCoordinator(cfg)
+	c.Lease(api.LeaseRequest{Worker: "w1"})
+	j := testJob(t, "SIE", 1000)
+	j.Opts.Program = &program.Program{} // pinned programs cannot cross the wire
+	if _, ok := cellFromJob(j); ok {
+		t.Fatal("program-pinned job reported shippable")
+	}
+	if _, err := c.Execute(context.Background(), j); err != nil || !ran {
+		t.Fatalf("unshippable job did not run locally (ran=%v err=%v)", ran, err)
+	}
+}
+
+// TestLeaseExpiryRetriesOnSurvivor is the crash-recovery spine: worker w1
+// leases a cell and goes silent; the sweep marks it dead and re-queues
+// the cell with backoff; survivor w2 picks it up after the backoff gate
+// and completes it; Execute returns the result. The expiry and the retry
+// are both visible in the metrics.
+func TestLeaseExpiryRetriesOnSurvivor(t *testing.T) {
+	fc := freezeClock(t)
+	cfg := testConfig(t)
+	c := NewCoordinator(cfg)
+	c.Lease(api.LeaseRequest{Worker: "w1"})
+	c.Lease(api.LeaseRequest{Worker: "w2"})
+
+	done := startExecute(c, testJob(t, "SIE", 5000))
+	leases := leaseAll(t, c, "w1", 1)
+
+	// w2 heartbeats through w1's silence; the sweep kills w1 and expires
+	// its lease (dead worker ⇒ immediate expiry, before the TTL).
+	fc.advance(8 * time.Second) // past DeadAfter(3) × HeartbeatEvery(2.5s)
+	c.Heartbeat(api.HeartbeatRequest{Worker: "w2"})
+	c.Tick()
+	m := c.Metrics()
+	if m.DeadWorkers != 1 || m.LeaseExpiries != 1 || m.CellsRetried != 1 {
+		t.Fatalf("after silence: metrics %+v, want 1 dead / 1 expiry / 1 retry", m)
+	}
+
+	// The re-queued cell sits behind its backoff gate.
+	if resp := c.Lease(api.LeaseRequest{Worker: "w2"}); len(resp.Leases) != 0 {
+		t.Fatalf("cell leased before its backoff gate: %+v", resp.Leases)
+	}
+	fc.advance(2 * time.Second) // Base 1s, no jitter ⇒ gate passed
+	release := leaseAll(t, c, "w2", 1)
+	if release[0].Cell.ID != leases[0].Cell.ID {
+		t.Fatalf("retry leased cell %d, want %d", release[0].Cell.ID, leases[0].Cell.ID)
+	}
+
+	res := sim.Result{Bench: "gzip"}
+	res.Core.Committed = 5000
+	c.Complete(api.CompleteRequest{Worker: "w2", Cells: []api.CellCompletion{
+		{LeaseID: release[0].ID, CellID: release[0].Cell.ID, Result: &res},
+	}})
+	out := <-done
+	if out.Err != nil || out.Result.Core.Committed != 5000 {
+		t.Fatalf("retried cell settled wrong: %+v / %v", out.Result, out.Err)
+	}
+
+	// A heartbeat from the dead worker is told it is unknown.
+	if hb := c.Heartbeat(api.HeartbeatRequest{Worker: "w1"}); hb.Known {
+		t.Error("dead worker's heartbeat was acknowledged as known")
+	}
+}
+
+// TestDuplicateCompletionBitIdentity: a late duplicate completion for a
+// settled cell is discarded, and the fabric asserts it bit-identical to
+// the accepted result — a mismatch is the determinism bug the paper's
+// whole discipline exists to catch, and it is counted.
+func TestDuplicateCompletionBitIdentity(t *testing.T) {
+	freezeClock(t)
+	c := NewCoordinator(testConfig(t))
+	c.Lease(api.LeaseRequest{Worker: "w1"})
+	done := startExecute(c, testJob(t, "SIE", 5000))
+	leases := leaseAll(t, c, "w1", 1)
+
+	res := sim.Result{Bench: "gzip"}
+	res.Core.Committed = 5000
+	comp := api.CellCompletion{LeaseID: leases[0].ID, CellID: leases[0].Cell.ID, Result: &res}
+	c.Complete(api.CompleteRequest{Worker: "w1", Cells: []api.CellCompletion{comp}})
+	<-done
+
+	// Identical duplicate: deduplicated, no mismatch.
+	resp := c.Complete(api.CompleteRequest{Worker: "w2", Cells: []api.CellCompletion{comp}})
+	if resp.Duplicates != 1 || resp.Accepted != 0 {
+		t.Fatalf("duplicate response %+v, want 1 duplicate", resp)
+	}
+	if m := c.Metrics(); m.DuplicateCompletions != 1 || m.RetryMismatches != 0 {
+		t.Fatalf("identical duplicate miscounted: %+v", m)
+	}
+
+	// Divergent duplicate: the bit-identity assertion must trip.
+	diverged := res
+	diverged.Core.Committed = 5001
+	comp.Result = &diverged
+	c.Complete(api.CompleteRequest{Worker: "w3", Cells: []api.CellCompletion{comp}})
+	if m := c.Metrics(); m.DuplicateCompletions != 2 || m.RetryMismatches != 1 {
+		t.Fatalf("divergent duplicate miscounted: %+v", m)
+	}
+}
+
+// TestRetryBudgetDegradesToLocal: a cell that keeps losing its lease
+// falls back to in-process execution once MaxAttempts is spent, instead
+// of queueing forever on a fleet that keeps eating it.
+func TestRetryBudgetDegradesToLocal(t *testing.T) {
+	fc := freezeClock(t)
+	cfg := testConfig(t)
+	cfg.MaxAttempts = 1
+	ran := false
+	cfg.Local = func(_ context.Context, j runner.Job) (sim.Result, error) {
+		ran = true
+		return sim.Result{Config: "local"}, nil
+	}
+	c := NewCoordinator(cfg)
+	// Register both while the queue is empty; from here on "keeper" only
+	// heartbeats, so retries queue remotely (live > 0) but land on w1.
+	c.Lease(api.LeaseRequest{Worker: "w1"})
+	c.Lease(api.LeaseRequest{Worker: "keeper"})
+	done := startExecute(c, testJob(t, "SIE", 5000))
+
+	leaseAll(t, c, "w1", 1) // attempt 1: w1 takes the cell and goes silent
+	fc.advance(8 * time.Second)
+	c.Heartbeat(api.HeartbeatRequest{Worker: "keeper"})
+	c.Tick() // w1 dead, cell retried (attempts=1 ≤ MaxAttempts)
+
+	fc.advance(2 * time.Second) // past the 1s backoff gate
+	c.Heartbeat(api.HeartbeatRequest{Worker: "keeper"})
+	leaseAll(t, c, "w1", 1) // attempt 2: w1 revives, takes it again, goes silent
+	fc.advance(8 * time.Second)
+	c.Heartbeat(api.HeartbeatRequest{Worker: "keeper"})
+	c.Tick() // attempts=2 > MaxAttempts ⇒ degrade
+
+	out := <-done
+	if out.Err != nil || !ran || out.Result.Config != "local" {
+		t.Fatalf("exhausted cell did not degrade to local: %+v / %v (ran=%v)",
+			out.Result, out.Err, ran)
+	}
+	m := c.Metrics()
+	if m.LeaseExpiries != 2 || m.CellsRetried != 1 || m.CellsLocal != 1 {
+		t.Errorf("metrics %+v, want 2 expiries / 1 retry / 1 local", m)
+	}
+}
+
+// TestFleetDeathDegradesToLocal: when the last worker dies, leased cells
+// route straight back to their waiting Execute calls.
+func TestFleetDeathDegradesToLocal(t *testing.T) {
+	fc := freezeClock(t)
+	cfg := testConfig(t)
+	ran := false
+	cfg.Local = func(_ context.Context, j runner.Job) (sim.Result, error) {
+		ran = true
+		return sim.Result{}, nil
+	}
+	c := NewCoordinator(cfg)
+	c.Lease(api.LeaseRequest{Worker: "w1"})
+	done := startExecute(c, testJob(t, "SIE", 5000))
+	leaseAll(t, c, "w1", 1)
+
+	fc.advance(8 * time.Second)
+	c.Tick()
+	if out := <-done; out.Err != nil || !ran {
+		t.Fatalf("orphaned cell did not run locally: %v (ran=%v)", out.Err, ran)
+	}
+}
+
+// TestExecuteCancellation: a cancelled run abandons its cells; a late
+// completion for one is counted as ignored, not crashed on.
+func TestExecuteCancellation(t *testing.T) {
+	freezeClock(t)
+	c := NewCoordinator(testConfig(t))
+	c.Lease(api.LeaseRequest{Worker: "w1"})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := c.Execute(ctx, testJob(t, "SIE", 5000))
+		errCh <- err
+	}()
+	leases := leaseAll(t, c, "w1", 1)
+	cancel()
+	if err := <-errCh; !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled Execute returned %v", err)
+	}
+	resp := c.Complete(api.CompleteRequest{Worker: "w1", Cells: []api.CellCompletion{
+		{LeaseID: leases[0].ID, CellID: leases[0].Cell.ID, Result: &sim.Result{}},
+	}})
+	if resp.Accepted != 0 {
+		t.Fatalf("completion for an abandoned cell was accepted: %+v", resp)
+	}
+	if m := c.Metrics(); m.IgnoredCompletions != 1 {
+		t.Errorf("IgnoredCompletions = %d, want 1", m.IgnoredCompletions)
+	}
+}
+
+// TestWorkerErrorBecomesRemoteCellError: a worker-reported simulation
+// failure surfaces to Execute as a structured *RemoteCellError.
+func TestWorkerErrorBecomesRemoteCellError(t *testing.T) {
+	freezeClock(t)
+	c := NewCoordinator(testConfig(t))
+	c.Lease(api.LeaseRequest{Worker: "w1"})
+	done := startExecute(c, testJob(t, "SIE", 5000))
+	leases := leaseAll(t, c, "w1", 1)
+	c.Complete(api.CompleteRequest{Worker: "w1", Cells: []api.CellCompletion{
+		{LeaseID: leases[0].ID, CellID: leases[0].Cell.ID, Error: "verification divergence"},
+	}})
+	out := <-done
+	var rce *RemoteCellError
+	if !errors.As(out.Err, &rce) || rce.Worker != "w1" {
+		t.Fatalf("worker failure surfaced as %v, want *RemoteCellError from w1", out.Err)
+	}
+}
+
+// TestCellRoundTripPreservesFingerprint: the wire projection and its
+// worker-side inverse agree on the content-addressed fingerprint, for
+// plain and fault-injected cells alike — the property that makes the
+// fleet's caches one shared tier.
+func TestCellRoundTripPreservesFingerprint(t *testing.T) {
+	inj, err := fault.New(fault.Config{Site: fault.FU, Rate: 1e-4, Seed: 7, MaxFaults: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := testJob(t, "SIE", 5000)
+	faulty := testJob(t, "SIE-faulty", 5000)
+	faulty.Opts.Injector = inj
+
+	for _, j := range []runner.Job{plain, faulty} {
+		wire, ok := cellFromJob(j)
+		if !ok {
+			t.Fatalf("job %s not shippable", j.Name)
+		}
+		back, err := JobFromCell(wire)
+		if err != nil {
+			t.Fatalf("rebuilding %s: %v", j.Name, err)
+		}
+		want, err := j.Fingerprint()
+		if err != nil {
+			t.Fatalf("fingerprinting %s: %v", j.Name, err)
+		}
+		got, err := back.Fingerprint()
+		if err != nil {
+			t.Fatalf("fingerprinting rebuilt %s: %v", j.Name, err)
+		}
+		if got != want || wire.Fingerprint != want {
+			t.Errorf("%s: fingerprints diverged across the wire: %s vs %s (wire %s)",
+				j.Name, want, got, wire.Fingerprint)
+		}
+		if !reflect.DeepEqual(back.Config, j.Config) {
+			t.Errorf("%s: config did not survive the wire", j.Name)
+		}
+	}
+}
+
+// TestRingAffinity: cells lease preferentially to their ring owner, and
+// a worker with no owned cells still steals others'.
+func TestRingAffinity(t *testing.T) {
+	r := newRing([]string{"w1", "w2", "w3"})
+	// Ownership is deterministic.
+	for _, key := range []string{"a", "b", "c", "sha256:xyz"} {
+		if r.owner(key) != r.owner(key) {
+			t.Fatalf("owner(%q) unstable", key)
+		}
+	}
+	// Every worker owns a reasonable share of a keyspace.
+	counts := map[string]int{}
+	for i := 0; i < 999; i++ {
+		counts[r.owner(string(rune('a'+i%26))+string(rune('0'+i%10))+string(rune(i)))]++
+	}
+	for _, w := range []string{"w1", "w2", "w3"} {
+		if counts[w] < 100 {
+			t.Errorf("worker %s owns only %d/999 keys — ring badly unbalanced", w, counts[w])
+		}
+	}
+	if newRing(nil).owner("anything") != "" {
+		t.Error("empty ring returned an owner")
+	}
+}

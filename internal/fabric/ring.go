@@ -1,0 +1,76 @@
+package fabric
+
+import (
+	"hash/fnv"
+	"sort"
+	"strconv"
+)
+
+// ring is a consistent-hash ring over worker IDs, keyed by cell
+// fingerprints. The coordinator uses it as a cache-affinity preference:
+// the same fingerprint always lands on the same live worker, so each
+// worker's content-addressed result cache concentrates the cells it will
+// be asked for again — the fleet's caches become one sharded tier. It is
+// a preference, not a partition: a worker with no owned cells pending
+// still steals others' so no cell waits on a busy owner.
+type ring struct {
+	points []ringPoint // sorted by hash
+}
+
+type ringPoint struct {
+	hash   uint64
+	worker string
+}
+
+// ringReplicas is the virtual-node count per worker; enough to spread
+// ownership within a few percent across small fleets.
+const ringReplicas = 64
+
+// newRing builds a ring over the given worker IDs (order-insensitive).
+func newRing(workers []string) *ring {
+	r := &ring{points: make([]ringPoint, 0, len(workers)*ringReplicas)}
+	for _, w := range workers {
+		for i := 0; i < ringReplicas; i++ {
+			r.points = append(r.points, ringPoint{hash: ringHash(w + "#" + strconv.Itoa(i)), worker: w})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool {
+		if r.points[a].hash != r.points[b].hash {
+			return r.points[a].hash < r.points[b].hash
+		}
+		return r.points[a].worker < r.points[b].worker
+	})
+	return r
+}
+
+// owner returns the worker owning key, or "" on an empty ring.
+func (r *ring) owner(key string) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	h := ringHash(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].worker
+}
+
+func ringHash(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return mix64(h.Sum64())
+}
+
+// mix64 is a splitmix64-style finalizer. FNV alone clusters the nearly
+// identical virtual-node strings ("w1#0", "w1#1", …) badly enough to
+// skew ring ownership several-fold; the finalizer's avalanche restores
+// a near-uniform spread.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

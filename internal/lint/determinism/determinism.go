@@ -54,6 +54,9 @@ var DefaultPackages = []string{
 	"internal/sim",
 	"internal/runner",
 	"internal/service",
+	"internal/fabric",
+	"internal/backoff",
+	"internal/chaostest",
 }
 
 // wallClock lists the time package functions that read the wall clock.

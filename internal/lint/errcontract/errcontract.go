@@ -42,6 +42,8 @@ var DefaultPackages = []string{
 	"internal/service/api",
 	"internal/runner",
 	"internal/sim",
+	"internal/fabric",
+	"internal/backoff",
 }
 
 // Pass is the errcontract pass, ready for the repolint driver.

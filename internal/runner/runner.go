@@ -143,6 +143,16 @@ type Progress struct {
 	// ETA linearly extrapolates the remaining wall-clock time from the
 	// average per-cell time so far (zero once the sweep is done).
 	ETA time.Duration
+	// Index is the finished cell's position in the jobs slice, so
+	// per-cell consumers (the serving layer's journal and event streams)
+	// can attribute the outcome without re-deriving order.
+	Index int
+	// CacheHit reports the cell was served from Options.Cache.
+	CacheHit bool
+	// Result is a copy of the cell's result (nil when the cell failed).
+	Result *sim.Result
+	// Err is the cell's terminal error (nil on success).
+	Err error
 }
 
 // Options configure a batch run.
@@ -177,6 +187,16 @@ type Options struct {
 	// lane's result, error, progress report and cache entry is
 	// bit-identical to its scalar run's.
 	NoBatch bool
+	// Execute, when non-nil, is the pluggable dispatch seam: each cell
+	// the cache cannot serve is executed by this function instead of the
+	// in-process simulation. The fabric coordinator plugs in here to
+	// ship cells to remote workers while reusing everything above the
+	// seam — cache-before-dispatch, LPT ordering, per-cell error
+	// capture, progress reporting and deterministic outcome order.
+	// Batching and CellTimeout are the dispatcher's concern in this mode
+	// (the local batch planner and per-cell deadline are bypassed); a
+	// panic inside Execute is still captured as a *CellPanicError.
+	Execute func(ctx context.Context, j Job) (sim.Result, error)
 }
 
 // CellPanicError reports that one sweep cell's simulation panicked. The
@@ -271,6 +291,24 @@ func runCell(ctx context.Context, j Job, timeout time.Duration) (sim.Result, err
 	}
 }
 
+// runDispatch executes one cell through the pluggable dispatch seam,
+// converting a panic inside the dispatcher into a *CellPanicError so a
+// buggy Execute hook degrades exactly like a buggy simulation: one
+// failed cell, not a dead sweep.
+func runDispatch(ctx context.Context, j Job, exec func(context.Context, Job) (sim.Result, error)) (res sim.Result, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = &CellPanicError{
+				Bench:  j.Profile.Name,
+				Config: j.Name,
+				Value:  v,
+				Stack:  debug.Stack(),
+			}
+		}
+	}()
+	return exec(ctx, j)
+}
+
 // isCellTimeout reports whether err came from the per-cell deadline rather
 // than a sweep-level cancellation: the cell's context expired while the
 // parent is still live.
@@ -339,7 +377,7 @@ func Run(ctx context.Context, jobs []Job, opts Options) ([]Outcome, error) {
 	// phase-one scalar task.
 	var groups [][]int
 	batched := make([]bool, len(jobs))
-	if !opts.NoBatch {
+	if !opts.NoBatch && opts.Execute == nil {
 		groups = planBatches(jobs, func(i int) bool { return !outs[i].CacheHit })
 		for _, g := range groups {
 			for _, i := range g {
@@ -384,11 +422,18 @@ func Run(ctx context.Context, jobs []Job, opts Options) ([]Outcome, error) {
 			return
 		}
 		p := Progress{
-			Done:    done,
-			Total:   len(jobs),
-			Bench:   jobs[i].Profile.Name,
-			Config:  jobs[i].Name,
-			Elapsed: now().Sub(start),
+			Done:     done,
+			Total:    len(jobs),
+			Bench:    jobs[i].Profile.Name,
+			Config:   jobs[i].Name,
+			Elapsed:  now().Sub(start),
+			Index:    i,
+			CacheHit: outs[i].CacheHit,
+			Err:      outs[i].Err,
+		}
+		if outs[i].Err == nil {
+			res := outs[i].Result // copy; the callback must not reach into outs
+			p.Result = &res
 		}
 		if left := len(jobs) - done; left > 0 {
 			p.ETA = p.Elapsed / time.Duration(done) * time.Duration(left)
@@ -409,7 +454,15 @@ func Run(ctx context.Context, jobs []Job, opts Options) ([]Outcome, error) {
 	exec := func(t task) {
 		if !t.batch {
 			i := t.lanes[0]
-			r, err := runCell(ctx, jobs[i], opts.CellTimeout)
+			var (
+				r   sim.Result
+				err error
+			)
+			if opts.Execute != nil {
+				r, err = runDispatch(ctx, jobs[i], opts.Execute)
+			} else {
+				r, err = runCell(ctx, jobs[i], opts.CellTimeout)
+			}
 			finish(i, r, err)
 			return
 		}

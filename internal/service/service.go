@@ -17,9 +17,11 @@
 package service
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math/rand/v2"
 	"net/http"
 	"net/http/pprof"
 	"strconv"
@@ -29,6 +31,7 @@ import (
 
 	"repro/internal/cliutil"
 	"repro/internal/experiments"
+	"repro/internal/fabric"
 	"repro/internal/runner"
 	"repro/internal/service/api"
 	"repro/internal/sim"
@@ -65,6 +68,18 @@ type Config struct {
 	CellTimeout time.Duration
 	// EnablePprof mounts net/http/pprof under /debug/pprof/.
 	EnablePprof bool
+	// Coordinator, when non-nil, turns the daemon into the fabric
+	// coordinator: grid cells dispatch to the worker fleet through the
+	// runner's Execute seam, and the lease protocol endpoints
+	// (POST /v1/lease, /v1/heartbeat, /v1/complete) are mounted.
+	Coordinator *fabric.Coordinator
+	// Journal, when non-nil, is the crash-safe run WAL: accepted runs,
+	// completed cells and cache inserts are journaled as they happen, and
+	// RecoverJournal resumes from them at boot.
+	Journal *fabric.Journal
+	// Seed seeds the daemon's jitter PRNG (Retry-After spreading); 0
+	// selects 1. Operational only — simulation results never see it.
+	Seed uint64
 }
 
 // runRetention bounds the run records kept for GET /v1/runs/{id}; the
@@ -82,6 +97,15 @@ type Server struct {
 	slots chan struct{} // run slots (held while simulating)
 
 	draining atomic.Bool
+
+	rngMu sync.Mutex
+	rng   *rand.Rand // jitter for Retry-After values
+
+	streamMu sync.Mutex
+	streams  map[string]*stream // live run event streams by run ID
+
+	journalErrs atomic.Uint64
+	replay      atomic.Pointer[replayInfo]
 
 	mu     sync.Mutex
 	runs   map[string]*Run
@@ -109,13 +133,19 @@ func New(cfg Config) *Server {
 	if cfg.DefaultInsns == 0 {
 		cfg.DefaultInsns = sim.DefaultInsns
 	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
 	return &Server{
-		cfg:   cfg,
-		cache: newResultCache(cfg.CacheEntries),
-		met:   newMetrics(),
-		admit: make(chan struct{}, cfg.QueueDepth),
-		slots: make(chan struct{}, cfg.Workers),
-		runs:  make(map[string]*Run),
+		cfg:     cfg,
+		cache:   newResultCache(cfg.CacheEntries),
+		met:     newMetrics(),
+		admit:   make(chan struct{}, cfg.QueueDepth),
+		slots:   make(chan struct{}, cfg.Workers),
+		runs:    make(map[string]*Run),
+		rng:     rand.New(rand.NewPCG(seed, 0x5e21ed)),
+		streams: make(map[string]*stream),
 	}
 }
 
@@ -131,6 +161,12 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("POST /v1/runs", s.instrument("POST /v1/runs", s.handlePostRuns))
 	mux.Handle("GET /v1/runs", s.instrument("GET /v1/runs", s.handleListRuns))
 	mux.Handle("GET /v1/runs/{id}", s.instrument("GET /v1/runs/{id}", s.handleGetRun))
+	mux.Handle("GET /v1/runs/{id}/events", s.instrument("GET /v1/runs/{id}/events", s.handleRunEvents))
+	if s.cfg.Coordinator != nil {
+		mux.Handle("POST /v1/lease", s.instrument("POST /v1/lease", s.handleLease))
+		mux.Handle("POST /v1/heartbeat", s.instrument("POST /v1/heartbeat", s.handleHeartbeat))
+		mux.Handle("POST /v1/complete", s.instrument("POST /v1/complete", s.handleComplete))
+	}
 	mux.Handle("GET /v1/experiments", s.instrument("GET /v1/experiments", s.handleListExperiments))
 	mux.Handle("GET /v1/experiments/{name}", s.instrument("GET /v1/experiments/{name}", s.handleExperiment))
 	mux.Handle("GET /v1/configs", s.instrument("GET /v1/configs", s.handleConfigs))
@@ -168,7 +204,7 @@ var (
 // slot, execute, record, respond.
 func (s *Server) handlePostRuns(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
-		w.Header().Set("Retry-After", "5")
+		w.Header().Set("Retry-After", s.retryAfter(5*time.Second))
 		writeError(w, http.StatusServiceUnavailable, "server is draining; not accepting new runs")
 		return
 	}
@@ -197,16 +233,23 @@ func (s *Server) handlePostRuns(w http.ResponseWriter, r *http.Request) {
 
 	// Admission: the queue-depth token is non-blocking — a full queue
 	// answers 429 immediately so clients back off instead of piling up.
+	// The Retry-After is jittered by the shared backoff helper so a burst
+	// of rejected clients does not come back in the same second.
 	select {
 	case s.admit <- struct{}{}:
 	default:
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", s.retryAfter(time.Second))
 		writeError(w, http.StatusTooManyRequests, "run queue is full; retry later")
 		return
 	}
 	defer func() { <-s.admit }()
 
 	run := s.newRun(len(jobs))
+	s.openStream(run.ID)
+	s.journalAppend(fabric.Record{
+		Type: fabric.RecRun, RunID: run.ID, Req: &req,
+		Cells: len(jobs), Created: run.Created,
+	})
 	// Wait for a run slot, racing the client: a disconnect while queued
 	// cancels the run before it consumes any simulation time.
 	select {
@@ -214,13 +257,33 @@ func (s *Server) handlePostRuns(w http.ResponseWriter, r *http.Request) {
 	case <-r.Context().Done():
 		s.finishRun(run.ID, StatusCancelled, nil, 0, "client disconnected while queued")
 		s.met.observeRun(StatusCancelled, 0, 0, 0)
+		s.journalAppend(fabric.Record{Type: fabric.RecFinish, RunID: run.ID,
+			Status: StatusCancelled, Err: "client disconnected while queued"})
+		s.dropStream(run.ID)
 		return
 	}
 	defer func() { <-s.slots }()
 
-	s.markRunning(run.ID)
+	status := s.performRun(r.Context(), run.ID, jobs)
+	if status == StatusCancelled {
+		return // the client is gone; nothing to write
+	}
+	snap, _ := s.snapshotRun(run.ID)
+	writeJSON(w, http.StatusOK, snap)
+}
+
+// performRun drives one admitted run to its terminal state: mark
+// running, execute the grid (journaling and streaming each cell as it
+// lands), record the results, and publish the terminal event. Both the
+// HTTP intake and boot-time journal recovery funnel through it.
+func (s *Server) performRun(ctx context.Context, runID string, jobs []runner.Job) string {
+	s.markRunning(runID)
 	start := now()
-	outs, runErr := s.execute(r, jobs)
+	keys := make([]string, len(jobs))
+	for i := range jobs {
+		keys[i], _ = jobs[i].Fingerprint() // uncacheable cells journal an empty key
+	}
+	outs, runErr := s.executeGrid(ctx, jobs, runID, keys)
 
 	results := make([]CellResult, len(outs))
 	simCells, hitCells := 0, 0
@@ -247,26 +310,41 @@ func (s *Server) handlePostRuns(w http.ResponseWriter, r *http.Request) {
 	status := StatusDone
 	errMsg := ""
 	switch {
-	case r.Context().Err() != nil:
+	case ctx.Err() != nil:
 		status, errMsg = StatusCancelled, "client disconnected mid-run"
 	case runErr != nil:
 		status, errMsg = StatusFailed, runErr.Error()
 	}
-	s.finishRun(run.ID, status, results, hitCells, errMsg)
+	s.finishRun(runID, status, results, hitCells, errMsg)
 	s.met.observeRun(status, simCells, hitCells, now().Sub(start))
-
-	if status == StatusCancelled {
-		return // the client is gone; nothing to write
-	}
-	snap, _ := s.snapshotRun(run.ID)
-	writeJSON(w, http.StatusOK, snap)
+	s.journalAppend(fabric.Record{Type: fabric.RecFinish, RunID: runID, Status: status, Err: errMsg})
+	s.publishEvent(runID, api.CellEvent{Index: -1, Done: true, Status: status})
+	return status
 }
 
-// execute attaches shared traces to the cells the cache cannot already
-// serve — a cache hit never needs a functional trace, so capturing one
-// for it would waste exactly the work the cache exists to skip — then
-// hands the grid to the runner with the server's cache attached.
-func (s *Server) execute(r *http.Request, jobs []runner.Job) ([]runner.Outcome, error) {
+// executeGrid attaches shared traces to the cells the cache cannot
+// already serve — a cache hit never needs a functional trace, so
+// capturing one for it would waste exactly the work the cache exists to
+// skip — then hands the grid to the runner with the server's cache
+// attached. With a coordinator configured the cells dispatch to the
+// worker fleet through the runner's Execute seam instead (workers
+// capture their own traces), with one waiter per cell so the whole grid
+// can be in flight at once. runID/keys attach the journal and event
+// stream hooks; a caller with no run record passes "" and nil.
+func (s *Server) executeGrid(ctx context.Context, jobs []runner.Job, runID string, keys []string) ([]runner.Outcome, error) {
+	opts := runner.Options{
+		Parallelism: s.cfg.Parallelism,
+		CellTimeout: s.cfg.CellTimeout,
+		Cache:       s.runnerCache(),
+	}
+	if runID != "" {
+		opts.Progress = s.cellProgress(runID, keys)
+	}
+	if s.cfg.Coordinator != nil {
+		opts.Execute = s.cfg.Coordinator.Execute
+		opts.Parallelism = len(jobs)
+		return runnerRun(ctx, jobs, opts)
+	}
 	missing := make([]int, 0, len(jobs))
 	for i := range jobs {
 		key, err := jobs[i].Fingerprint()
@@ -286,11 +364,7 @@ func (s *Server) execute(r *http.Request, jobs []runner.Job) ([]runner.Outcome, 
 			jobs[i] = tmp[k]
 		}
 	}
-	return runnerRun(r.Context(), jobs, runner.Options{
-		Parallelism: s.cfg.Parallelism,
-		CellTimeout: s.cfg.CellTimeout,
-		Cache:       s.cache,
-	})
+	return runnerRun(ctx, jobs, opts)
 }
 
 func (s *Server) handleGetRun(w http.ResponseWriter, r *http.Request) {
@@ -345,7 +419,7 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if s.draining.Load() {
-		w.Header().Set("Retry-After", "5")
+		w.Header().Set("Retry-After", s.retryAfter(5*time.Second))
 		writeError(w, http.StatusServiceUnavailable, "server is draining; not accepting new runs")
 		return
 	}
@@ -383,7 +457,7 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 	select {
 	case s.admit <- struct{}{}:
 	default:
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", s.retryAfter(time.Second))
 		writeError(w, http.StatusTooManyRequests, "run queue is full; retry later")
 		return
 	}
@@ -425,6 +499,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	// len(admit) is the queue-depth gauge: tokens currently held by
 	// admitted, unfinished requests.
 	s.met.render(w, len(s.admit), s.cache.stats())
+	if c := s.cfg.Coordinator; c != nil {
+		renderFabricMetrics(w, c.Metrics())
+	}
+	if s.cfg.Journal != nil {
+		renderJournalMetrics(w, s.replay.Load(), s.journalErrs.Load())
+	}
 }
 
 // --- run records -----------------------------------------------------
@@ -515,6 +595,14 @@ type statusWriter struct {
 func (w *statusWriter) WriteHeader(code int) {
 	w.code = code
 	w.ResponseWriter.WriteHeader(code)
+}
+
+// Flush forwards to the underlying writer so instrumented handlers can
+// stream (the SSE endpoint requires an http.Flusher).
+func (w *statusWriter) Flush() {
+	if fl, ok := w.ResponseWriter.(http.Flusher); ok {
+		fl.Flush()
+	}
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
