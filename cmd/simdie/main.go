@@ -14,6 +14,7 @@
 //	simdie -bench mesa -mode SIE -verify
 //	simdie -bench bzip2 -mode REPLAY -replay-epoch 1024
 //	simdie -bench bzip2 -mode TMR -vote-width 5
+//	simdie -bench bzip2 -mode DIE-TRB -trb-entries 512
 //	simdie -bench bzip2 -dump | head   # disassemble the workload
 //
 // The -mode value resolves through the core mode registry (see
@@ -53,12 +54,17 @@ func main() {
 		"REPLAY: committed instructions per replay epoch (0 = default)")
 	voteWidth := flag.Int("vote-width", 0,
 		"TMR: copies dispatched per instruction, odd, 3..7 (0 = default)")
+	trbEntries := flag.Int("trb-entries", 0,
+		"DIE-TRB: trace reuse buffer entries, power of two (0 = default)")
+	trbBlockLen := flag.Int("trb-max-block-len", 0,
+		"DIE-TRB: max window length in instructions (0 = default)")
 	dump := flag.Bool("dump", false, "print the workload's disassembly instead of simulating")
 	trace := flag.Uint64("trace", 0, "print a pipeline trace for the first N cycles")
 	flag.Parse()
 
 	if err := run(*bench, *mode, *insns, *verify, *jobs, *x2alu, *x2ruu, *x2width,
-		*irbEntries, *irbAssoc, *irbVictim, *replayEpoch, *voteWidth, *dump, *trace); err != nil {
+		*irbEntries, *irbAssoc, *irbVictim, *replayEpoch, *voteWidth,
+		*trbEntries, *trbBlockLen, *dump, *trace); err != nil {
 		fmt.Fprintln(os.Stderr, "simdie:", err)
 		os.Exit(1)
 	}
@@ -66,7 +72,7 @@ func main() {
 
 func run(bench, mode string, insns uint64, verify bool, jobs int, x2alu, x2ruu, x2width bool,
 	irbEntries, irbAssoc, irbVictim int, replayEpoch uint64, voteWidth int,
-	dump bool, trace uint64) error {
+	trbEntries, trbBlockLen int, dump bool, trace uint64) error {
 	if bench == "all" {
 		bench = ""
 	}
@@ -90,6 +96,12 @@ func run(bench, mode string, insns uint64, verify bool, jobs int, x2alu, x2ruu, 
 	}
 	if voteWidth > 0 {
 		cfg.VoteWidth = voteWidth
+	}
+	if trbEntries > 0 {
+		cfg.TRBEntries = trbEntries
+	}
+	if trbBlockLen > 0 {
+		cfg.TRBMaxBlockLen = trbBlockLen
 	}
 	if x2alu {
 		cfg = cfg.WithDoubledALUs()
@@ -177,6 +189,11 @@ func report(r sim.Result) {
 		t.AddRow("faults injected/detected/corrected", fmt.Sprintf("%d/%d/%d",
 			s.FaultsInjected, s.FaultsDetected, s.FaultsCorrected))
 		t.AddRow("fault MTTR (cycles)", s.MTTR())
+	}
+	if r.TRB != nil {
+		t.AddRow("TRB window hits / lookups", fmt.Sprintf("%d / %d", r.TRB.Hits, r.TRB.Lookups))
+		t.AddRow("TRB instructions trace-skipped", s.TRBInstrSkipped)
+		t.AddRow("trace-served commit share", r.TraceReuseRate())
 	}
 	if r.IRB != nil {
 		t.AddRow("IRB PC hit rate", r.PCHitRate())

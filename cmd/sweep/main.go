@@ -18,11 +18,15 @@
 //
 // Experiments: config, fig2, headline, irbhit, irbsize, conflict,
 // irbports, faults, recovery, frontier, ablation-dup, ablation-fwd,
-// scheduler, cluster, prior24, reuse-sources, reuse-prediction, all.
+// scheduler, cluster, prior24, reuse-sources, reuse-prediction, trb,
+// trb-prediction, all.
 //
 // The frontier experiment compares every registered redundancy mode
-// (SIE, DIE, DIE-IRB, REPLAY, TMR) on one fault-free-IPC vs
-// detection-coverage vs MTTR table.
+// (SIE, DIE, DIE-IRB, REPLAY, TMR, DIE-TRB) on one fault-free-IPC vs
+// detection-coverage vs MTTR table. The trb experiment ablates DIE vs
+// DIE-IRB vs DIE-TRB and injects faults into the trace-buffered
+// machine; trb-prediction cross-validates the static trace-reuse
+// forecast against the measured trace-served share.
 package main
 
 import (

@@ -51,6 +51,15 @@ type PredictorConfig struct {
 	// PLoadMax scales the reuse probability of load-fed instructions; it
 	// is multiplied by the data segment's value-repeat likelihood.
 	PLoadMax float64
+
+	// TRBEntries, TRBMaxBlockLen and TRBMaxLiveIn describe the trace
+	// reuse buffer being predicted for (DIE-TRB's defaults: 256 entries
+	// direct-mapped by window entry PC, windows of up to 16 instructions
+	// and 8 live-in registers). TRBEntries <= 0 disables the trace-level
+	// prediction (TraceReuseRate stays 0).
+	TRBEntries     int
+	TRBMaxBlockLen int
+	TRBMaxLiveIn   int
 }
 
 // DefaultPredictorConfig returns the model tuned against the measured
@@ -65,6 +74,9 @@ func DefaultPredictorConfig() PredictorConfig {
 		PInvariant:     0.95,
 		PInduction:     0.02,
 		PLoadMax:       0.45,
+		TRBEntries:     256,
+		TRBMaxBlockLen: 16,
+		TRBMaxLiveIn:   8,
 	}
 }
 
@@ -91,6 +103,19 @@ type Prediction struct {
 	// [0,1]: the probability proxy that two loads of this program's data
 	// observe an already-seen value.
 	ValueLocality float64
+
+	// TraceReuseRate is the predicted fraction of committed instructions
+	// whose duplicate a trace reuse buffer serves via a whole-window hit,
+	// comparable to sim.Result.TraceReuseRate. It aggregates, over the
+	// memoizable windows TraceBlocks extracts, the window length times a
+	// hit probability (invariant live-ins repeat every iteration except
+	// re-entry, discounted by entry-PC set conflicts), against the total
+	// loop-weighted instruction volume.
+	TraceReuseRate float64
+
+	// TraceWindows is the number of static memoizable windows found — the
+	// TRB capacity the program asks for.
+	TraceWindows int
 }
 
 // Operand variance classes, ordered by severity: an instruction's class
@@ -140,11 +165,7 @@ func predict(g *CFG, cfg PredictorConfig) Prediction {
 	// block's execution weight is the product over its containing loops.
 	mult := make([]float64, len(g.Loops))
 	for i := range g.Loops {
-		if t := loopTrip(g, &g.Loops[i]); t > 0 {
-			mult[i] = min(t, cfg.TripClamp)
-		} else {
-			mult[i] = cfg.LoopWeightBase
-		}
+		mult[i] = weightTrip(g, cfg, &g.Loops[i])
 	}
 	weight := make([]float64, len(g.Blocks))
 	for i := range weight {
@@ -196,7 +217,66 @@ func predict(g *CFG, cfg PredictorConfig) Prediction {
 			p.ClassDemand[c] = classW[c] / wTotal
 		}
 	}
+	p.TraceReuseRate, p.TraceWindows = predictTraceReuse(g, cfg, weight)
 	return p
+}
+
+// predictTraceReuse estimates the fraction of committed instructions a
+// trace reuse buffer would serve via whole-window hits — the static
+// analogue of TRBInstrSkipped/Committed. Each memoizable window
+// (TraceBlocks) has loop-invariant live-ins by construction, so it hits
+// on every iteration of its innermost loop except re-entry
+// (PInvariant x (trip-1)/trip), discounted when k windows share one
+// direct-mapped TRB set (each retained roughly 1/k of the time). The
+// served instruction weight — window weight x window length x hit
+// probability — is normalized by the total loop-weighted instruction
+// volume.
+func predictTraceReuse(g *CFG, cfg PredictorConfig, weight []float64) (float64, int) {
+	if cfg.TRBEntries <= 0 || cfg.TRBMaxBlockLen < 2 || cfg.TRBMaxLiveIn < 1 {
+		return 0, 0
+	}
+	windows := TraceBlocks(g, cfg.TRBMaxBlockLen, cfg.TRBMaxLiveIn)
+	if len(windows) == 0 {
+		return 0, 0
+	}
+	setPop := make(map[uint64]int, len(windows))
+	for _, w := range windows {
+		setPop[w.Entry%uint64(cfg.TRBEntries)]++
+	}
+	var wServed float64
+	for _, w := range windows {
+		b := g.BlockAt(w.Entry)
+		loop := g.InnermostLoop(b)
+		if loop == nil {
+			continue // TraceBlocks only emits in-loop windows
+		}
+		trip := weightTrip(g, cfg, loop)
+		pr := cfg.PInvariant * (1 - 1/max(trip, 1))
+		if k := setPop[w.Entry%uint64(cfg.TRBEntries)]; k > 1 {
+			pr /= float64(k)
+		}
+		wServed += weight[b.ID] * float64(w.Len) * pr
+	}
+	var wAll float64
+	for _, b := range g.Blocks {
+		if b.Reachable {
+			wAll += weight[b.ID] * float64(b.End-b.Start)
+		}
+	}
+	if wAll == 0 {
+		return 0, len(windows)
+	}
+	return wServed / wAll, len(windows)
+}
+
+// weightTrip is the per-iteration frequency multiplier predict assigns a
+// loop: the statically recovered trip count clamped to TripClamp, or the
+// model default when the counter idiom is not visible.
+func weightTrip(g *CFG, cfg PredictorConfig, l *Loop) float64 {
+	if t := loopTrip(g, l); t > 0 {
+		return min(t, cfg.TripClamp)
+	}
+	return cfg.LoopWeightBase
 }
 
 // reuseProb maps an operand variance class to a reuse probability. An

@@ -1,0 +1,122 @@
+package analysis
+
+import "repro/internal/isa"
+
+// Trace-reuse window extraction. The trace reuse buffer (internal/trb)
+// memoizes a straight-line run of instructions keyed by entry PC plus the
+// values of its live-in registers: when the leader stream re-enters the
+// window with the same live-in values, every duplicate in the window is
+// served its recorded output signature without executing. That is sound
+// only when the signatures are a pure function of (entry PC, live-in
+// values), which this pass guarantees statically:
+//
+//   - Windows are intra-block, so control cannot enter mid-window and the
+//     leader dispatches the window's instructions consecutively.
+//   - Signatures are register-only (a load's signature is its effective
+//     address, a store's the address/value mix, a branch's the decision):
+//     no signature reads memory directly. What could smuggle memory in is
+//     a register written by an in-window load and read by a later
+//     in-window instruction — such readers terminate the window (the
+//     load itself is fine).
+//   - Every live-in register must carry the same value each time the
+//     leader re-enters the window, or the buffer would serve stale
+//     signatures to matching live-ins. Windows are only emitted inside
+//     loops, and a live-in is accepted only when no instruction anywhere
+//     in the innermost loop writes it — loop-invariant by construction.
+//     (A buffer hit additionally re-checks the recorded live-in values,
+//     so even a scrubbed/retrained entry can never produce a false hit.)
+//
+// One (longest) window per loop block keeps the index dense and the
+// buffer conflict-free for the common loop shapes the workload generator
+// emits, where the profitable run is the loop-invariant recomputation
+// chain in the middle of each unrolled body.
+
+// TraceBlock is one memoizable window: Len instructions starting at
+// Entry, whose output signatures depend only on the LiveIn registers.
+type TraceBlock struct {
+	// Entry is the instruction index of the window's first instruction.
+	Entry uint64
+	// Len is the window length in instructions (always >= 2).
+	Len int
+	// LiveIn lists the registers read before any in-window write, in
+	// ascending order. Their values key the memoization.
+	LiveIn []isa.Reg
+}
+
+// TraceBlocks extracts, for every reachable in-loop basic block, the
+// longest valid memoization window of at most maxLen instructions with at
+// most maxLiveIn live-in registers. Windows shorter than two instructions
+// are not worth a lookup and are dropped.
+func TraceBlocks(g *CFG, maxLen, maxLiveIn int) []TraceBlock {
+	var out []TraceBlock
+	for _, b := range g.Blocks {
+		if !b.Reachable || b.LoopDepth == 0 {
+			continue
+		}
+		loop := g.InnermostLoop(b)
+		if loop == nil {
+			continue
+		}
+		// Registers defined anywhere in the innermost loop: a window
+		// live-in drawn from this set would change across iterations.
+		var loopDefs regSet
+		for _, id := range loop.Blocks {
+			lb := g.Blocks[id]
+			for pc := lb.Start; pc < lb.End; pc++ {
+				loopDefs |= defs(g.Prog.Code[pc])
+			}
+		}
+		if w, ok := bestWindow(g, b, loopDefs, maxLen, maxLiveIn); ok {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// bestWindow scans the block for its longest valid window.
+func bestWindow(g *CFG, b *Block, loopDefs regSet, maxLen, maxLiveIn int) (TraceBlock, bool) {
+	best := TraceBlock{}
+	for s := b.Start; s < b.End; s++ {
+		var (
+			liveIn  regSet
+			written regSet
+			taint   regSet // registers holding in-window loaded values
+		)
+		length := 0
+		for pc := s; pc < b.End && length < maxLen; pc++ {
+			in := g.Prog.Code[pc]
+			if in.Op == isa.OpHalt {
+				break
+			}
+			u := uses(in)
+			// A register written by an in-window load carries a memory
+			// value: any reader's signature would depend on memory
+			// contents, which the live-in key cannot capture.
+			if u&taint != 0 {
+				break
+			}
+			newLive := u &^ written
+			if newLive&loopDefs != 0 {
+				// The value changes across iterations of the very loop
+				// that makes the window hot: it would never re-match.
+				break
+			}
+			if (liveIn | newLive).count() > maxLiveIn {
+				break
+			}
+			liveIn |= newLive
+			d := defs(in)
+			if in.Op.Info().IsLoad {
+				taint |= d
+			} else {
+				taint &^= d
+			}
+			written |= d
+			length++
+		}
+		if length >= 2 && length > best.Len {
+			best = TraceBlock{Entry: s, Len: length, LiveIn: liveIn.regs()}
+		}
+	}
+	return best, best.Len >= 2
+}

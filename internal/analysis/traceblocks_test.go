@@ -1,0 +1,222 @@
+package analysis
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/program"
+	"repro/internal/workload"
+)
+
+// invariantChainLoop builds
+//
+//	addi r1, r0, 8        ; loop counter
+//	addi r10, r0, 100     ; invariant input
+//	addi r11, r0, 7       ; invariant input
+//	LOOP: add r12, r10, r11   ; invariant chain, pc 3
+//	mul  r13, r12, r10        ; pc 4
+//	xor  r14, r13, r11        ; pc 5
+//	addi r1, r1, -1           ; pc 6: induction update
+//	bne  r1, r0, LOOP
+//	halt
+func invariantChainLoop(t *testing.T) *CFG {
+	t.Helper()
+	b := program.NewBuilder("invchain")
+	b.EmitImm(isa.OpAddi, 1, isa.ZeroReg, 8)
+	b.EmitImm(isa.OpAddi, 10, isa.ZeroReg, 100)
+	b.EmitImm(isa.OpAddi, 11, isa.ZeroReg, 7)
+	b.Label("loop")
+	b.EmitOp(isa.OpAdd, 12, 10, 11)
+	b.EmitOp(isa.OpMul, 13, 12, 10)
+	b.EmitOp(isa.OpXor, 14, 13, 11)
+	b.EmitImm(isa.OpAddi, 1, 1, -1)
+	b.Branch(isa.OpBne, 1, isa.ZeroReg, "loop")
+	b.Emit(isa.Instr{Op: isa.OpHalt})
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return BuildCFG(p)
+}
+
+func TestTraceBlocksInvariantChain(t *testing.T) {
+	g := invariantChainLoop(t)
+	ws := TraceBlocks(g, 16, 8)
+	if len(ws) != 1 {
+		t.Fatalf("windows = %+v, want exactly one", ws)
+	}
+	w := ws[0]
+	// The window is the three-instruction invariant chain: it starts at
+	// the loop header and stops where the induction update would drag
+	// the loop-carried r1 into the live-in set.
+	if w.Entry != 3 || w.Len != 3 {
+		t.Fatalf("window [%d, +%d), want [3, +3)", w.Entry, w.Len)
+	}
+	if len(w.LiveIn) != 2 || w.LiveIn[0] != 10 || w.LiveIn[1] != 11 {
+		t.Fatalf("live-ins = %v, want [10 11]", w.LiveIn)
+	}
+}
+
+func TestTraceBlocksMaxLenCap(t *testing.T) {
+	g := invariantChainLoop(t)
+	ws := TraceBlocks(g, 2, 8)
+	if len(ws) != 1 || ws[0].Len != 2 {
+		t.Fatalf("windows = %+v, want one of length 2", ws)
+	}
+}
+
+func TestTraceBlocksMaxLiveInCap(t *testing.T) {
+	g := invariantChainLoop(t)
+	// The full chain needs live-ins {r10, r11}; with a cap of 1 only the
+	// tail of the chain fits a single live-in... in this program no run
+	// of two instructions reads just one invariant, so nothing is
+	// emitted at all.
+	if ws := TraceBlocks(g, 16, 1); len(ws) != 0 {
+		t.Fatalf("windows = %+v, want none under live-in cap 1", ws)
+	}
+}
+
+// loadTaintLoop builds a loop whose first chain consumes a loaded value
+// (unsound to memoize) and whose second chain is pure:
+//
+//	addi r1, r0, 8
+//	addi r10, r0, 64      ; invariant base address
+//	addi r11, r0, 5       ; invariant input
+//	LOOP: ld r12, 0(r10)      ; pc 3: load
+//	add  r13, r12, r11        ; pc 4: reads the loaded value
+//	add  r14, r10, r11        ; pc 5: pure chain
+//	xor  r15, r14, r11        ; pc 6
+//	addi r1, r1, -1           ; pc 7
+//	bne  r1, r0, LOOP
+//	halt
+//	(data word at 64)
+func loadTaintLoop(t *testing.T) *CFG {
+	t.Helper()
+	b := program.NewBuilder("loadtaint")
+	b.EmitImm(isa.OpAddi, 1, isa.ZeroReg, 8)
+	b.EmitImm(isa.OpAddi, 10, isa.ZeroReg, 64)
+	b.EmitImm(isa.OpAddi, 11, isa.ZeroReg, 5)
+	b.Label("loop")
+	b.EmitImm(isa.OpLoad, 12, 10, 0)
+	b.EmitOp(isa.OpAdd, 13, 12, 11)
+	b.EmitOp(isa.OpAdd, 14, 10, 11)
+	b.EmitOp(isa.OpXor, 15, 14, 11)
+	b.EmitImm(isa.OpAddi, 1, 1, -1)
+	b.Branch(isa.OpBne, 1, isa.ZeroReg, "loop")
+	b.Emit(isa.Instr{Op: isa.OpHalt})
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return BuildCFG(p)
+}
+
+func TestTraceBlocksLoadTaint(t *testing.T) {
+	g := loadTaintLoop(t)
+	ws := TraceBlocks(g, 16, 8)
+	if len(ws) != 1 {
+		t.Fatalf("windows = %+v, want exactly one", ws)
+	}
+	w := ws[0]
+	// The window must be the pure chain at pc 5..6: a window starting at
+	// the load dies at pc 4 (its reader would fold memory contents into
+	// a register-keyed signature), and pc 4 itself can't start a window
+	// because r12 is loop-defined.
+	if w.Entry != 5 || w.Len != 2 {
+		t.Fatalf("window [%d, +%d), want [5, +2)", w.Entry, w.Len)
+	}
+	for _, r := range w.LiveIn {
+		if r == 12 {
+			t.Fatalf("live-ins %v include the load destination", w.LiveIn)
+		}
+	}
+}
+
+// TestTraceBlocksLoadWithoutConsumerIsMemoizable pins the other half of
+// the taint rule: a load (and a store) whose value is never read inside
+// the window is safe to include, because its signature is the effective
+// address — a pure function of registers.
+func TestTraceBlocksLoadWithoutConsumerIsMemoizable(t *testing.T) {
+	b := program.NewBuilder("loadok")
+	b.EmitImm(isa.OpAddi, 1, isa.ZeroReg, 8)
+	b.EmitImm(isa.OpAddi, 10, isa.ZeroReg, 64)
+	b.EmitImm(isa.OpAddi, 11, isa.ZeroReg, 5)
+	b.Label("loop")
+	b.EmitOp(isa.OpAdd, 13, 10, 11)
+	b.EmitImm(isa.OpLoad, 12, 10, 0)
+	b.EmitImm(isa.OpStore, 0, 10, 13) // mem[r10+?]: src1=r10 addr, src2=r13 value
+	b.EmitImm(isa.OpAddi, 1, 1, -1)
+	b.Branch(isa.OpBne, 1, isa.ZeroReg, "loop")
+	b.Emit(isa.Instr{Op: isa.OpHalt})
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := TraceBlocks(BuildCFG(p), 16, 8)
+	if len(ws) != 1 {
+		t.Fatalf("windows = %+v, want exactly one", ws)
+	}
+	if w := ws[0]; w.Entry != 3 || w.Len != 3 {
+		t.Fatalf("window [%d, +%d), want [3, +3) spanning add+load+store", w.Entry, w.Len)
+	}
+}
+
+// TestTraceBlocksLenFloor: the classic counted nested loop has no
+// two-instruction run free of loop-carried live-ins, so no windows.
+func TestTraceBlocksLenFloor(t *testing.T) {
+	p := nestedLoopProgram(t)
+	if ws := TraceBlocks(BuildCFG(p), 16, 8); len(ws) != 0 {
+		t.Fatalf("windows = %+v, want none", ws)
+	}
+}
+
+// TestTraceBlocksGeneratedWorkloads holds the extractor to its contract
+// over every generated benchmark: windows lie inside the code and inside
+// a loop block, respect the caps, never include a tainted-value read, and
+// have distinct entry PCs (at most one per block).
+func TestTraceBlocksGeneratedWorkloads(t *testing.T) {
+	const maxLen, maxLiveIn = 16, 8
+	var total int
+	for _, prof := range append(workload.SPEC2000(), workload.SPEC95()...) {
+		prof := prof.WithIters(50_000)
+		p, err := workload.Generate(prof)
+		if err != nil {
+			t.Fatalf("%s: generate: %v", prof.Name, err)
+		}
+		g := BuildCFG(p)
+		ws := TraceBlocks(g, maxLen, maxLiveIn)
+		total += len(ws)
+		seen := make(map[uint64]bool)
+		for _, w := range ws {
+			if w.Len < 2 || w.Len > maxLen || len(w.LiveIn) > maxLiveIn {
+				t.Fatalf("%s: window %+v violates caps", prof.Name, w)
+			}
+			if w.Entry+uint64(w.Len) > uint64(len(p.Code)) {
+				t.Fatalf("%s: window %+v outside code", prof.Name, w)
+			}
+			blk := g.BlockAt(w.Entry)
+			if blk == nil || blk.LoopDepth == 0 || w.Entry+uint64(w.Len) > blk.End {
+				t.Fatalf("%s: window %+v not inside a loop block", prof.Name, w)
+			}
+			if seen[w.Entry] {
+				t.Fatalf("%s: duplicate window entry %d", prof.Name, w.Entry)
+			}
+			seen[w.Entry] = true
+			var taint regSet
+			for pc := w.Entry; pc < w.Entry+uint64(w.Len); pc++ {
+				in := p.Code[pc]
+				if uses(in)&taint != 0 {
+					t.Fatalf("%s: window %+v reads an in-window loaded value at pc %d", prof.Name, w, pc)
+				}
+				if in.Op.Info().IsLoad {
+					taint |= defs(in)
+				} else {
+					taint &^= defs(in)
+				}
+			}
+		}
+	}
+	if total == 0 {
+		t.Fatal("no windows extracted from any generated workload; the TRB would be dead hardware")
+	}
+}

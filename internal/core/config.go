@@ -24,6 +24,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/irb"
 	"repro/internal/isa"
+	"repro/internal/trb"
 )
 
 // Mode selects the redundancy scheme of the core. A Mode is the name of a
@@ -68,6 +69,14 @@ const (
 	// single-fault model; only a votes-split tie falls back to the
 	// rewind path.
 	TMR Mode = "TMR"
+	// DIETRB is DIE-IRB extended with the trace reuse buffer: loop
+	// windows whose output signatures are a pure function of their entry
+	// PC and live-in register values (extracted statically by
+	// analysis.TraceBlocks) are memoized whole, and a hit skips the
+	// duplicate stream past the entire window for one lookup's latency.
+	// Anything outside a window — and any window whose live-ins
+	// mismatch — falls back to per-instruction DIE-IRB behavior.
+	DIETRB Mode = "DIE-TRB"
 )
 
 // SchedulerKind selects the instruction scheduler model.
@@ -190,6 +199,18 @@ type Config struct {
 	// instruction dispatch and vote at commit. Odd, 3..7 (0 = 3). The
 	// json tag keeps the zero value out of runner fingerprints.
 	VoteWidth int `json:",omitempty"`
+
+	// TRBEntries sizes DIE-TRB mode's trace reuse buffer: window
+	// recordings, direct-mapped by entry PC, power of two (0 =
+	// trb.Default's 256). The json tag keeps the zero value out of
+	// runner fingerprints.
+	TRBEntries int `json:",omitempty"`
+
+	// TRBMaxBlockLen caps DIE-TRB windows in instructions — both the
+	// static extraction and the per-entry signature storage (0 =
+	// trb.Default's 16). The json tag keeps the zero value out of
+	// runner fingerprints.
+	TRBMaxBlockLen int `json:",omitempty"`
 
 	// MaxInsns stops simulation after this many architected instructions
 	// commit (0 = run to halt).
@@ -332,6 +353,9 @@ func (c Config) Validate() error {
 	if c.ReplayEpoch != 0 && caps.Compare != CompareEpoch {
 		return fmt.Errorf("core: ReplayEpoch set but mode %q does not replay epochs", c.Mode)
 	}
+	if (c.TRBEntries != 0 || c.TRBMaxBlockLen != 0) && !caps.UsesTRB {
+		return fmt.Errorf("core: TRB knobs set but mode %q has no trace reuse buffer", c.Mode)
+	}
 	for cl := isa.FUIntALU; cl < isa.NumFUClasses; cl++ {
 		if c.FUs[cl] <= 0 {
 			return fmt.Errorf("core: no %v units", cl)
@@ -356,5 +380,23 @@ func (c Config) Validate() error {
 			return err
 		}
 	}
+	if caps.UsesTRB {
+		if err := c.trbConfig().Validate(); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+// trbConfig resolves the TRB knobs onto the package defaults; fields the
+// knobs do not expose (live-in cap, lookup latency) stay at trb.Default.
+func (c Config) trbConfig() trb.Config {
+	tc := trb.Default()
+	if c.TRBEntries > 0 {
+		tc.Entries = c.TRBEntries
+	}
+	if c.TRBMaxBlockLen > 0 {
+		tc.MaxBlockLen = c.TRBMaxBlockLen
+	}
+	return tc
 }

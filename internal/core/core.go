@@ -75,7 +75,8 @@ type Core struct {
 	front   *fsim.Front
 	pred    *bpred.Predictor
 	mem     *cache.Hierarchy
-	reuse   *irb.IRB // nil unless the mode uses the IRB
+	reuse   *irb.IRB  // nil unless the mode uses the IRB
+	trb     *trbState // nil unless the mode uses the TRB (see trb.go)
 	inj     FaultInjector
 	tracer  Tracer
 
@@ -219,6 +220,11 @@ func NewAt(cfg Config, m *fsim.Machine) (*Core, error) {
 	}
 	if c.caps.UsesIRB {
 		if c.reuse, err = irb.New(cfg.IRB); err != nil {
+			return nil, err
+		}
+	}
+	if c.caps.UsesTRB {
+		if c.trb, err = newTRBState(cfg, prog); err != nil {
 			return nil, err
 		}
 	}
@@ -425,6 +431,11 @@ func (c *Core) dispatch() {
 				//nopanic:invariant fetch and the functional front advance in lockstep by construction
 				panic(fmt.Sprintf("core: dispatch pc %d != front pc %d", fe.pc, c.front.PC()))
 			}
+			if c.trb != nil {
+				// Window walk and lookup run against the pre-step
+				// architected state, before the front advances.
+				c.trbBefore(fe.pc)
+			}
 			r, err := c.front.StepCorrect()
 			if err != nil {
 				//nopanic:invariant the oracle already executed this instruction without error
@@ -476,6 +487,9 @@ func (c *Core) dispatch() {
 				c.tracer.Dispatch(c.cycle, dupU.seq, true, wrong, &dupU.rec)
 			}
 		}
+		if c.trb != nil && !wrong {
+			c.trbAfter(&primary.rec)
+		}
 
 		// A correct-path control transfer whose prediction was wrong
 		// switches the front to wrong-path execution; recovery happens
@@ -521,6 +535,25 @@ func (c *Core) newUop(fe *fetchEntry, rec fsim.Retired, wrong, dup bool) *uop {
 	if oi := rec.Instr.Op.Info(); oi.UsesSrc2 {
 		u.ver2 = c.regVer[rec.Instr.Src2]
 	}
+	// A TRB-served duplicate never executes: the recorded window
+	// signature stands in for the whole copy, delivered once the lookup
+	// latency has elapsed. It bypasses operand injection, the IRB, and
+	// the functional units — the duplicate work does not exist, so
+	// injection opportunities are accounted against the leader only.
+	if c.trb != nil && dup && !wrong && c.trb.serving {
+		u.trbServed = true
+		u.trbEntry = c.trb.skipEntry
+		u.outSig = c.trb.serveSig
+		u.state = uIssued
+		c.Stats.TRBInstrSkipped++
+		at := c.cycle + 1
+		if c.trb.skipReady > at {
+			at = c.trb.skipReady
+		}
+		c.events.schedule(at, evTRBDone, u)
+		return u
+	}
+
 	if c.inj != nil {
 		oi := rec.Instr.Op.Info()
 		if oi.UsesSrc1 {
@@ -576,6 +609,12 @@ func (c *Core) streamUsesIRB(dup bool) bool {
 func (c *Core) wireAndRename(primary *uop, dups []*uop) {
 	c.wireSources(primary, &c.prodP)
 	for _, dupU := range dups {
+		if dupU.trbServed {
+			// A served copy waits on no producers — that is the whole
+			// ALU-bandwidth win — and is never a producer itself
+			// (DIE-TRB forwards primary results like DIE-IRB).
+			continue
+		}
 		if c.caps.IndependentDataflow {
 			// Independent dataflow per stream (DIE).
 			c.wireSources(dupU, &c.prodD)
@@ -897,6 +936,12 @@ func (c *Core) writeback() {
 			}
 		case evLoadDone:
 			c.completeUop(u)
+		case evTRBDone:
+			// Signature set at dispatch from the recorded window; there
+			// is no execution and hence no FU-result injection point.
+			if c.completeUop(u) {
+				continue
+			}
 		}
 	}
 }
@@ -986,6 +1031,14 @@ func (c *Core) recover(u *uop) {
 		if s := c.ruu.at(i); s.state == uWaiting {
 			c.waiting = append(c.waiting, waitRef{s, s.gen})
 		}
+	}
+	if c.trb != nil {
+		// Defensive: windows end at the block's control transfer, so
+		// EnterSpec can only fire at a window's final instruction —
+		// recording and serving are both past their last step by the
+		// time recovery runs. Reset anyway so a future window shape
+		// cannot leave a half-recorded or half-served walk behind.
+		c.trbReset()
 	}
 	c.front.Squash()
 	c.fetchPC = c.front.PC()

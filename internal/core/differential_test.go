@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/fsim"
 	"repro/internal/program"
+	"repro/internal/workload"
 )
 
 // commitStream runs prog on cfg and returns the full architectural commit
@@ -104,6 +105,93 @@ func TestDifferentialRealIRBKeepsArchitecture(t *testing.T) {
 			irbStream, _ := commitStream(t, quicken(BaseDIEIRB()), prog)
 			if !reflect.DeepEqual(dieStream, irbStream) {
 				t.Fatal("DIE-IRB with live reuse diverged architecturally from DIE")
+			}
+		})
+	}
+}
+
+// TestDifferentialTRBMatchesIRBAndDIE is the trace-level generalization
+// of the safety property: with zero faults, DIE-TRB's architectural
+// commit stream must be bit-identical to both DIE-IRB's and plain DIE's
+// — a window hit skips the duplicate stream past whole blocks, but never
+// changes what commits. Architected counters (instructions, copies,
+// memory operations) must match too; only the reuse/timing counters may
+// differ. The subtests run in parallel so the property holds race-clean
+// under both -parallel 1 and -parallel 8.
+func TestDifferentialTRBMatchesIRBAndDIE(t *testing.T) {
+	for _, seed := range []uint64{1, 7, 42, 99, 1001, 31337} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			prog := randomProgram(seed)
+
+			dieStream, dieStats := commitStream(t, quicken(BaseDIE()), prog)
+			irbStream, irbStats := commitStream(t, quicken(BaseDIEIRB()), prog)
+			trbStream, trbStats := commitStream(t, quicken(baseConfig(DIETRB)), prog)
+
+			if trbStats.FaultsDetected != 0 || trbStats.FaultsSilent != 0 {
+				t.Fatalf("fault-free DIE-TRB reported faults: detected %d, silent %d",
+					trbStats.FaultsDetected, trbStats.FaultsSilent)
+			}
+			for _, ref := range []struct {
+				name   string
+				stream []fsim.Retired
+				stats  Stats
+			}{{"DIE", dieStream, dieStats}, {"DIE-IRB", irbStream, irbStats}} {
+				if ref.stats.Committed != trbStats.Committed {
+					t.Fatalf("committed: %s %d, DIE-TRB %d",
+						ref.name, ref.stats.Committed, trbStats.Committed)
+				}
+				if ref.stats.CopiesCommitted != trbStats.CopiesCommitted {
+					t.Fatalf("copies committed: %s %d, DIE-TRB %d",
+						ref.name, ref.stats.CopiesCommitted, trbStats.CopiesCommitted)
+				}
+				if ref.stats.Loads != trbStats.Loads || ref.stats.Stores != trbStats.Stores {
+					t.Fatalf("memory ops: %s %d/%d, DIE-TRB %d/%d",
+						ref.name, ref.stats.Loads, ref.stats.Stores,
+						trbStats.Loads, trbStats.Stores)
+				}
+				if len(ref.stream) != len(trbStream) {
+					t.Fatalf("stream length: %s %d, DIE-TRB %d",
+						ref.name, len(ref.stream), len(trbStream))
+				}
+				for i := range ref.stream {
+					if !reflect.DeepEqual(ref.stream[i], trbStream[i]) {
+						t.Fatalf("commit %d diverged:\n %-7s %+v\n DIE-TRB %+v",
+							i, ref.name, ref.stream[i], trbStream[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestDifferentialTRBLoopWorkloadsNonVacuous pins the trace path down on
+// the loop-heavy generated workloads, where windows actually hit: the
+// TRB must serve a nonzero share of duplicates (so the stream identity
+// above is not trivially exercised on a hitless machine) while the
+// commit stream stays bit-identical to DIE-IRB's.
+func TestDifferentialTRBLoopWorkloadsNonVacuous(t *testing.T) {
+	for _, name := range []string{"gzip", "bzip2", "mesa"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			p, ok := workload.ByName(name)
+			if !ok {
+				t.Fatalf("profile %q missing", name)
+			}
+			prog, err := workload.Generate(p.WithIters(8_000))
+			if err != nil {
+				t.Fatal(err)
+			}
+			irbStream, _ := commitStream(t, quicken(BaseDIEIRB()), prog)
+			trbStream, trbStats := commitStream(t, quicken(baseConfig(DIETRB)), prog)
+			if trbStats.TRBBlockHits == 0 || trbStats.TRBInstrSkipped == 0 {
+				t.Fatalf("%s: TRB never served a window (hits %d, skipped %d) — differential is vacuous",
+					name, trbStats.TRBBlockHits, trbStats.TRBInstrSkipped)
+			}
+			if !reflect.DeepEqual(irbStream, trbStream) {
+				t.Fatal("DIE-TRB with live window hits diverged architecturally from DIE-IRB")
 			}
 		})
 	}

@@ -35,6 +35,11 @@ type Capabilities struct {
 	Streams int
 	// UsesIRB: the mode instantiates the instruction reuse buffer.
 	UsesIRB bool
+	// UsesTRB: the mode instantiates the trace reuse buffer, memoizing
+	// whole loop windows keyed by entry PC + live-in values (DIE-TRB).
+	// Always combined with UsesIRB: instructions outside a served
+	// window fall back to per-instruction reuse.
+	UsesTRB bool
 	// IRBAllStreams: every stream consults the IRB (SIE-IRB), as opposed
 	// to the duplicate stream only (DIE-IRB without IRBBothStreams).
 	IRBAllStreams bool
@@ -215,5 +220,26 @@ func init() {
 			Doc:   "copies dispatched per instruction, odd, 3..7 (default 3)",
 		}},
 		Base: func() Config { return baseConfig(TMR) },
+	})
+	RegisterMode(ModeInfo{
+		Mode:        DIETRB,
+		Description: "DIE-IRB with a trace reuse buffer: loop windows memoized whole, one hit skips the duplicate stream past the entire window",
+		Caps: Capabilities{
+			Streams: 2,
+			UsesIRB: true,
+			UsesTRB: true,
+			Compare: ComparePair,
+			Detects: true,
+		},
+		Knobs: []Knob{{
+			Name:  "trb-entries",
+			Field: "TRBEntries",
+			Doc:   "trace reuse buffer entries, direct-mapped by window entry PC, power of two (default 256)",
+		}, {
+			Name:  "trb-max-block-len",
+			Field: "TRBMaxBlockLen",
+			Doc:   "maximum memoized window length in instructions (default 16)",
+		}},
+		Base: func() Config { return baseConfig(DIETRB) },
 	})
 }

@@ -56,6 +56,12 @@ type uop struct {
 	irbTested bool
 	reuseHit  bool
 
+	// TRB (DIE-TRB mode): this duplicate copy was served a recorded
+	// window signature at dispatch and never executes; trbEntry is the
+	// window's entry PC, kept for scrub-on-fault (see recoverFault).
+	trbServed bool
+	trbEntry  uint64
+
 	// Memory. Only the primary copy of a load/store occupies the LSQ and
 	// accesses the cache; the duplicate performs address calculation
 	// only (the paper keeps memory outside the Sphere of Replication).
@@ -248,6 +254,7 @@ const (
 	evExecDone eventKind = iota // FU execution finished: complete + wake
 	evAddrDone                  // memory address calculation finished
 	evLoadDone                  // memory access finished: complete + wake
+	evTRBDone                   // TRB-served duplicate: recorded signature delivered
 )
 
 // eventQueue is a min-heap of events by cycle, hand-specialized so push

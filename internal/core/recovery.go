@@ -65,6 +65,13 @@ func (c *Core) recoverFault(head, dupU *uop) {
 		if u.reuseHit && u.outSig != trueSig && c.reuse.Invalidate(pc) {
 			c.Stats.IRBScrubs++
 		}
+		// TRB-stored signatures are recomputed from architecturally
+		// committed records, so a served copy disagreeing with the true
+		// signature means the stored window itself is corrupted (storage
+		// fault): scrub it exactly like a bad IRB entry.
+		if u.trbServed && u.outSig != trueSig && c.trb.buf.Invalidate(u.trbEntry) {
+			c.Stats.TRBScrubs++
+		}
 	}
 
 	// Bounded retries per static PC, reset on successful commit (see
@@ -124,6 +131,13 @@ func (c *Core) recoverFault(head, dupU *uop) {
 	c.curFetchBlock = ^uint64(0)
 	if c.fetchStallUntil > c.cycle {
 		c.fetchStallUntil = c.cycle
+	}
+	if c.trb != nil {
+		// A fault recovery can land mid-window (any PC can fault);
+		// abandon the in-flight recording or serving walk. trbBefore
+		// also disengages for the whole rewind drain, so replayed
+		// records never extend a pre-fault walk.
+		c.trbReset()
 	}
 }
 

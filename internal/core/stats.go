@@ -32,6 +32,10 @@ type Stats struct {
 	IRBNotReady  uint64 // PC hits issued to FUs before lookup data arrived
 	DupFUExec    uint64 // duplicates executed on functional units
 
+	// DIE-TRB counters (see trb.go).
+	TRBBlockHits    uint64 // window entries whose live-ins hit the TRB
+	TRBInstrSkipped uint64 // duplicates served a recorded window signature
+
 	// Fault accounting (see internal/fault).
 	FaultsInjected  uint64
 	FaultsDetected  uint64 // commit/vote/replay check caught a signature difference
@@ -49,6 +53,7 @@ type Stats struct {
 	FaultRepairs        uint64 // repair windows closed (faulting insn committed)
 	FaultRecoveryCycles uint64 // cycles from detection to clean commit, summed
 	IRBScrubs           uint64 // corrupted IRB entries invalidated on detection
+	TRBScrubs           uint64 // TRB window recordings invalidated on detection
 
 	LoadForwarded uint64 // loads served by store-to-load forwarding
 	Loads, Stores uint64 // architected memory operations

@@ -1,0 +1,207 @@
+package core
+
+import (
+	"repro/internal/analysis"
+	"repro/internal/fsim"
+	"repro/internal/program"
+	"repro/internal/trb"
+)
+
+// trbState is the core side of DIE-TRB's trace reuse buffer: the static
+// window index extracted from the program, the buffer of recorded window
+// executions, and the dispatch-time walk state. The protocol runs at the
+// dispatch front, in lockstep with correct-path functional execution:
+//
+//   - At a window's entry PC the live-in register values are read from
+//     the architected machine (valid exactly there: dispatch is on the
+//     correct path, not rewinding, and the front has not stepped yet) and
+//     the buffer is probed. A hit starts a skip: every duplicate copy in
+//     the window is served its recorded output signature and bypasses
+//     wakeup, issue and the functional units — the multi-instruction
+//     reuse test the IRB performs per instruction, amortized to one
+//     lookup per window. A miss starts a recording: the leader's output
+//     signatures are captured as the window dispatches and inserted when
+//     it completes.
+//
+//   - The signatures a recording captures come from the clean functional
+//     records, so a served signature is architecturally true by
+//     construction and a leader-side fault strike inside a skipped window
+//     is still detected by the commit-time pair check. Duplicate work in
+//     a skipped window never executes, so there is nothing to strike on
+//     the duplicate side — injection opportunities are accounted against
+//     the leader only.
+//
+//   - Fault recovery rewinds through trbReset (any recording or skip in
+//     flight is abandoned; replayed records must not be re-captured) and
+//     scrubs served entries like irb.Invalidate (see recoverFault).
+//
+// There is no port model: the buffer is probed once per window entry —
+// far below the IRB's per-duplicate lookup rate — so port contention
+// would be dead configuration surface (see the trb package comment).
+type trbState struct {
+	buf *trb.Buffer
+	idx *trb.Index
+	lat uint64 // pipelined lookup depth, charged once per window hit
+
+	// Recording walk: a buffer miss at a window entry captures the
+	// leader's signatures until the window completes.
+	recActive bool
+	recEntry  uint64
+	recLen    int
+	recPos    int
+	recLive   []uint64
+	recSigs   []uint64
+
+	// Skip walk: a buffer hit serves the recorded signatures to the
+	// duplicate copies of the window's instructions.
+	skipActive bool
+	skipEntry  uint64
+	skipLen    int
+	skipPos    int
+	skipReady  uint64 // cycle the first served signature is deliverable
+	skipSigs   []uint64
+
+	// serving hands one dispatch iteration's decision from trbBefore to
+	// newUop: the instruction being dispatched is inside an active skip
+	// and its duplicate copy is served serveSig.
+	serving  bool
+	serveSig uint64
+
+	liveBuf []uint64 // scratch for gathering live-in values at lookup
+}
+
+// newTRBState builds the DIE-TRB state for prog: CFG construction, window
+// extraction, the entry-PC index and the buffer.
+func newTRBState(cfg Config, prog *program.Program) (*trbState, error) {
+	tc := cfg.trbConfig()
+	if err := tc.Validate(); err != nil {
+		return nil, err
+	}
+	windows := analysis.TraceBlocks(analysis.BuildCFG(prog), tc.MaxBlockLen, tc.MaxLiveIn)
+	idx, err := trb.NewIndex(len(prog.Code), windows)
+	if err != nil {
+		return nil, err
+	}
+	buf, err := trb.New(tc)
+	if err != nil {
+		return nil, err
+	}
+	return &trbState{
+		buf:      buf,
+		idx:      idx,
+		lat:      uint64(tc.LookupLat),
+		recLive:  make([]uint64, 0, tc.MaxLiveIn),
+		recSigs:  make([]uint64, 0, tc.MaxBlockLen),
+		skipSigs: make([]uint64, 0, tc.MaxBlockLen),
+		liveBuf:  make([]uint64, 0, tc.MaxLiveIn),
+	}, nil
+}
+
+// trbBefore runs at dispatch for every correct-path instruction, before
+// the front steps it: it advances an active window walk (or abandons one
+// whose expected PC the correct path left) and, at a window entry, probes
+// the buffer against the current live-in register values.
+//
+//lint:hotpath
+func (c *Core) trbBefore(pc uint64) {
+	t := c.trb
+	t.serving = false
+	if c.front.Rewinding() > 0 {
+		// Fault-recovery replay: the machine's registers do not reflect
+		// the pre-step state of the replayed record, so the TRB neither
+		// serves nor records until the rewind drains.
+		c.trbReset()
+		return
+	}
+	if t.skipActive {
+		if pc == t.skipEntry+uint64(t.skipPos) {
+			t.serving = true
+			t.serveSig = t.skipSigs[t.skipPos]
+			return
+		}
+		// Windows are straight-line, so the correct path cannot leave
+		// one mid-skip; defensive against future window shapes.
+		t.skipActive = false
+	}
+	if t.recActive {
+		if pc == t.recEntry+uint64(t.recPos) {
+			return // capture happens in trbAfter, off the clean record
+		}
+		t.recActive = false
+	}
+	w := t.idx.WindowAt(pc)
+	if w == nil {
+		return
+	}
+	vals := t.liveBuf[:0]
+	for _, r := range w.LiveIn {
+		vals = append(vals, c.front.M.Regs[r])
+	}
+	t.liveBuf = vals
+	if sigs, hit := t.buf.Lookup(pc, vals); hit {
+		// The returned slice aliases the buffer; copy it out so a
+		// later recording cannot clobber an in-flight skip.
+		t.skipActive = true
+		t.skipEntry = pc
+		t.skipLen = len(sigs)
+		t.skipPos = 0
+		t.skipReady = c.cycle + t.lat
+		t.skipSigs = append(t.skipSigs[:0], sigs...)
+		t.serving = true
+		t.serveSig = t.skipSigs[0]
+		c.Stats.TRBBlockHits++
+		return
+	}
+	t.recActive = true
+	t.recEntry = pc
+	t.recLen = w.Len
+	t.recPos = 0
+	t.recLive = append(t.recLive[:0], vals...)
+	t.recSigs = t.recSigs[:0]
+}
+
+// trbAfter runs after a correct-path instruction's copy group dispatched:
+// it advances the skip walk, or captures the instruction's true output
+// signature into an active recording — from the clean functional record,
+// never from a (possibly injector-corrupted) uop — inserting the
+// recording when the window completes.
+//
+//lint:hotpath
+func (c *Core) trbAfter(rec *fsim.Retired) {
+	t := c.trb
+	t.serving = false
+	if t.skipActive {
+		t.skipPos++
+		if t.skipPos == t.skipLen {
+			t.skipActive = false
+		}
+		return
+	}
+	if t.recActive {
+		t.recSigs = append(t.recSigs, outSignature(rec, rec.Src1, rec.Src2))
+		t.recPos++
+		if t.recPos == t.recLen {
+			t.buf.Insert(t.recEntry, t.recLive, t.recSigs)
+			t.recActive = false
+		}
+	}
+}
+
+// trbReset abandons any window walk in flight. Fault recovery calls it:
+// the rewind re-dispatches the flushed instructions, and a recording that
+// straddled the flush would otherwise capture replayed records against
+// stale live-in values.
+func (c *Core) trbReset() {
+	t := c.trb
+	t.serving = false
+	t.skipActive = false
+	t.recActive = false
+}
+
+// TRB returns the trace reuse buffer, or nil when the mode has none.
+func (c *Core) TRB() *trb.Buffer {
+	if c.trb == nil {
+		return nil
+	}
+	return c.trb.buf
+}

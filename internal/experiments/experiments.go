@@ -400,7 +400,7 @@ type FaultRow struct {
 	Retries        uint64 // recoveries beyond the first for one PC
 	Repairs        uint64 // repair windows closed
 	RecoveryCycles uint64 // detection-to-clean-commit cycles, summed
-	Scrubs         uint64 // corrupted IRB entries invalidated
+	Scrubs         uint64 // corrupted IRB entries + TRB windows invalidated
 }
 
 // Coverage is detected faults per architecturally surviving fault.
@@ -454,7 +454,7 @@ func (r *FaultRow) accumulate(injected uint64, st *core.Stats) {
 	r.Retries += st.FaultRetries
 	r.Repairs += st.FaultRepairs
 	r.RecoveryCycles += st.FaultRecoveryCycles
-	r.Scrubs += st.IRBScrubs
+	r.Scrubs += st.IRBScrubs + st.TRBScrubs
 }
 
 // Faults validates the redundancy argument of Section 3.4: single-bit

@@ -192,15 +192,15 @@ func TestFaultCoverage(t *testing.T) {
 	}
 }
 
-func TestFrontierFiveWay(t *testing.T) {
+func TestFrontierSixWay(t *testing.T) {
 	opts := quickOpts()
 	opts.Benchmarks = []string{"bzip2"}
 	rows, tbl, err := Frontier(opts)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rows) != 5 {
-		t.Fatalf("frontier has %d modes, want 5", len(rows))
+	if len(rows) != 6 {
+		t.Fatalf("frontier has %d modes, want 6", len(rows))
 	}
 	byMode := map[core.Mode]FrontierRow{}
 	var baseline *FrontierRow
@@ -256,6 +256,12 @@ func TestFrontierFiveWay(t *testing.T) {
 	}
 	if tmr.Inj.Recoveries != 0 {
 		t.Errorf("TMR performed %d rewinds; the vote should correct in place", tmr.Inj.Recoveries)
+	}
+	// Trace reuse is a bandwidth win on top of DIE: the DIE-TRB row may
+	// never lose more IPC than plain DIE on the same benchmark.
+	trb := byMode[core.DIETRB]
+	if trb.LossPct > die.LossPct {
+		t.Errorf("DIE-TRB loss %.1f%% exceeds DIE loss %.1f%%", trb.LossPct, die.LossPct)
 	}
 	rep := byMode[core.REPLAY]
 	if rep.Inj.Detected == 0 || rep.Inj.Recoveries == 0 {

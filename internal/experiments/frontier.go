@@ -54,7 +54,7 @@ func frontierCampaigns() []frontierCampaign {
 	return out
 }
 
-// Frontier runs the five-way redundancy comparison the mode registry was
+// Frontier runs the six-way redundancy comparison the mode registry was
 // built for: every registered detecting mode plus the single-stream
 // baseline on one table of fault-free IPC, IPC loss, detection coverage
 // and MTTR. Phase one is the oracle-verified fault-free grid; phase two

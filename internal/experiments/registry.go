@@ -83,6 +83,14 @@ func Registry() []Named {
 			_, _, t, err := ReusePrediction(o)
 			return t, err
 		}},
+		{"trb", func(o Options) (*stats.Table, error) {
+			_, _, t, err := TRBAblation(o)
+			return t, err
+		}},
+		{"trb-prediction", func(o Options) (*stats.Table, error) {
+			_, _, t, err := TraceReusePrediction(o)
+			return t, err
+		}},
 	}
 }
 

@@ -11,6 +11,7 @@ func TestRegistryNames(t *testing.T) {
 		"config", "fig2", "headline", "irbhit", "irbsize", "conflict",
 		"irbports", "faults", "recovery", "frontier", "ablation-dup", "ablation-fwd",
 		"scheduler", "cluster", "prior24", "reuse-sources", "reuse-prediction",
+		"trb", "trb-prediction",
 	}
 	got := Names()
 	if len(got) != len(want) {

@@ -1,0 +1,207 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/runner"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// TRBRow is one benchmark's trace-reuse ablation outcome: the IPC ladder
+// from plain DIE through DIE-IRB to DIE-TRB, with the reuse composition
+// of the trace-buffered machine.
+type TRBRow struct {
+	Bench      string
+	DIE        float64 // plain dual-execution IPC
+	DIEIRB     float64 // per-instruction reuse IPC
+	DIETRB     float64 // trace-level reuse IPC
+	ReuseIRB   float64 // DIE-IRB duplicate reuse rate
+	ReuseTRB   float64 // DIE-TRB combined reuse rate (IRB + trace hits)
+	TraceShare float64 // fraction of committed insns whose dup a window hit served
+	BlockHits  uint64  // TRB window lookups that hit
+}
+
+// trbSites is the injection matrix of the TRB campaign phase: the two
+// universal datapath sites plus both reuse-array sites — the TRB, like
+// the IRB, stores values consumed in place of execution, so a corrupted
+// entry must be caught by the commit-time pair check and scrubbed.
+func trbSites() []fault.Site {
+	return []fault.Site{fault.FU, fault.Forward, fault.IRBResult, fault.IRBOperand}
+}
+
+// TRBAblation runs the trace-reuse ablation: DIE vs DIE-IRB vs DIE-TRB
+// on one fault-free oracle-verified grid (phase one), then DIE-TRB under
+// single-bit injection at all four sites (phase two, rate 3e-4 — the
+// Faults experiment's operating point). Verification is forced on for
+// every run: a silent corruption in the trace path fails the run rather
+// than skewing a number. The returned table carries the per-benchmark
+// IPC ladder and reuse composition, an AVERAGE row, and one fault@site
+// row per campaign for the silent-corruption gate in CI.
+func TRBAblation(opts Options) ([]TRBRow, []FaultRow, *stats.Table, error) {
+	opts.Verify = true
+	cfgs := []sim.NamedConfig{
+		{Name: string(core.DIE), Cfg: core.BaseDIE()},
+		{Name: string(core.DIEIRB), Cfg: core.BaseDIEIRB()},
+		{Name: string(core.DIETRB), Cfg: baseDIETRB()},
+	}
+	g, err := runGrid(cfgs, opts)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+
+	profiles, err := opts.profiles()
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	sites := trbSites()
+	var (
+		jobs []runner.Job
+		injs []*fault.Injector
+	)
+	for _, site := range sites {
+		for _, p := range profiles {
+			inj, err := fault.New(fault.Config{Site: site, Rate: 3e-4, Seed: p.Seed})
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			o := opts.simOpts()
+			o.Injector = inj
+			o.Verify = true
+			jobs = append(jobs, runner.Job{
+				Name:    string(core.DIETRB) + "@" + string(site),
+				Config:  baseDIETRB(),
+				Profile: p,
+				Opts:    o,
+			})
+			injs = append(injs, inj)
+		}
+	}
+	if !opts.DisableReplay {
+		if err := runner.AttachTraces(jobs); err != nil {
+			return nil, nil, nil, err
+		}
+	}
+	outs, err := runner.Run(opts.ctx(), jobs, opts.runnerOpts())
+	if err != nil {
+		return nil, nil, nil, err
+	}
+
+	t := stats.NewTable("Trace reuse ablation: DIE vs DIE-IRB vs DIE-TRB (verified)",
+		"bench", "die_ipc", "irb_ipc", "trb_ipc", "reuse_rate", "trace_share", "block_hits")
+	rows := make([]TRBRow, 0, len(g.Benchmarks))
+	var sumIRB, sumTRB, sumReuse, sumShare float64
+	for b, bench := range g.Benchmarks {
+		rIRB, rTRB := g.Results[b][1], g.Results[b][2]
+		row := TRBRow{
+			Bench:      bench,
+			DIE:        g.IPC(b, 0),
+			DIEIRB:     rIRB.IPC,
+			DIETRB:     rTRB.IPC,
+			ReuseIRB:   rIRB.ReuseRate(),
+			ReuseTRB:   rTRB.ReuseRate(),
+			TraceShare: rTRB.TraceReuseRate(),
+		}
+		if rTRB.TRB != nil {
+			row.BlockHits = rTRB.TRB.Hits
+		}
+		rows = append(rows, row)
+		sumIRB += row.DIEIRB
+		sumTRB += row.DIETRB
+		sumReuse += row.ReuseTRB
+		sumShare += row.TraceShare
+		t.AddRow(bench, row.DIE, row.DIEIRB, row.DIETRB,
+			row.ReuseTRB, row.TraceShare, row.BlockHits)
+	}
+	n := float64(len(rows))
+	if n > 0 {
+		t.AddRow("AVERAGE", "", sumIRB/n, sumTRB/n, sumReuse/n, sumShare/n, "")
+	}
+
+	var frows []FaultRow
+	for si, site := range sites {
+		frow := FaultRow{Mode: core.DIETRB, Site: site}
+		for pi := range profiles {
+			i := si*len(profiles) + pi
+			frow.accumulate(injs[i].Injected, &outs[i].Result.Core)
+		}
+		frow.Vanished = int64(frow.Injected) - int64(frow.Detected) -
+			int64(frow.Masked) - int64(frow.Silent)
+		frows = append(frows, frow)
+		t.AddRow("fault@"+string(site), frow.Injected, frow.Detected,
+			frow.Masked, frow.Silent, frow.Coverage(), frow.Scrubs)
+	}
+	return rows, frows, t, nil
+}
+
+// baseDIETRB resolves the registered DIE-TRB baseline machine.
+func baseDIETRB() core.Config {
+	mi, ok := core.DIETRB.Info()
+	if !ok {
+		//nopanic:invariant the built-in mode registers at init; absence is a build bug
+		panic("experiments: DIE-TRB mode not registered")
+	}
+	return mi.Base()
+}
+
+// TracePredictionRow pairs the static trace-reuse forecast for one
+// benchmark with the trace-served instruction share the timing core
+// measured on the base DIE-TRB machine.
+type TracePredictionRow struct {
+	Bench     string
+	Predicted float64 // analysis.Prediction.TraceReuseRate on the exact program run
+	Measured  float64 // sim.Result.TraceReuseRate on the base DIE-TRB machine
+	Windows   int     // static memoizable windows found
+	BlockHits uint64  // measured TRB window hits
+}
+
+// TraceReusePrediction cross-validates the static trace-reuse predictor
+// (internal/analysis, TraceBlocks-driven) against the measured
+// trace-served share of the base DIE-TRB machine, exactly as
+// ReusePrediction does for the per-instruction predictor: each
+// benchmark's program is analyzed as generated for its run, then
+// simulated, and the Spearman rank correlation of the two columns is the
+// acceptance figure — the predictor orders programs by trace-reuse
+// potential, it does not promise absolute rates.
+func TraceReusePrediction(opts Options) ([]TracePredictionRow, float64, *stats.Table, error) {
+	profiles, err := opts.profiles()
+	if err != nil {
+		return nil, 0, nil, err
+	}
+	cfgs := []sim.NamedConfig{{Name: string(core.DIETRB), Cfg: baseDIETRB()}}
+	g, err := runGridProfiles(cfgs, profiles, opts)
+	if err != nil {
+		return nil, 0, nil, err
+	}
+	t := stats.NewTable("Static trace-reuse prediction vs measured (base DIE-TRB)",
+		"bench", "predicted", "measured", "windows", "block_hits")
+	rows := make([]TracePredictionRow, 0, len(profiles))
+	var preds, meas []float64
+	for b, p := range profiles {
+		prog, err := sim.ProgramFor(p, opts.simOpts())
+		if err != nil {
+			return nil, 0, nil, err
+		}
+		pred := analysis.Analyze(prog).Prediction
+		row := TracePredictionRow{
+			Bench:     p.Name,
+			Predicted: pred.TraceReuseRate,
+			Measured:  g.Results[b][0].TraceReuseRate(),
+			Windows:   pred.TraceWindows,
+		}
+		if tb := g.Results[b][0].TRB; tb != nil {
+			row.BlockHits = tb.Hits
+		}
+		rows = append(rows, row)
+		preds = append(preds, row.Predicted)
+		meas = append(meas, row.Measured)
+		t.AddRow(row.Bench, fmt.Sprintf("%.4f", row.Predicted),
+			fmt.Sprintf("%.4f", row.Measured), row.Windows, row.BlockHits)
+	}
+	rho := stats.Spearman(preds, meas)
+	t.AddRow("SPEARMAN", "", "", "", rho)
+	return rows, rho, t, nil
+}

@@ -50,6 +50,7 @@ var DefaultPackages = []string{
 	"internal/core",
 	"internal/fsim",
 	"internal/irb",
+	"internal/trb",
 	"internal/fault",
 	"internal/sim",
 	"internal/runner",

@@ -42,6 +42,7 @@ var DefaultPackages = []string{
 	"internal/service/api",
 	"internal/runner",
 	"internal/sim",
+	"internal/trb",
 	"internal/fabric",
 	"internal/backoff",
 }

@@ -144,13 +144,27 @@ func TestFingerprintModeKnobs(t *testing.T) {
 		t.Error("vote width is not part of the cache key")
 	}
 
+	trb := fp(mk("DIE-TRB", nil))
+	if again := fp(mk("DIE-TRB", nil)); again != trb {
+		t.Error("identical DIE-TRB jobs disagree on their key")
+	}
+	if k := fp(mk("DIE-TRB", func(c *core.Config) { c.TRBEntries = 512 })); k == trb {
+		t.Error("TRB entry count is not part of the cache key")
+	}
+	if k := fp(mk("DIE-TRB", func(c *core.Config) { c.TRBMaxBlockLen = 8 })); k == trb {
+		t.Error("TRB window length cap is not part of the cache key")
+	}
+	if k := fp(mk("DIE-IRB", nil)); k == trb {
+		t.Error("DIE-TRB and DIE-IRB cells share a cache key")
+	}
+
 	// Byte-stability: unset knobs must vanish from the canonical payload,
 	// keeping pre-knob configs' keys bit-identical.
 	b, err := json.Marshal(core.BaseDIE())
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, field := range []string{"ReplayEpoch", "VoteWidth"} {
+	for _, field := range []string{"ReplayEpoch", "VoteWidth", "TRBEntries", "TRBMaxBlockLen"} {
 		if strings.Contains(string(b), field) {
 			t.Errorf("zero-valued %s leaks into the canonical config payload", field)
 		}

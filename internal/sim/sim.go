@@ -18,6 +18,7 @@ import (
 	"repro/internal/fsim"
 	"repro/internal/irb"
 	"repro/internal/program"
+	"repro/internal/trb"
 	"repro/internal/workload"
 )
 
@@ -125,23 +126,38 @@ type Result struct {
 	IPC          float64
 	Core         core.Stats
 	IRB          *irb.Stats // nil when the mode has no IRB
+	TRB          *trb.Stats // nil when the mode has no trace reuse buffer
 	Bpred        bpred.Stats
 	L1I, L1D, L2 cache.Stats
 }
 
 // ReuseRate returns the fraction of reuse-eligible executions served by
-// the IRB: for dual modes, duplicate-stream reuse hits over reuse hits
-// plus duplicate FU executions; for modes whose every stream consults the
-// IRB (SIE-IRB), reuse hits over reuse hits plus all FU issues.
+// a reuse structure rather than a functional unit: for dual modes,
+// duplicate-stream hits (per-instruction IRB hits plus TRB-served window
+// instructions) over those hits plus duplicate FU executions; for modes
+// whose every stream consults the IRB (SIE-IRB), reuse hits over reuse
+// hits plus all FU issues.
 func (r Result) ReuseRate() float64 {
-	den := r.Core.IRBReuseHits + r.Core.DupFUExec
+	hits := r.Core.IRBReuseHits + r.Core.TRBInstrSkipped
+	den := hits + r.Core.DupFUExec
 	if r.Mode.Caps().IRBAllStreams {
 		den = r.Core.IRBReuseHits + r.Core.IssueSlotsUsed
+		hits = r.Core.IRBReuseHits
 	}
 	if den == 0 {
 		return 0
 	}
-	return float64(r.Core.IRBReuseHits) / float64(den)
+	return float64(hits) / float64(den)
+}
+
+// TraceReuseRate returns the fraction of committed architected
+// instructions whose duplicate was served by a TRB window hit — the
+// trace-level share of the overall reuse. Zero for modes without a TRB.
+func (r Result) TraceReuseRate() float64 {
+	if r.Core.Committed == 0 {
+		return 0
+	}
+	return float64(r.Core.TRBInstrSkipped) / float64(r.Core.Committed)
 }
 
 // PCHitRate returns the IRB's PC-tag hit rate.
@@ -361,6 +377,10 @@ func harvest(c *core.Core, bench, config string, mode core.Mode) Result {
 	if b := c.IRB(); b != nil {
 		st := b.Stats
 		res.IRB = &st
+	}
+	if b := c.TRB(); b != nil {
+		st := b.Stats
+		res.TRB = &st
 	}
 	return res
 }

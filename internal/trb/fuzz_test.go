@@ -1,0 +1,162 @@
+package trb
+
+import (
+	"testing"
+)
+
+// The fuzz model: every recording's signatures are a fixed function of
+// (entry pc, live-in values), mirroring the architectural fact the TRB
+// leans on — a window's output signatures are a pure function of its
+// entry PC and live-ins. Any hit the buffer ever returns can therefore be
+// checked two ways: against an exact shadow of the direct-mapped array
+// (no false hit, no resurrection after Invalidate), and by recomputing
+// the block scalar from the probed live-ins (served signatures are the
+// function of the values the hit matched on).
+func modelScalar(pc uint64, live []uint64) uint64 {
+	s := pc*0x100000001b3 + 0x9e3779b97f4a7c15
+	for _, v := range live {
+		s = (s ^ v) * 0x100000001b3
+	}
+	return s
+}
+
+func modelSig(scalar uint64, j int) uint64 {
+	return scalar + uint64(j)*0x9e3779b97f4a7c15
+}
+
+// shadowRec mirrors one direct-mapped slot of the buffer.
+type shadowRec struct {
+	pc   uint64
+	live []uint64
+	sigs []uint64
+}
+
+// FuzzTRBLookup drives a small TRB through an arbitrary
+// insert/lookup/invalidate sequence and holds it to an exact shadow of
+// its direct-mapped state:
+//
+//   - a lookup hits iff the shadow slot holds that PC with exactly the
+//     probed live-in values, and then serves exactly the shadowed
+//     signatures (no false hit);
+//   - every served signature recomputes from (pc, probed live-ins) via
+//     the model function (a hit can never smuggle in state the live-in
+//     key does not capture);
+//   - after Invalidate the slot is empty until a fresh Insert, so
+//     scrubbed recordings and their stale live-ins never resurrect;
+//   - over-geometry recordings are rejected without disturbing the slot.
+func FuzzTRBLookup(f *testing.F) {
+	// Config probe + insert/lookup/invalidate over colliding PCs
+	// (entries=4 puts pc 1, 5, 9, 13 in one slot).
+	f.Add([]byte{0, 2,
+		0, 1, 5, 0, 1, 1, 5, 0, 0, 5, 9, 0, 1, 1, 5, 0, 1, 5, 9, 0,
+		2, 5, 0, 0, 1, 5, 9, 0, 0, 1, 6, 0, 1, 1, 5, 1})
+	f.Add([]byte{1, 4, 0, 13, 7, 0, 2, 13, 0, 0, 1, 13, 7, 0, 0, 13, 8, 0, 1, 13, 7, 0, 7, 13, 1, 0})
+	f.Add([]byte("fuzzing the trace reuse buffer"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 2 {
+			return
+		}
+		cfg := Config{
+			Entries:     4 << (data[0] % 3), // 4, 8 or 16
+			MaxBlockLen: 2 + int(data[1]%7), // 2..8
+			MaxLiveIn:   1 + int(data[1]%4), // 1..4
+			LookupLat:   1 + int(data[0]%4),
+		}
+		b, err := New(cfg)
+		if err != nil {
+			t.Fatalf("derived config %+v rejected: %v", cfg, err)
+		}
+		shadow := make([]shadowRec, cfg.Entries)
+
+		// makeRec derives the recording an insert/probe with (pc, vb)
+		// would use: live-in count, values and signatures are all fixed
+		// functions of the two bytes.
+		makeRec := func(pc uint64, vb byte) ([]uint64, []uint64) {
+			nLive := 1 + int(vb)%cfg.MaxLiveIn
+			live := make([]uint64, nLive)
+			for k := range live {
+				live[k] = uint64(vb)*0xdeadbeef + pc<<8 + uint64(k)
+			}
+			scalar := modelScalar(pc, live)
+			sigs := make([]uint64, 2+int(vb)%(cfg.MaxBlockLen-1))
+			for j := range sigs {
+				sigs[j] = modelSig(scalar, j)
+			}
+			return live, sigs
+		}
+
+		for i := 2; i+3 < len(data); i += 4 {
+			op, pcb, vb, pert := data[i], data[i+1], data[i+2], data[i+3]
+			pc := uint64(pcb % 32) // small PC space to force conflicts
+			slot := int(pc) & (cfg.Entries - 1)
+			switch op % 4 {
+			case 0, 3: // insert (biased: reuse needs residency)
+				live, sigs := makeRec(pc, vb)
+				if op%8 == 7 {
+					// Over-geometry recording: must be rejected and
+					// must not disturb the shadowed slot.
+					long := make([]uint64, cfg.MaxBlockLen+1)
+					if b.Insert(pc, live, long) {
+						t.Fatalf("Insert accepted %d sigs with MaxBlockLen %d", len(long), cfg.MaxBlockLen)
+					}
+					break
+				}
+				if !b.Insert(pc, live, sigs) {
+					t.Fatalf("in-geometry Insert rejected: pc=%d live=%d sigs=%d", pc, len(live), len(sigs))
+				}
+				shadow[slot] = shadowRec{pc: pc, live: live, sigs: sigs}
+			case 1: // lookup, then verify against the shadow
+				live, _ := makeRec(pc, vb)
+				if pert%4 == 0 && len(live) > 0 {
+					live[int(pert)%len(live)] ^= 1 + uint64(pert)
+				}
+				got, hit := b.Lookup(pc, live)
+				want := shadow[slot]
+				wantHit := want.pc == pc && len(want.live) > 0 && equalU64(want.live, live)
+				if hit != wantHit {
+					t.Fatalf("pc=%d live=%v: hit=%v, shadow says %v (slot holds %+v)", pc, live, hit, wantHit, want)
+				}
+				if !hit {
+					break
+				}
+				if !equalU64(got, want.sigs) {
+					t.Fatalf("pc=%d served %v, shadow recorded %v", pc, got, want.sigs)
+				}
+				scalar := modelScalar(pc, live)
+				for j, s := range got {
+					if s != modelSig(scalar, j) {
+						t.Fatalf("pc=%d sig[%d]=%d does not recompute from the probed live-ins", pc, j, s)
+					}
+				}
+			case 2: // scrub, as fault recovery would
+				had := shadow[slot].pc == pc && len(shadow[slot].live) > 0
+				if b.Invalidate(pc) != had {
+					t.Fatalf("Invalidate(%d) = %v, shadow says %v", pc, !had, had)
+				}
+				if had {
+					shadow[slot] = shadowRec{}
+				}
+			}
+		}
+
+		// The statistics must stay coherent with what we drove.
+		st := b.Stats
+		if st.Hits+st.TagMisses+st.ValMisses != st.Lookups {
+			t.Fatalf("stats incoherent: %d hits + %d tag + %d val misses != %d lookups",
+				st.Hits, st.TagMisses, st.ValMisses, st.Lookups)
+		}
+	})
+}
+
+func equalU64(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,62 @@
+package trb
+
+import (
+	"fmt"
+
+	"repro/internal/analysis"
+)
+
+// Index is the static side of the TRB: the per-program table of
+// memoizable windows that analysis.TraceBlocks extracted, made
+// O(1)-addressable by entry PC so the dispatch stage can ask "does a
+// window start here?" every cycle without a map probe. It is immutable
+// after construction and shared read-only by every core simulating the
+// same program.
+type Index struct {
+	at      []int32 // per-PC index into windows; -1 = no window starts here
+	windows []analysis.TraceBlock
+}
+
+// NewIndex builds the entry-PC index over the extracted windows for a
+// program of codeLen instructions. Windows must lie inside the code and
+// start at distinct PCs (analysis.TraceBlocks emits at most one per
+// basic block, which guarantees both).
+func NewIndex(codeLen int, windows []analysis.TraceBlock) (*Index, error) {
+	ix := &Index{
+		at:      make([]int32, codeLen),
+		windows: windows,
+	}
+	for i := range ix.at {
+		ix.at[i] = -1
+	}
+	for i := range windows {
+		w := &windows[i]
+		if w.Entry >= uint64(codeLen) || w.Entry+uint64(w.Len) > uint64(codeLen) {
+			return nil, fmt.Errorf("%w: window [%d, %d) outside code of %d instructions",
+				ErrConfig, w.Entry, w.Entry+uint64(w.Len), codeLen)
+		}
+		if ix.at[w.Entry] != -1 {
+			return nil, fmt.Errorf("%w: two windows share entry pc %d", ErrConfig, w.Entry)
+		}
+		ix.at[w.Entry] = int32(i)
+	}
+	return ix, nil
+}
+
+// Windows returns the number of indexed windows.
+func (ix *Index) Windows() int { return len(ix.windows) }
+
+// WindowAt returns the window whose first instruction is pc, or nil if no
+// window starts there (including pc beyond the indexed code).
+//
+//lint:hotpath
+func (ix *Index) WindowAt(pc uint64) *analysis.TraceBlock {
+	if pc >= uint64(len(ix.at)) {
+		return nil
+	}
+	i := ix.at[pc]
+	if i < 0 {
+		return nil
+	}
+	return &ix.windows[i]
+}

@@ -1,0 +1,215 @@
+// Package trb implements the trace reuse buffer behind the DIE-TRB mode:
+// the IRB generalized from single instructions to straight-line windows of
+// a basic block. Where the IRB memoizes one instruction's (operands →
+// result) and lets a duplicate skip one ALU slot, the TRB memoizes a whole
+// window's output signatures keyed by its entry PC and the values of its
+// live-in registers. When the duplicate stream re-enters the window with
+// matching live-ins, every duplicate in the window is served its recorded
+// signature — one lookup amortized over the window length, the
+// trace-level concentration of reuse that Coppieters et al. observe in
+// loop structures.
+//
+// Soundness is split between static analysis and the buffer:
+//
+//   - analysis.TraceBlocks only emits windows whose output signatures are
+//     a pure function of (entry PC, live-in values) — no in-window
+//     consumption of loaded values, straight-line within one block;
+//   - the buffer re-checks every recorded live-in value on lookup, so a
+//     hit can only be served for the exact machine state the window was
+//     recorded under. A stale or aliased entry value-misses; it can never
+//     produce a false hit.
+//
+// The buffer is direct-mapped by entry PC with flat backing arrays and an
+// allocation-free lookup. Unlike the IRB there is no port model: the TRB
+// is probed once per window entry (vs the IRB's once per duplicate
+// instruction), a rate far below any realistic port budget, so modeling
+// contention would only add dead configuration surface. The pipelined
+// access depth is still charged, as LookupLat cycles from window entry to
+// the first served signature.
+package trb
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrConfig is wrapped by every configuration validation error.
+var ErrConfig = errors.New("trb: invalid configuration")
+
+// Config sizes the trace reuse buffer.
+type Config struct {
+	// Entries is the number of direct-mapped buffer entries (power of
+	// two), each holding one window recording.
+	Entries int
+
+	// MaxBlockLen caps the window length in instructions; it sizes the
+	// per-entry signature array and bounds how far one hit can skip.
+	MaxBlockLen int
+
+	// MaxLiveIn caps the live-in register count per window; it sizes the
+	// per-entry live-in value array.
+	MaxLiveIn int
+
+	// LookupLat is the pipelined access depth in cycles from the lookup
+	// at window entry to the first signature being servable. It is
+	// deeper than the IRB's (the reuse test compares MaxLiveIn values,
+	// not two operands), and it is charged once per window, not per
+	// instruction.
+	LookupLat int
+}
+
+// Default returns the default TRB configuration: 256 entries of up to 16
+// signatures keyed by up to 8 live-ins, 4-cycle pipelined access.
+func Default() Config {
+	return Config{Entries: 256, MaxBlockLen: 16, MaxLiveIn: 8, LookupLat: 4}
+}
+
+// Validate reports configuration errors, all wrapping ErrConfig.
+func (c Config) Validate() error {
+	if c.Entries <= 0 || c.Entries&(c.Entries-1) != 0 {
+		return fmt.Errorf("%w: Entries = %d, want power of two", ErrConfig, c.Entries)
+	}
+	if c.MaxBlockLen < 2 {
+		return fmt.Errorf("%w: MaxBlockLen = %d, want >= 2 (a one-instruction window is the IRB)", ErrConfig, c.MaxBlockLen)
+	}
+	if c.MaxLiveIn < 1 {
+		return fmt.Errorf("%w: MaxLiveIn = %d, want >= 1", ErrConfig, c.MaxLiveIn)
+	}
+	if c.LookupLat < 1 {
+		return fmt.Errorf("%w: LookupLat = %d, want >= 1", ErrConfig, c.LookupLat)
+	}
+	return nil
+}
+
+// Stats counts TRB traffic. Hits / Lookups is the window hit rate; the
+// per-instruction effect (signatures served, ALU slots skipped) is
+// counted by the core, which walks the window.
+type Stats struct {
+	Lookups   uint64 // window-entry probes
+	Hits      uint64 // probes whose tag and all live-in values matched
+	TagMisses uint64 // probes that found no recording for the entry PC
+	ValMisses uint64 // probes whose recorded live-in values mismatched
+
+	Inserts     uint64 // window recordings written
+	Evictions   uint64 // recordings displaced by a different entry PC
+	Invalidated uint64 // recordings scrubbed after a detected fault
+}
+
+// Buffer is the trace reuse buffer: a direct-mapped table of window
+// recordings over flat backing arrays.
+type Buffer struct {
+	cfg  Config
+	tags []uint64 // entry pc+1 per slot; 0 = invalid
+	blen []int32  // recorded window length per slot
+	nliv []int32  // recorded live-in count per slot
+	live []uint64 // Entries x MaxLiveIn live-in values
+	sigs []uint64 // Entries x MaxBlockLen output signatures
+
+	Stats Stats
+}
+
+// New builds a trace reuse buffer.
+func New(cfg Config) (*Buffer, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Buffer{
+		cfg:  cfg,
+		tags: make([]uint64, cfg.Entries),
+		blen: make([]int32, cfg.Entries),
+		nliv: make([]int32, cfg.Entries),
+		live: make([]uint64, cfg.Entries*cfg.MaxLiveIn),
+		sigs: make([]uint64, cfg.Entries*cfg.MaxBlockLen),
+	}, nil
+}
+
+// Config returns the buffer's configuration.
+func (b *Buffer) Config() Config { return b.cfg }
+
+// Lookup probes the buffer for the window at entry pc with the current
+// live-in register values. On a hit it returns the recorded output
+// signatures, one per window instruction; the slice aliases the buffer's
+// backing array and is valid only until the next Insert, so the caller
+// must consume (or copy) it before recording anything new. A hit requires
+// the tag and every recorded live-in value to match — there is no partial
+// hit, so a mismatch anywhere serves nothing and the caller falls back to
+// per-instruction execution.
+//
+//lint:hotpath
+func (b *Buffer) Lookup(pc uint64, liveVals []uint64) ([]uint64, bool) {
+	b.Stats.Lookups++
+	i := int(pc) & (b.cfg.Entries - 1)
+	if b.tags[i] != pc+1 {
+		b.Stats.TagMisses++
+		return nil, false
+	}
+	if int(b.nliv[i]) != len(liveVals) {
+		b.Stats.ValMisses++
+		return nil, false
+	}
+	base := i * b.cfg.MaxLiveIn
+	for k, v := range liveVals {
+		if b.live[base+k] != v {
+			b.Stats.ValMisses++
+			return nil, false
+		}
+	}
+	b.Stats.Hits++
+	s := i * b.cfg.MaxBlockLen
+	return b.sigs[s : s+int(b.blen[i])], true
+}
+
+// Insert records a window execution: the entry pc, the live-in values it
+// ran under, and the output signature of each instruction in order. It
+// reports whether the recording was accepted; recordings that exceed the
+// buffer's geometry are dropped (a safe, performance-only outcome — the
+// core's window extractor respects the geometry, so drops only arise from
+// geometry-shrinking reconfiguration or adversarial callers).
+func (b *Buffer) Insert(pc uint64, liveVals, sigs []uint64) bool {
+	if len(sigs) < 1 || len(sigs) > b.cfg.MaxBlockLen || len(liveVals) > b.cfg.MaxLiveIn {
+		return false
+	}
+	i := int(pc) & (b.cfg.Entries - 1)
+	if t := b.tags[i]; t != 0 && t != pc+1 {
+		b.Stats.Evictions++
+	}
+	b.Stats.Inserts++
+	b.tags[i] = pc + 1
+	b.blen[i] = int32(len(sigs))
+	b.nliv[i] = int32(len(liveVals))
+	copy(b.live[i*b.cfg.MaxLiveIn:], liveVals)
+	copy(b.sigs[i*b.cfg.MaxBlockLen:], sigs)
+	return true
+}
+
+// Invalidate removes the recording for entry pc, reporting whether one
+// existed. The core scrubs with it when fault recovery rewinds across a
+// served window, exactly as it scrubs the IRB: the recording might have
+// been taken from a corrupted execution and would re-fire
+// deterministically. Invalidation consumes no buffer bandwidth — it
+// rides the recovery flush, which already owns the pipeline.
+func (b *Buffer) Invalidate(pc uint64) bool {
+	i := int(pc) & (b.cfg.Entries - 1)
+	if b.tags[i] != pc+1 {
+		return false
+	}
+	b.tags[i] = 0
+	b.blen[i] = 0
+	b.nliv[i] = 0
+	b.Stats.Invalidated++
+	return true
+}
+
+// Probe returns copies of the recording for entry pc without touching
+// statistics. Tooling and test oracles use it.
+func (b *Buffer) Probe(pc uint64) (liveVals, sigs []uint64, ok bool) {
+	i := int(pc) & (b.cfg.Entries - 1)
+	if b.tags[i] != pc+1 {
+		return nil, nil, false
+	}
+	liveVals = make([]uint64, b.nliv[i])
+	copy(liveVals, b.live[i*b.cfg.MaxLiveIn:])
+	sigs = make([]uint64, b.blen[i])
+	copy(sigs, b.sigs[i*b.cfg.MaxBlockLen:])
+	return liveVals, sigs, true
+}

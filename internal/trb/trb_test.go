@@ -1,0 +1,221 @@
+package trb
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/isa"
+)
+
+func TestDefaultConfigValid(t *testing.T) {
+	if err := Default().Validate(); err != nil {
+		t.Fatalf("Default() invalid: %v", err)
+	}
+}
+
+func TestConfigValidateWrapsErrConfig(t *testing.T) {
+	bad := []Config{
+		{Entries: 0, MaxBlockLen: 16, MaxLiveIn: 8, LookupLat: 4},
+		{Entries: 3, MaxBlockLen: 16, MaxLiveIn: 8, LookupLat: 4},
+		{Entries: 256, MaxBlockLen: 1, MaxLiveIn: 8, LookupLat: 4},
+		{Entries: 256, MaxBlockLen: 16, MaxLiveIn: 0, LookupLat: 4},
+		{Entries: 256, MaxBlockLen: 16, MaxLiveIn: 8, LookupLat: 0},
+	}
+	for _, cfg := range bad {
+		err := cfg.Validate()
+		if err == nil {
+			t.Errorf("config %+v validated, want error", cfg)
+			continue
+		}
+		if !errors.Is(err, ErrConfig) {
+			t.Errorf("config %+v error %v does not wrap ErrConfig", cfg, err)
+		}
+		if _, err := New(cfg); err == nil {
+			t.Errorf("New accepted invalid config %+v", cfg)
+		}
+	}
+}
+
+func TestBufferInsertLookup(t *testing.T) {
+	b, err := New(Config{Entries: 4, MaxBlockLen: 4, MaxLiveIn: 2, LookupLat: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := []uint64{10, 20}
+	sigs := []uint64{100, 200, 300}
+	if !b.Insert(7, live, sigs) {
+		t.Fatal("in-geometry Insert rejected")
+	}
+
+	got, hit := b.Lookup(7, []uint64{10, 20})
+	if !hit {
+		t.Fatal("matching lookup missed")
+	}
+	if len(got) != 3 || got[0] != 100 || got[1] != 200 || got[2] != 300 {
+		t.Fatalf("hit returned %v, want %v", got, sigs)
+	}
+
+	if _, hit := b.Lookup(7, []uint64{10, 21}); hit {
+		t.Fatal("lookup hit with mismatched live-in value")
+	}
+	if _, hit := b.Lookup(7, []uint64{10}); hit {
+		t.Fatal("lookup hit with wrong live-in count")
+	}
+	if _, hit := b.Lookup(6, []uint64{10, 20}); hit {
+		t.Fatal("lookup hit for a PC never inserted")
+	}
+
+	st := b.Stats
+	if st.Lookups != 4 || st.Hits != 1 || st.ValMisses != 2 || st.TagMisses != 1 {
+		t.Fatalf("stats %+v, want 4 lookups / 1 hit / 2 val misses / 1 tag miss", st)
+	}
+}
+
+func TestBufferEviction(t *testing.T) {
+	b, err := New(Config{Entries: 4, MaxBlockLen: 4, MaxLiveIn: 2, LookupLat: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// PCs 3 and 7 map to the same direct-mapped slot.
+	b.Insert(3, []uint64{1}, []uint64{11, 12})
+	b.Insert(7, []uint64{2}, []uint64{21, 22})
+	if _, hit := b.Lookup(3, []uint64{1}); hit {
+		t.Fatal("evicted recording still hits")
+	}
+	if _, hit := b.Lookup(7, []uint64{2}); !hit {
+		t.Fatal("evicting recording does not hit")
+	}
+	if b.Stats.Evictions != 1 {
+		t.Fatalf("Evictions = %d, want 1", b.Stats.Evictions)
+	}
+
+	// Re-recording the same PC is an update, not an eviction.
+	b.Insert(7, []uint64{3}, []uint64{31})
+	if b.Stats.Evictions != 1 {
+		t.Fatalf("same-PC update counted as eviction: %d", b.Stats.Evictions)
+	}
+	if _, hit := b.Lookup(7, []uint64{2}); hit {
+		t.Fatal("stale live-ins hit after same-PC update")
+	}
+	if got, hit := b.Lookup(7, []uint64{3}); !hit || len(got) != 1 || got[0] != 31 {
+		t.Fatalf("updated recording lookup = %v, %v", got, hit)
+	}
+}
+
+func TestBufferInvalidate(t *testing.T) {
+	b, err := New(Config{Entries: 4, MaxBlockLen: 4, MaxLiveIn: 2, LookupLat: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Insert(5, []uint64{9}, []uint64{1, 2})
+	if !b.Invalidate(5) {
+		t.Fatal("Invalidate missed a present recording")
+	}
+	if b.Invalidate(5) {
+		t.Fatal("second Invalidate reported a recording")
+	}
+	if b.Invalidate(1) {
+		t.Fatal("Invalidate of same-slot different PC reported a recording")
+	}
+	if _, hit := b.Lookup(5, []uint64{9}); hit {
+		t.Fatal("scrubbed recording resurrected")
+	}
+	if _, _, ok := b.Probe(5); ok {
+		t.Fatal("Probe found a scrubbed recording")
+	}
+	if b.Stats.Invalidated != 1 {
+		t.Fatalf("Invalidated = %d, want 1", b.Stats.Invalidated)
+	}
+
+	// A fresh recording after the scrub serves only its own live-ins.
+	b.Insert(5, []uint64{10}, []uint64{3})
+	if _, hit := b.Lookup(5, []uint64{9}); hit {
+		t.Fatal("pre-scrub live-ins hit the post-scrub recording")
+	}
+	if _, hit := b.Lookup(5, []uint64{10}); !hit {
+		t.Fatal("post-scrub recording missed")
+	}
+}
+
+func TestBufferInsertRejectsOverGeometry(t *testing.T) {
+	b, err := New(Config{Entries: 4, MaxBlockLen: 2, MaxLiveIn: 1, LookupLat: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Insert(1, []uint64{1}, []uint64{1, 2, 3}) {
+		t.Fatal("Insert accepted sigs longer than MaxBlockLen")
+	}
+	if b.Insert(1, []uint64{1, 2}, []uint64{1}) {
+		t.Fatal("Insert accepted more live-ins than MaxLiveIn")
+	}
+	if b.Insert(1, []uint64{1}, nil) {
+		t.Fatal("Insert accepted an empty recording")
+	}
+	if b.Stats.Inserts != 0 {
+		t.Fatalf("rejected inserts counted: %d", b.Stats.Inserts)
+	}
+	if _, hit := b.Lookup(1, []uint64{1}); hit {
+		t.Fatal("rejected insert left a recording behind")
+	}
+}
+
+func TestProbeReturnsCopies(t *testing.T) {
+	b, err := New(Config{Entries: 4, MaxBlockLen: 4, MaxLiveIn: 2, LookupLat: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Insert(2, []uint64{7}, []uint64{70, 71})
+	live, sigs, ok := b.Probe(2)
+	if !ok || len(live) != 1 || len(sigs) != 2 {
+		t.Fatalf("Probe = %v, %v, %v", live, sigs, ok)
+	}
+	live[0], sigs[0] = 999, 999
+	if _, hit := b.Lookup(2, []uint64{7}); !hit {
+		t.Fatal("mutating Probe copies corrupted the buffer")
+	}
+}
+
+func TestIndexWindowAt(t *testing.T) {
+	windows := []analysis.TraceBlock{
+		{Entry: 2, Len: 3, LiveIn: []isa.Reg{1, 2}},
+		{Entry: 8, Len: 2, LiveIn: nil},
+	}
+	ix, err := NewIndex(10, windows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Windows() != 2 {
+		t.Fatalf("Windows() = %d, want 2", ix.Windows())
+	}
+	if w := ix.WindowAt(2); w == nil || w.Len != 3 {
+		t.Fatalf("WindowAt(2) = %+v", w)
+	}
+	if w := ix.WindowAt(8); w == nil || w.Len != 2 {
+		t.Fatalf("WindowAt(8) = %+v", w)
+	}
+	for _, pc := range []uint64{0, 1, 3, 7, 9, 10, 1 << 40} {
+		if w := ix.WindowAt(pc); w != nil {
+			t.Fatalf("WindowAt(%d) = %+v, want nil", pc, w)
+		}
+	}
+}
+
+func TestIndexRejectsBadWindows(t *testing.T) {
+	cases := []struct {
+		name    string
+		codeLen int
+		windows []analysis.TraceBlock
+	}{
+		{"entry outside code", 4, []analysis.TraceBlock{{Entry: 4, Len: 2}}},
+		{"window past end", 4, []analysis.TraceBlock{{Entry: 3, Len: 2}}},
+		{"duplicate entry", 8, []analysis.TraceBlock{{Entry: 1, Len: 2}, {Entry: 1, Len: 3}}},
+	}
+	for _, tc := range cases {
+		if _, err := NewIndex(tc.codeLen, tc.windows); err == nil {
+			t.Errorf("%s: NewIndex accepted %+v", tc.name, tc.windows)
+		} else if !errors.Is(err, ErrConfig) {
+			t.Errorf("%s: error %v does not wrap ErrConfig", tc.name, err)
+		}
+	}
+}
